@@ -1,0 +1,470 @@
+package geostat
+
+// One benchmark family per paper artifact / complexity claim, mirroring the
+// per-experiment index in DESIGN.md (run `go test -bench=. -benchmem`;
+// cmd/geobench prints the same comparisons as human-readable tables):
+//
+//	T2 -> BenchmarkKDVKernels          F1/F5 -> BenchmarkHeatmapRender
+//	F2 -> BenchmarkKFunctionPlot       F3    -> BenchmarkNKDV
+//	F4 -> BenchmarkSTKDV               F6    -> BenchmarkSTKFunction
+//	C1 -> BenchmarkKFunctionScaling    C2    -> BenchmarkKDVScaling
+//	C3 -> BenchmarkKDVApprox           C4    -> BenchmarkKDVSample
+//	C5 -> BenchmarkKDVParallel + BenchmarkKFunctionParallel
+//	C6 -> BenchmarkNetworkKFunction    C7    -> BenchmarkIDW
+//	C8 -> BenchmarkKriging, BenchmarkMoran, BenchmarkGetisOrd, BenchmarkDBSCAN
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+var benchBox = BBox{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}
+
+func benchPoints(n int) []Point {
+	rng := rand.New(rand.NewSource(1234))
+	return GaussianClusters(rng, n, benchBox, []GaussianCluster{
+		{Center: Point{X: 30, Y: 60}, Sigma: 8, Weight: 2},
+		{Center: Point{X: 70, Y: 25}, Sigma: 5, Weight: 1},
+	}, 0.3).Points
+}
+
+// T2: one exact KDV per kernel type (auto-dispatched algorithm).
+func BenchmarkKDVKernels(b *testing.B) {
+	pts := benchPoints(5000)
+	grid := NewPixelGrid(benchBox, 64, 64)
+	for _, kt := range AllKernels() {
+		b.Run(kt.String(), func(b *testing.B) {
+			opt := KDVOptions{Kernel: MustKernel(kt, 8), Grid: grid}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := KDV(pts, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// C2: KDV scaling — naive vs grid-cutoff vs sweep-line over n.
+func BenchmarkKDVScaling(b *testing.B) {
+	grid := NewPixelGrid(benchBox, 128, 128)
+	k := MustKernel(Quartic, 4)
+	for _, n := range []int{2000, 8000, 32000} {
+		pts := benchPoints(n)
+		for _, m := range []KDVMethod{KDVNaive, KDVGridCutoff, KDVSweepLine} {
+			b.Run(fmt.Sprintf("%s/n=%d", m, n), func(b *testing.B) {
+				opt := KDVOptions{Kernel: k, Grid: grid, Method: m}
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := KDV(pts, opt); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// C3: bound-based (1±ε) approximation on the Gaussian kernel.
+func BenchmarkKDVApprox(b *testing.B) {
+	pts := benchPoints(20000)
+	grid := NewPixelGrid(benchBox, 64, 64)
+	k := MustKernel(Gaussian, 8)
+	b.Run("naive-exact", func(b *testing.B) {
+		opt := KDVOptions{Kernel: k, Grid: grid, Method: KDVNaive}
+		for i := 0; i < b.N; i++ {
+			if _, err := KDV(pts, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, eps := range []float64{0.5, 0.1, 0.01} {
+		b.Run(fmt.Sprintf("eps=%g", eps), func(b *testing.B) {
+			opt := KDVOptions{Kernel: k, Grid: grid, Method: KDVBoundApprox, Epsilon: eps}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := KDV(pts, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// C4: Hoeffding-sampled KDV; cost is n-independent.
+func BenchmarkKDVSample(b *testing.B) {
+	grid := NewPixelGrid(benchBox, 64, 64)
+	k := MustKernel(Quartic, 8)
+	for _, n := range []int{20000, 100000} {
+		pts := benchPoints(n)
+		b.Run(fmt.Sprintf("exact/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := KDV(pts, KDVOptions{Kernel: k, Grid: grid}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("sampled/n=%d", n), func(b *testing.B) {
+			opt := KDVOptions{
+				Kernel: k, Grid: grid, Method: KDVSampled,
+				Epsilon: 0.05, Delta: 0.01, Rand: rand.New(rand.NewSource(9)),
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := KDV(pts, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// C5a: row-parallel KDV.
+func BenchmarkKDVParallel(b *testing.B) {
+	pts := benchPoints(20000)
+	grid := NewPixelGrid(benchBox, 256, 256)
+	k := MustKernel(Quartic, 4)
+	for _, w := range []int{1, -1} {
+		name := "serial"
+		if w < 0 {
+			name = "all-cores"
+		}
+		b.Run(name, func(b *testing.B) {
+			opt := KDVOptions{Kernel: k, Grid: grid, Method: KDVGridCutoff, Workers: w}
+			for i := 0; i < b.N; i++ {
+				if _, err := KDV(pts, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// C1: K-function scaling — naive vs indexed vs one-pass curve.
+func BenchmarkKFunctionScaling(b *testing.B) {
+	thresholds := []float64{1, 2, 4, 8}
+	for _, n := range []int{2000, 8000} {
+		pts := benchPoints(n)
+		b.Run(fmt.Sprintf("naive/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				KFunctionNaive(pts, 4)
+			}
+		})
+		b.Run(fmt.Sprintf("grid/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				KFunction(pts, 4)
+			}
+		})
+		b.Run(fmt.Sprintf("kdtree/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				KFunctionKDTree(pts, 4)
+			}
+		})
+		b.Run(fmt.Sprintf("curve4/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := KFunctionCurve(pts, thresholds, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// C5b: parallel one-pass K-curve.
+func BenchmarkKFunctionParallel(b *testing.B) {
+	pts := benchPoints(30000)
+	thresholds := []float64{1, 2, 4, 8}
+	for _, w := range []int{1, -1} {
+		name := "serial"
+		if w < 0 {
+			name = "all-cores"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := KFunctionCurve(pts, thresholds, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// F2: the full Definition 3 plot (curve + L simulated envelopes).
+func BenchmarkKFunctionPlot(b *testing.B) {
+	pts := benchPoints(2000)
+	opt := KPlotOptions{
+		Thresholds:  []float64{2, 4, 6, 8, 10},
+		Simulations: 19,
+		Window:      benchBox,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := KFunctionPlot(pts, opt, rand.New(rand.NewSource(7))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// F3: network KDV, baseline vs event-expansion.
+func BenchmarkNKDV(b *testing.B) {
+	g := GridNetwork(10, 10, 10, Point{})
+	events := ClusteredNetworkEvents(rand.New(rand.NewSource(3)), g, 1000, 4, 6)
+	opt := NKDVOptions{Kernel: MustKernel(Quartic, 15), LixelLength: 2}
+	b.Run("naive-per-lixel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := NKDVNaive(g, events, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("forward-per-event", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := NKDV(g, events, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// C6: network K-function, per-pair baseline vs shared bounded Dijkstra.
+func BenchmarkNetworkKFunction(b *testing.B) {
+	g := GridNetwork(15, 15, 10, Point{})
+	events := RandomNetworkEvents(rand.New(rand.NewSource(4)), g, 800)
+	thresholds := []float64{5, 10, 20, 40}
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			NetworkKFunction(g, events, 40)
+		}
+	})
+	b.Run("curve", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := NetworkKFunctionCurve(g, events, thresholds, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func benchSTData(n int) *Dataset {
+	rng := rand.New(rand.NewSource(5))
+	return SpatioTemporalOutbreak(rng, n, benchBox, 0, 60, []OutbreakWave{
+		{Center: Point{X: 25, Y: 30}, Sigma: 6, TimeMean: 15, TimeSigma: 5, Weight: 1},
+		{Center: Point{X: 70, Y: 70}, Sigma: 6, TimeMean: 45, TimeSigma: 5, Weight: 1},
+	}, 0.1)
+}
+
+// F4: STKDV, naive O(XYTn) vs shared footprints.
+func BenchmarkSTKDV(b *testing.B) {
+	d := benchSTData(5000)
+	opt := STKDVOptions{
+		SpaceKernel: MustKernel(Quartic, 8),
+		TimeKernel:  MustKernel(Epanechnikov, 8),
+		Grid:        NewPixelGrid(benchBox, 64, 64),
+		Times:       []float64{5, 15, 25, 35, 45, 55},
+	}
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := STKDVNaive(d, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("shared", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := STKDV(d, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// F6: the spatiotemporal K surface, naive per-cell vs one-pass histogram.
+func BenchmarkSTKFunction(b *testing.B) {
+	d := benchSTData(4000)
+	sTh := []float64{2, 4, 8, 16}
+	tTh := []float64{2, 5, 10, 20}
+	b.Run("naive-per-cell", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, s := range sTh {
+				for _, t := range tTh {
+					STKFunction(d.Points, d.Times, s, t)
+				}
+			}
+		}
+	})
+	b.Run("surface-one-pass", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := STKFunctionSurface(d.Points, d.Times, sTh, tTh, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// C7: IDW variants.
+func BenchmarkIDW(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	d := UniformCSR(rng, 20000, benchBox)
+	WithField(rng, d, func(p Point) float64 { return p.X + p.Y }, 1)
+	opt := IDWOptions{Grid: NewPixelGrid(benchBox, 128, 128), Power: 2}
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := IDW(d, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("knn12", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := IDWKNN(d, opt, 12); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("radius8", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := IDWRadius(d, opt, 8); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// C8a: ordinary kriging by neighbourhood size.
+func BenchmarkKriging(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	d := UniformCSR(rng, 3000, benchBox)
+	WithField(rng, d, func(p Point) float64 { return p.X/10 + p.Y/20 }, 0.5)
+	bins, err := EmpiricalVariogram(d, 30, 12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	v, err := FitVariogram(bins, SphericalModel)
+	if err != nil {
+		b.Fatal(err)
+	}
+	grid := NewPixelGrid(benchBox, 48, 48)
+	for _, k := range []int{8, 16, 32} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			opt := KrigingOptions{Grid: grid, Variogram: v, Neighbors: k}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Krige(d, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// C8b: Moran's I with permutations.
+func BenchmarkMoran(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	d := UniformCSR(rng, 5000, benchBox)
+	WithField(rng, d, func(p Point) float64 { return p.X }, 1)
+	w, err := KNNWeights(d.Points, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, perms := range []int{0, 99} {
+		b.Run(fmt.Sprintf("perms=%d", perms), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := MoranI(d.Values, w, perms, rng); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// C8c: Getis-Ord General G and local Gi*.
+func BenchmarkGetisOrd(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	d := UniformCSR(rng, 5000, benchBox)
+	WithField(rng, d, func(p Point) float64 { return p.X + 100 }, 1)
+	w, err := KNNWeights(d.Points, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("generalG-perms99", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := GeneralG(d.Values, w, 99, rng); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("localGstar", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := LocalGStar(d.Values, w); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// C8d: DBSCAN, naive vs grid-accelerated.
+func BenchmarkDBSCAN(b *testing.B) {
+	pts := benchPoints(8000)
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := DBSCANNaive(pts, 2, 5); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("grid", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := DBSCAN(pts, 2, 5); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// F1/F5: heatmap rendering pipeline (surface -> PNG bytes).
+func BenchmarkHeatmapRender(b *testing.B) {
+	pts := benchPoints(10000)
+	hm, err := KDV(pts, KDVOptions{
+		Kernel: MustKernel(Quartic, 6),
+		Grid:   NewPixelGrid(benchBox, 256, 256),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		img := hm.Image(HeatRamp)
+		if img.Bounds().Dx() != 256 {
+			b.Fatal("bad image")
+		}
+	}
+}
+
+// C1 sidebar: the same K count through all four index structures.
+func BenchmarkKFunctionIndexes(b *testing.B) {
+	pts := benchPoints(10000)
+	const s = 4.0
+	for name, fn := range map[string]func([]Point, float64) int{
+		"grid":     KFunction,
+		"kdtree":   KFunctionKDTree,
+		"balltree": KFunctionBallTree,
+		"rtree":    KFunctionRTree,
+	} {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				fn(pts, s)
+			}
+		})
+	}
+}

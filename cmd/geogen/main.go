@@ -1,0 +1,109 @@
+// Command geogen writes synthetic location datasets in the library's CSV
+// layout — the deterministic stand-ins for the access-gated real datasets
+// the paper demos on (see DESIGN.md). Useful to feed cmd/kdv and cmd/kfunc
+// without touching the Go API.
+//
+// Usage:
+//
+//	geogen -kind csr       -n 10000 -out events.csv
+//	geogen -kind clusters  -n 50000 -centers 3 -sigma 5 -noise 0.3 -out crime.csv
+//	geogen -kind matern    -out clustered.csv
+//	geogen -kind dispersed -n 2000 -mindist 1.5 -out regular.csv
+//	geogen -kind outbreak  -n 30000 -waves 2 -out covid.csv     # adds a t column
+//	geogen -kind field     -n 500 -out sensors.csv              # adds a value column
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+
+	"geostat"
+)
+
+func main() {
+	var (
+		kind    = flag.String("kind", "csr", "csr|clusters|matern|dispersed|outbreak|field")
+		n       = flag.Int("n", 10000, "number of events (ignored by matern)")
+		out     = flag.String("out", "events.csv", "output CSV path")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		w       = flag.Float64("w", 100, "region width")
+		h       = flag.Float64("h", 100, "region height")
+		centers = flag.Int("centers", 2, "clusters: number of hotspots")
+		sigma   = flag.Float64("sigma", 5, "clusters/outbreak: hotspot spread")
+		noise   = flag.Float64("noise", 0.2, "clusters/outbreak: background fraction")
+		minDist = flag.Float64("mindist", 2, "dispersed: inhibition distance")
+		waves   = flag.Int("waves", 2, "outbreak: number of waves")
+		tEnd    = flag.Float64("tend", 100, "outbreak: time range end")
+	)
+	flag.Parse()
+	if err := run(*kind, *out, *n, *centers, *waves, *seed, *w, *h, *sigma, *noise, *minDist, *tEnd); err != nil {
+		fmt.Fprintf(os.Stderr, "geogen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(kind, out string, n, centers, waves int, seed int64, w, h, sigma, noise, minDist, tEnd float64) error {
+	rng := rand.New(rand.NewSource(seed))
+	box := geostat.BBox{MinX: 0, MinY: 0, MaxX: w, MaxY: h}
+	var d *geostat.Dataset
+	switch kind {
+	case "csr":
+		d = geostat.UniformCSR(rng, n, box)
+	case "clusters":
+		var cl []geostat.GaussianCluster
+		for i := 0; i < centers; i++ {
+			cl = append(cl, geostat.GaussianCluster{
+				Center: geostat.Point{
+					X: box.MinX + (0.2+0.6*rng.Float64())*w,
+					Y: box.MinY + (0.2+0.6*rng.Float64())*h,
+				},
+				Sigma:  sigma,
+				Weight: 1,
+			})
+		}
+		d = geostat.GaussianClusters(rng, n, box, cl, noise)
+	case "matern":
+		d = geostat.MaternCluster(rng, box, 0.004, 25, 3*sigma/5)
+	case "dispersed":
+		d = geostat.Dispersed(rng, n, box, minDist)
+	case "outbreak":
+		var ws []geostat.OutbreakWave
+		for i := 0; i < waves; i++ {
+			ws = append(ws, geostat.OutbreakWave{
+				Center: geostat.Point{
+					X: box.MinX + (0.2+0.6*rng.Float64())*w,
+					Y: box.MinY + (0.2+0.6*rng.Float64())*h,
+				},
+				Sigma:     sigma,
+				TimeMean:  tEnd * (float64(i) + 0.5) / float64(waves),
+				TimeSigma: tEnd / (4 * float64(waves)),
+				Weight:    1,
+			})
+		}
+		d = geostat.SpatioTemporalOutbreak(rng, n, box, 0, tEnd, ws, noise)
+	case "field":
+		d = geostat.UniformCSR(rng, n, box)
+		cx, cy := box.MinX+0.3*w, box.MinY+0.6*h
+		geostat.WithField(rng, d, func(p geostat.Point) float64 {
+			dx, dy := p.X-cx, p.Y-cy
+			return 20 + 50*math.Exp(-(dx*dx+dy*dy)/(2*sigma*sigma*9))
+		}, 1)
+	default:
+		return fmt.Errorf("unknown kind %q", kind)
+	}
+	if err := geostat.WriteCSVFile(out, d); err != nil {
+		return err
+	}
+	cols := "x,y"
+	if d.HasTimes() {
+		cols += ",t"
+	}
+	if d.HasValues() {
+		cols += ",value"
+	}
+	fmt.Printf("wrote %d events (%s) to %s\n", d.N(), cols, out)
+	return nil
+}

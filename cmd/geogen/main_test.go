@@ -1,0 +1,64 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"geostat"
+)
+
+func TestRunAllKinds(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		kind      string
+		wantTimes bool
+		wantVals  bool
+	}{
+		{"csr", false, false},
+		{"clusters", false, false},
+		{"matern", false, false},
+		{"dispersed", false, false},
+		{"outbreak", true, false},
+		{"field", false, true},
+	}
+	for _, c := range cases {
+		out := filepath.Join(dir, c.kind+".csv")
+		if err := run(c.kind, out, 300, 2, 2, 1, 100, 100, 5, 0.2, 2, 50); err != nil {
+			t.Fatalf("%s: %v", c.kind, err)
+		}
+		d, err := geostat.ReadCSVFile(out)
+		if err != nil {
+			t.Fatalf("%s readback: %v", c.kind, err)
+		}
+		if d.N() == 0 {
+			t.Errorf("%s: empty dataset", c.kind)
+		}
+		if d.HasTimes() != c.wantTimes || d.HasValues() != c.wantVals {
+			t.Errorf("%s: times=%v values=%v", c.kind, d.HasTimes(), d.HasValues())
+		}
+	}
+}
+
+func TestRunUnknownKind(t *testing.T) {
+	if err := run("bogus", filepath.Join(t.TempDir(), "x.csv"), 10, 1, 1, 1, 10, 10, 1, 0, 1, 10); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.csv")
+	b := filepath.Join(dir, "b.csv")
+	for _, p := range []string{a, b} {
+		if err := run("clusters", p, 100, 2, 2, 7, 100, 100, 5, 0.2, 2, 50); err != nil {
+			t.Fatal(err)
+		}
+	}
+	da, _ := geostat.ReadCSVFile(a)
+	db, _ := geostat.ReadCSVFile(b)
+	for i := range da.Points {
+		if da.Points[i] != db.Points[i] {
+			t.Fatal("same seed produced different data")
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"geostat"
+)
+
+func writeEvents(t *testing.T, n int) string {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	d := geostat.GaussianClusters(rng, n, geostat.BBox{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100},
+		[]geostat.GaussianCluster{{Center: geostat.Point{X: 40, Y: 40}, Sigma: 6, Weight: 1}}, 0.2)
+	path := filepath.Join(t.TempDir(), "events.csv")
+	if err := geostat.WriteCSVFile(path, d); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunProducesPNG(t *testing.T) {
+	in := writeEvents(t, 500)
+	out := filepath.Join(t.TempDir(), "hm.png")
+	if err := run(in, out, "quartic", "auto", 0, 0.05, 64, 64, 1, true, false); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() == 0 {
+		t.Error("empty PNG")
+	}
+}
+
+func TestRunMethods(t *testing.T) {
+	in := writeEvents(t, 200)
+	dir := t.TempDir()
+	for _, m := range []string{"naive", "grid-cutoff", "sweep-line", "bound-approx", "sampled"} {
+		out := filepath.Join(dir, m+".png")
+		if err := run(in, out, "quartic", m, 8, 0.1, 32, 32, 1, false, true); err != nil {
+			t.Errorf("%s: %v", m, err)
+		}
+	}
+	if err := run(in, filepath.Join(dir, "x.png"), "quartic", "bogus", 8, 0.1, 16, 16, 1, false, false); err == nil {
+		t.Error("bogus method accepted")
+	}
+	if err := run(in, filepath.Join(dir, "x.png"), "bogus", "auto", 8, 0.1, 16, 16, 1, false, false); err == nil {
+		t.Error("bogus kernel accepted")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(filepath.Join(t.TempDir(), "missing.csv"), "o.png", "quartic", "auto", 0, 0.1, 16, 16, 1, false, false); err == nil {
+		t.Error("missing input accepted")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.csv")
+	if err := os.WriteFile(empty, []byte("x,y\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(empty, "o.png", "quartic", "auto", 0, 0.1, 16, 16, 1, false, false); err == nil {
+		t.Error("empty dataset accepted")
+	}
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"geostat"
+)
+
+func writeDataset(t *testing.T, temporal bool) string {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	box := geostat.BBox{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}
+	var d *geostat.Dataset
+	if temporal {
+		d = geostat.SpatioTemporalOutbreak(rng, 400, box, 0, 50, []geostat.OutbreakWave{
+			{Center: geostat.Point{X: 30, Y: 30}, Sigma: 5, TimeMean: 15, TimeSigma: 4, Weight: 1},
+		}, 0.2)
+	} else {
+		d = geostat.GaussianClusters(rng, 400, box, []geostat.GaussianCluster{
+			{Center: geostat.Point{X: 30, Y: 30}, Sigma: 5, Weight: 1},
+		}, 0.2)
+	}
+	path := filepath.Join(t.TempDir(), "events.csv")
+	if err := geostat.WriteCSVFile(path, d); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunSpatialWithCSV(t *testing.T) {
+	in := writeDataset(t, false)
+	out := filepath.Join(t.TempDir(), "plot.csv")
+	if err := run(in, out, 0, 0, 5, 3, 9, 1, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Error("empty plot CSV")
+	}
+}
+
+func TestRunTemporal(t *testing.T) {
+	in := writeDataset(t, true)
+	out := filepath.Join(t.TempDir(), "st.csv")
+	if err := run(in, out, 10, 0, 3, 2, 5, 1, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	// Non-temporal dataset with -temporal flag errors.
+	spatial := writeDataset(t, false)
+	if err := run(spatial, "", 10, 0, 3, 2, 5, 1, 1, true); err == nil {
+		t.Error("temporal mode on spatial data accepted")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(filepath.Join(t.TempDir(), "missing.csv"), "", 0, 0, 5, 3, 9, 1, 1, false); err == nil {
+		t.Error("missing input accepted")
+	}
+	tiny := filepath.Join(t.TempDir(), "tiny.csv")
+	if err := os.WriteFile(tiny, []byte("x,y\n1,1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(tiny, "", 0, 0, 5, 3, 9, 1, 1, false); err == nil {
+		t.Error("single event accepted")
+	}
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"geostat"
+)
+
+func writeInputs(t *testing.T) (networkPath, eventsPath string) {
+	t.Helper()
+	dir := t.TempDir()
+	g := geostat.GridNetwork(5, 5, 20, geostat.Point{})
+	networkPath = filepath.Join(dir, "net.csv")
+	if err := geostat.WriteNetworkCSVFile(networkPath, g); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	d := geostat.UniformCSR(rng, 200, geostat.BBox{MinX: 0, MinY: 0, MaxX: 80, MaxY: 80})
+	eventsPath = filepath.Join(dir, "events.csv")
+	if err := geostat.WriteCSVFile(eventsPath, d); err != nil {
+		t.Fatal(err)
+	}
+	return networkPath, eventsPath
+}
+
+func TestRunWithNetworkAndGeoJSON(t *testing.T) {
+	net, events := writeInputs(t)
+	dir := t.TempDir()
+	out := filepath.Join(dir, "density.csv")
+	geo := filepath.Join(dir, "hot.geojson")
+	if err := run(net, events, out, "quartic", geo, 30, 2, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	csvData, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(csvData), "edge,start,end,cx,cy,density") {
+		t.Errorf("unexpected CSV header: %.40s", csvData)
+	}
+	if _, err := os.Stat(geo); err != nil {
+		t.Errorf("GeoJSON missing: %v", err)
+	}
+}
+
+func TestRunEqualSplitAndDefaults(t *testing.T) {
+	_, events := writeInputs(t)
+	out := filepath.Join(t.TempDir(), "density.csv")
+	// Demo network, auto lixel/bandwidth, equal-split path.
+	if err := run("", events, out, "epanechnikov", "", 0, 0, 1, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	net, events := writeInputs(t)
+	out := filepath.Join(t.TempDir(), "o.csv")
+	if err := run(filepath.Join(t.TempDir(), "missing.csv"), events, out, "quartic", "", 10, 1, 1, false); err == nil {
+		t.Error("missing network accepted")
+	}
+	if err := run(net, filepath.Join(t.TempDir(), "missing.csv"), out, "quartic", "", 10, 1, 1, false); err == nil {
+		t.Error("missing events accepted")
+	}
+	if err := run(net, events, out, "gaussian", "", 10, 1, 1, false); err == nil {
+		t.Error("infinite-support kernel accepted")
+	}
+	if err := run(net, events, out, "bogus", "", 10, 1, 1, false); err == nil {
+		t.Error("bogus kernel accepted")
+	}
+}

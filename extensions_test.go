@@ -1,0 +1,123 @@
+package geostat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Facade wiring tests for the extension features (multi-bandwidth KDV,
+// adaptive KDV, bandwidth selection, CSR tests, equal-split NKDV).
+
+func TestMultiBandwidthFacade(t *testing.T) {
+	d := hotspotData(40, 400)
+	grid := NewPixelGrid(box, 20, 20)
+	bw := []float64{4, 8, 16}
+	surfaces, err := KDVMultiBandwidth(d.Points, grid, Quartic, bw, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range bw {
+		want, err := KDV(d.Points, KDVOptions{Kernel: MustKernel(Quartic, b), Grid: grid})
+		if err != nil {
+			t.Fatal(err)
+		}
+		diff, _ := surfaces[i].MaxAbsDiff(want)
+		_, peak := want.MinMax()
+		if diff > 1e-9*(1+peak) {
+			t.Errorf("b=%v differs by %v", b, diff)
+		}
+	}
+}
+
+func TestAdaptiveFacade(t *testing.T) {
+	d := hotspotData(41, 500)
+	// Pixel pitch 2; keep the bandwidth floor above it so dense-cluster
+	// points (tiny kNN distances) still cover pixel centers.
+	grid := NewPixelGrid(box, 50, 50)
+	bw, err := AdaptiveBandwidths(d.Points, 10, 1.0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hm, err := KDVAdaptive(d.Points, bw, Quartic, grid, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Adaptive surface must still peak inside the planted cluster.
+	ix, iy, _ := hm.ArgMax()
+	if grid.Center(ix, iy).Dist(Point{X: 30, Y: 60}) > 15 {
+		t.Errorf("adaptive hotspot at %v", grid.Center(ix, iy))
+	}
+}
+
+func TestBandwidthSelectionFacade(t *testing.T) {
+	d := hotspotData(42, 600)
+	b, err := SilvermanBandwidth(d.Points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b <= 0 || b > 50 {
+		t.Errorf("Silverman = %v", b)
+	}
+	best, err := SelectBandwidthCV(d.Points, Quartic, []float64{b / 4, b, b * 4}, 4, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, c := range []float64{b / 4, b, b * 4} {
+		if best == c {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("CV returned non-candidate %v", best)
+	}
+}
+
+func TestCSRTestsFacade(t *testing.T) {
+	d := hotspotData(43, 1200)
+	q, err := QuadratTest(d.Points, box, 5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Regime(0.05) != RegimeClustered {
+		t.Errorf("quadrat regime = %v (p=%v vmr=%v)", q.Regime(0.05), q.P, q.VMR)
+	}
+	ce, err := ClarkEvans(d.Points, box)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ce.Regime(0.05) != RegimeClustered {
+		t.Errorf("Clark-Evans regime = %v (R=%v)", ce.Regime(0.05), ce.R)
+	}
+}
+
+func TestEqualSplitNKDVFacade(t *testing.T) {
+	g := GridNetwork(6, 6, 10, Point{})
+	rng := rand.New(rand.NewSource(44))
+	events := RandomNetworkEvents(rng, g, 100)
+	opt := NKDVOptions{Kernel: MustKernel(Epanechnikov, 8), LixelLength: 1}
+	esd, err := NKDVEqualSplit(g, events, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := NKDV(g, events, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Equal split conserves mass; the plain kernel inflates it at
+	// degree-3/4 intersections — integrated mass must be strictly smaller.
+	integrate := func(s *NKDVSurface) float64 {
+		total := 0.0
+		for i, l := range s.Lixels {
+			total += s.Values[i] * l.Length()
+		}
+		return total
+	}
+	if m1, m2 := integrate(esd), integrate(plain); m1 >= m2 {
+		t.Errorf("ESD mass %v should be below plain %v", m1, m2)
+	}
+	if math.IsNaN(esd.Values[0]) {
+		t.Error("NaN in ESD surface")
+	}
+}

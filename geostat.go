@@ -1,0 +1,110 @@
+// Package geostat is a from-scratch, stdlib-only Go toolkit for large-scale
+// geospatial analytics, reproducing the tool suite surveyed in
+// "Large-scale Geospatial Analytics: Problems, Challenges, and
+// Opportunities" (Chan, U, Choi, Xu, Cheng — SIGMOD-Companion 2023).
+//
+// Hotspot detection (Table 1 of the paper):
+//
+//   - KDV — kernel density visualization, with the naive O(XYn) baseline
+//     and three accelerated paths: exact grid-cutoff, the SLAM-style exact
+//     sweep line, (1±ε) bound-based approximation, and Hoeffding-sampled
+//     approximation. Variants: NKDV (road networks), STKDV (space-time).
+//   - IDW — inverse distance weighting (naive, kNN, cutoff radius).
+//   - Kriging — ordinary kriging with variogram fitting.
+//
+// Correlation analysis:
+//
+//   - KFunction — Ripley's K with Monte-Carlo envelope plots; network and
+//     spatiotemporal variants.
+//   - MoranI / LocalMoran — global and local spatial autocorrelation.
+//   - GeneralG / LocalGStar — Getis-Ord concentration statistics.
+//   - DBSCAN / KMeans — spatial clustering.
+//
+// The package is a facade: each tool lives in its own internal package and
+// is re-exported here with a uniform, option-struct API. Every tool takes
+// explicit options, returns errors rather than panicking, and is
+// deterministic given a seeded *rand.Rand.
+package geostat
+
+import (
+	"geostat/internal/dataset"
+	"geostat/internal/geojson"
+	"geostat/internal/geom"
+	"geostat/internal/kernel"
+	"geostat/internal/raster"
+)
+
+// Point is a planar location (projected coordinates).
+type Point = geom.Point
+
+// BBox is an axis-aligned bounding box.
+type BBox = geom.BBox
+
+// NewBBox returns the bounding box of pts.
+func NewBBox(pts []Point) BBox { return geom.NewBBox(pts) }
+
+// PixelGrid is the X×Y evaluation raster of Definition 1.
+type PixelGrid = geom.PixelGrid
+
+// NewPixelGrid returns an nx×ny pixel grid over box.
+func NewPixelGrid(box BBox, nx, ny int) PixelGrid { return geom.NewPixelGrid(box, nx, ny) }
+
+// Heatmap is an evaluated surface: one float64 per grid pixel, with PNG and
+// ASCII rendering.
+type Heatmap = raster.Grid
+
+// HeatRamp and GrayRamp are the built-in color ramps for Heatmap rendering.
+var (
+	HeatRamp = raster.HeatRamp
+	GrayRamp = raster.GrayRamp
+)
+
+// ContourSegment is one straight piece of a Heatmap iso-line.
+type ContourSegment = raster.Segment
+
+// CountGrid rasterises points into per-pixel counts (the aggregation step
+// for grid-based statistics such as Gi* hot-spot maps).
+func CountGrid(pts []Point, spec PixelGrid) *Heatmap { return raster.CountGrid(pts, spec) }
+
+// GeoJSON is a GeoJSON FeatureCollection builder for exporting events,
+// contour outlines, and significant grid cells to QGIS/ArcGIS/web maps —
+// the software-integration direction of the paper's §2.4.
+type GeoJSON = geojson.FeatureCollection
+
+// NewGeoJSON returns an empty GeoJSON feature collection.
+func NewGeoJSON() *GeoJSON { return geojson.NewCollection() }
+
+// Dataset is a location dataset with optional event times and measured
+// values (see the dataset generators in this package).
+type Dataset = dataset.Dataset
+
+// Kernel is a bandwidth-bound kernel function (Table 2 of the paper).
+type Kernel = kernel.Kernel
+
+// KernelType selects the kernel function.
+type KernelType = kernel.Type
+
+// Kernel types. Uniform, Epanechnikov, Quartic and Gaussian are the
+// paper's Table 2; the rest are the additional kernels §2.4 names.
+const (
+	Uniform      = kernel.Uniform
+	Triangular   = kernel.Triangular
+	Epanechnikov = kernel.Epanechnikov
+	Quartic      = kernel.Quartic
+	Triweight    = kernel.Triweight
+	Gaussian     = kernel.Gaussian
+	Cosine       = kernel.Cosine
+	Exponential  = kernel.Exponential
+)
+
+// NewKernel returns a kernel of the given type with bandwidth b > 0.
+func NewKernel(t KernelType, b float64) (Kernel, error) { return kernel.New(t, b) }
+
+// MustKernel is NewKernel that panics on error (for tests and constants).
+func MustKernel(t KernelType, b float64) Kernel { return kernel.MustNew(t, b) }
+
+// ParseKernel resolves a kernel name ("gaussian", "quartic", ...).
+func ParseKernel(name string) (KernelType, error) { return kernel.Parse(name) }
+
+// AllKernels returns every supported kernel type.
+func AllKernels() []KernelType { return kernel.All() }

@@ -1,0 +1,3 @@
+module geostat
+
+go 1.22

@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"geostat/internal/geom"
+)
+
+// KMeansResult holds a k-means clustering.
+type KMeansResult struct {
+	Centers []geom.Point
+	Labels  []int
+	Inertia float64 // sum of squared distances to assigned centers
+	Iters   int
+}
+
+// KMeans runs Lloyd's algorithm with k-means++ seeding until assignment
+// convergence or maxIters.
+func KMeans(pts []geom.Point, k, maxIters int, rng *rand.Rand) (*KMeansResult, error) {
+	n := len(pts)
+	if k < 1 {
+		return nil, fmt.Errorf("cluster: k must be >= 1, got %d", k)
+	}
+	if k > n {
+		return nil, fmt.Errorf("cluster: k=%d exceeds n=%d", k, n)
+	}
+	if maxIters < 1 {
+		maxIters = 100
+	}
+	centers := seedPlusPlus(pts, k, rng)
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	var iters int
+	for iters = 1; iters <= maxIters; iters++ {
+		changed := false
+		for i, p := range pts {
+			best, bestD := 0, math.Inf(1)
+			for c, ctr := range centers {
+				if d := p.Dist2(ctr); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if labels[i] != best {
+				labels[i] = best
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		// Recompute centers; empty clusters re-seed on the farthest point.
+		var sums = make([]geom.Point, k)
+		counts := make([]int, k)
+		for i, p := range pts {
+			sums[labels[i]] = sums[labels[i]].Add(p)
+			counts[labels[i]]++
+		}
+		for c := range centers {
+			if counts[c] == 0 {
+				centers[c] = farthestPoint(pts, centers)
+				continue
+			}
+			centers[c] = sums[c].Scale(1 / float64(counts[c]))
+		}
+	}
+	inertia := 0.0
+	for i, p := range pts {
+		inertia += p.Dist2(centers[labels[i]])
+	}
+	return &KMeansResult{Centers: centers, Labels: labels, Inertia: inertia, Iters: iters}, nil
+}
+
+// seedPlusPlus picks k initial centers with the k-means++ scheme.
+func seedPlusPlus(pts []geom.Point, k int, rng *rand.Rand) []geom.Point {
+	centers := make([]geom.Point, 0, k)
+	centers = append(centers, pts[rng.Intn(len(pts))])
+	d2 := make([]float64, len(pts))
+	for len(centers) < k {
+		total := 0.0
+		last := centers[len(centers)-1]
+		for i, p := range pts {
+			d := p.Dist2(last)
+			if len(centers) == 1 || d < d2[i] {
+				d2[i] = d
+			}
+			total += d2[i]
+		}
+		if total == 0 {
+			// All remaining points coincide with centers; duplicate one.
+			centers = append(centers, pts[rng.Intn(len(pts))])
+			continue
+		}
+		target := rng.Float64() * total
+		for i := range pts {
+			target -= d2[i]
+			if target <= 0 {
+				centers = append(centers, pts[i])
+				break
+			}
+		}
+		if target > 0 { // floating-point tail
+			centers = append(centers, pts[len(pts)-1])
+		}
+	}
+	return centers
+}
+
+func farthestPoint(pts []geom.Point, centers []geom.Point) geom.Point {
+	best := pts[0]
+	bestD := -1.0
+	for _, p := range pts {
+		near := math.Inf(1)
+		for _, c := range centers {
+			near = math.Min(near, p.Dist2(c))
+		}
+		if near > bestD {
+			bestD = near
+			best = p
+		}
+	}
+	return best
+}

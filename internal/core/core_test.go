@@ -1,0 +1,48 @@
+package core
+
+import (
+	"os"
+	"testing"
+)
+
+func TestInventoryCoversTable1(t *testing.T) {
+	tools := Tools()
+	if len(tools) < 11 {
+		t.Fatalf("inventory has %d tools", len(tools))
+	}
+	// The six tools of the paper's Table 1 must be present by name prefix.
+	required := []string{
+		"KDV", "IDW", "Kriging", "K-function", "Moran's I", "Getis-Ord",
+	}
+	for _, want := range required {
+		found := false
+		for _, tool := range tools {
+			if len(tool.Name) >= len(want) && tool.Name[:len(want)] == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("Table 1 tool %q missing from the inventory", want)
+		}
+	}
+	// Every row is complete and its module directory exists.
+	seen := map[string]bool{}
+	for _, tool := range tools {
+		if tool.Name == "" || tool.Baseline == "" || tool.Accelerated == "" || tool.Module == "" {
+			t.Errorf("incomplete tool row %+v", tool)
+		}
+		if seen[tool.Name] {
+			t.Errorf("duplicate tool %q", tool.Name)
+		}
+		seen[tool.Name] = true
+		switch tool.Category {
+		case HotspotDetection, CorrelationAnalysis, Clustering:
+		default:
+			t.Errorf("tool %q has unknown category %q", tool.Name, tool.Category)
+		}
+		if _, err := os.Stat("../../" + tool.Module); err != nil {
+			t.Errorf("tool %q module %s: %v", tool.Name, tool.Module, err)
+		}
+	}
+}

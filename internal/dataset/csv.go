@@ -1,0 +1,160 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"geostat/internal/geom"
+)
+
+// CSV layout: a header row followed by one row per point.
+//
+//	x,y           — purely spatial events
+//	x,y,t         — spatiotemporal events
+//	x,y,value     — measured field samples
+//	x,y,t,value   — both
+//
+// The header names select the interpretation; column order must match one
+// of the four layouts above. This mirrors the minimal schema of the public
+// datasets the paper cites (longitude/latitude[/timestamp] exports).
+
+// WriteCSV writes d to w in the layout matching its optional columns.
+func WriteCSV(w io.Writer, d *Dataset) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	header := []string{"x", "y"}
+	if d.HasTimes() {
+		header = append(header, "t")
+	}
+	if d.HasValues() {
+		header = append(header, "value")
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, 0, 4)
+	for i, p := range d.Points {
+		row = row[:0]
+		row = append(row, formatF(p.X), formatF(p.Y))
+		if d.HasTimes() {
+			row = append(row, formatF(d.Times[i]))
+		}
+		if d.HasValues() {
+			row = append(row, formatF(d.Values[i]))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads a dataset in the layout written by WriteCSV.
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	hasT, hasV, err := parseHeader(header)
+	if err != nil {
+		return nil, err
+	}
+	d := &Dataset{}
+	if hasT {
+		d.Times = []float64{}
+	}
+	if hasV {
+		d.Values = []float64{}
+	}
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading CSV line %d: %w", line, err)
+		}
+		vals := make([]float64, len(rec))
+		for i, s := range rec {
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: CSV line %d column %d: %w", line, i+1, err)
+			}
+			vals[i] = v
+		}
+		col := 2
+		d.Points = append(d.Points, pointXY(vals[0], vals[1]))
+		if hasT {
+			d.Times = append(d.Times, vals[col])
+			col++
+		}
+		if hasV {
+			d.Values = append(d.Values, vals[col])
+		}
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// ReadCSVFile reads a dataset from the named file.
+func ReadCSVFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(f)
+}
+
+// WriteCSVFile writes d to the named file, creating or truncating it.
+func WriteCSVFile(path string, d *Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteCSV(f, d); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func parseHeader(h []string) (hasT, hasV bool, err error) {
+	switch {
+	case eq(h, "x", "y"):
+		return false, false, nil
+	case eq(h, "x", "y", "t"):
+		return true, false, nil
+	case eq(h, "x", "y", "value"):
+		return false, true, nil
+	case eq(h, "x", "y", "t", "value"):
+		return true, true, nil
+	}
+	return false, false, fmt.Errorf("dataset: unrecognised CSV header %v (want x,y[,t][,value])", h)
+}
+
+func eq(h []string, want ...string) bool {
+	if len(h) != len(want) {
+		return false
+	}
+	for i := range h {
+		if h[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func formatF(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func pointXY(x, y float64) geom.Point { return geom.Point{X: x, Y: y} }

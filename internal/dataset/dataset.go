@@ -1,0 +1,146 @@
+// Package dataset defines the location datasets the paper's tools consume
+// (Definition 1: P = {p1..pn}; §2.3: spatiotemporal datasets with event
+// times) together with deterministic synthetic generators standing in for
+// the paper's access-gated real datasets (Hong Kong COVID-19, Chicago
+// crime, NYC taxi — see DESIGN.md's substitution table), and CSV I/O for
+// the CLIs.
+package dataset
+
+import (
+	"fmt"
+	"math"
+
+	"geostat/internal/geom"
+)
+
+// Dataset is a location dataset: points with optional per-point event times
+// and values. Times power the spatiotemporal tools (STKDV, spatiotemporal
+// K-function); Values power the interpolation (IDW, Kriging) and
+// autocorrelation (Moran's I, Getis-Ord) tools, which are defined on
+// measured attributes rather than bare events.
+//
+// Invariants (checked by Validate): Times and Values are either nil or have
+// exactly len(Points) entries, and no coordinate is NaN/Inf.
+type Dataset struct {
+	Points []geom.Point
+	Times  []float64 // event timestamps, arbitrary units; nil if purely spatial
+	Values []float64 // measured attribute at each point; nil if pure events
+}
+
+// N returns the number of points.
+func (d *Dataset) N() int { return len(d.Points) }
+
+// HasTimes reports whether the dataset carries event times.
+func (d *Dataset) HasTimes() bool { return d.Times != nil }
+
+// HasValues reports whether the dataset carries measured values.
+func (d *Dataset) HasValues() bool { return d.Values != nil }
+
+// Bounds returns the bounding box of the points.
+func (d *Dataset) Bounds() geom.BBox { return geom.NewBBox(d.Points) }
+
+// TimeRange returns the min and max event time. It returns (0, 0, false)
+// if the dataset has no times or no points.
+func (d *Dataset) TimeRange() (lo, hi float64, ok bool) {
+	if !d.HasTimes() || len(d.Times) == 0 {
+		return 0, 0, false
+	}
+	lo, hi = d.Times[0], d.Times[0]
+	for _, t := range d.Times[1:] {
+		lo = math.Min(lo, t)
+		hi = math.Max(hi, t)
+	}
+	return lo, hi, true
+}
+
+// Validate checks the dataset invariants.
+func (d *Dataset) Validate() error {
+	if d.Times != nil && len(d.Times) != len(d.Points) {
+		return fmt.Errorf("dataset: %d points but %d times", len(d.Points), len(d.Times))
+	}
+	if d.Values != nil && len(d.Values) != len(d.Points) {
+		return fmt.Errorf("dataset: %d points but %d values", len(d.Points), len(d.Values))
+	}
+	for i, p := range d.Points {
+		if !finite(p.X) || !finite(p.Y) {
+			return fmt.Errorf("dataset: point %d has non-finite coordinate %v", i, p)
+		}
+	}
+	for i, t := range d.Times {
+		if !finite(t) {
+			return fmt.Errorf("dataset: time %d is non-finite (%v)", i, t)
+		}
+	}
+	for i, v := range d.Values {
+		if !finite(v) {
+			return fmt.Errorf("dataset: value %d is non-finite (%v)", i, v)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of d.
+func (d *Dataset) Clone() *Dataset {
+	c := &Dataset{Points: append([]geom.Point(nil), d.Points...)}
+	if d.Times != nil {
+		c.Times = append([]float64(nil), d.Times...)
+	}
+	if d.Values != nil {
+		c.Values = append([]float64(nil), d.Values...)
+	}
+	return c
+}
+
+// Subset returns a new dataset holding the points at the given indices,
+// carrying times/values along when present.
+func (d *Dataset) Subset(idx []int) *Dataset {
+	s := &Dataset{Points: make([]geom.Point, len(idx))}
+	if d.Times != nil {
+		s.Times = make([]float64, len(idx))
+	}
+	if d.Values != nil {
+		s.Values = make([]float64, len(idx))
+	}
+	for j, i := range idx {
+		s.Points[j] = d.Points[i]
+		if d.Times != nil {
+			s.Times[j] = d.Times[i]
+		}
+		if d.Values != nil {
+			s.Values[j] = d.Values[i]
+		}
+	}
+	return s
+}
+
+// FromPoints wraps points in a Dataset without copying.
+func FromPoints(pts []geom.Point) *Dataset { return &Dataset{Points: pts} }
+
+// FilterBox returns a new dataset with only the points inside box
+// (boundary inclusive), carrying times/values along.
+func (d *Dataset) FilterBox(box geom.BBox) *Dataset {
+	var idx []int
+	for i, p := range d.Points {
+		if box.Contains(p) {
+			idx = append(idx, i)
+		}
+	}
+	return d.Subset(idx)
+}
+
+// FilterTime returns a new dataset with only the events whose time lies in
+// [t0, t1]. It errors if the dataset carries no times.
+func (d *Dataset) FilterTime(t0, t1 float64) (*Dataset, error) {
+	if !d.HasTimes() {
+		return nil, fmt.Errorf("dataset: FilterTime on a dataset without times")
+	}
+	var idx []int
+	for i, t := range d.Times {
+		if t >= t0 && t <= t1 {
+			idx = append(idx, i)
+		}
+	}
+	return d.Subset(idx), nil
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }

@@ -1,0 +1,390 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"geostat/internal/geom"
+)
+
+var box = geom.BBox{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}
+
+func TestValidate(t *testing.T) {
+	d := &Dataset{Points: []geom.Point{{X: 1, Y: 2}, {X: 3, Y: 4}}}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("valid dataset rejected: %v", err)
+	}
+	bad := []*Dataset{
+		{Points: []geom.Point{{X: 1, Y: 2}}, Times: []float64{1, 2}},
+		{Points: []geom.Point{{X: 1, Y: 2}}, Values: []float64{}},
+		{Points: []geom.Point{{X: math.NaN(), Y: 2}}},
+		{Points: []geom.Point{{X: 1, Y: math.Inf(1)}}},
+		{Points: []geom.Point{{X: 1, Y: 2}}, Times: []float64{math.NaN()}},
+		{Points: []geom.Point{{X: 1, Y: 2}}, Values: []float64{math.Inf(-1)}},
+	}
+	for i, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("bad dataset %d accepted", i)
+		}
+	}
+}
+
+func TestCloneAndSubset(t *testing.T) {
+	d := &Dataset{
+		Points: []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 1}, {X: 2, Y: 2}},
+		Times:  []float64{10, 20, 30},
+		Values: []float64{-1, -2, -3},
+	}
+	c := d.Clone()
+	c.Points[0].X = 99
+	c.Times[0] = 99
+	c.Values[0] = 99
+	if d.Points[0].X == 99 || d.Times[0] == 99 || d.Values[0] == 99 {
+		t.Fatal("Clone aliases the original")
+	}
+	s := d.Subset([]int{2, 0})
+	if s.N() != 2 || s.Points[0] != (geom.Point{X: 2, Y: 2}) || s.Times[1] != 10 || s.Values[0] != -3 {
+		t.Fatalf("Subset = %+v", s)
+	}
+}
+
+func TestTimeRange(t *testing.T) {
+	d := &Dataset{Points: []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 1}}, Times: []float64{5, -2}}
+	lo, hi, ok := d.TimeRange()
+	if !ok || lo != -2 || hi != 5 {
+		t.Errorf("TimeRange = %v %v %v", lo, hi, ok)
+	}
+	if _, _, ok := FromPoints(nil).TimeRange(); ok {
+		t.Error("TimeRange on timeless dataset should report !ok")
+	}
+}
+
+func TestUniformCSR(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	d := UniformCSR(r, 5000, box)
+	if d.N() != 5000 {
+		t.Fatalf("N = %d", d.N())
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range d.Points {
+		if !box.Contains(p) {
+			t.Fatalf("point %v outside box", p)
+		}
+	}
+	// Quadrant counts should be roughly balanced under CSR.
+	var q [4]int
+	for _, p := range d.Points {
+		i := 0
+		if p.X > 50 {
+			i |= 1
+		}
+		if p.Y > 50 {
+			i |= 2
+		}
+		q[i]++
+	}
+	for i, c := range q {
+		if c < 1000 || c > 1500 {
+			t.Errorf("quadrant %d count %d far from 1250", i, c)
+		}
+	}
+}
+
+func TestGaussianClustersConcentration(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	cl := []Cluster{
+		{Center: geom.Point{X: 25, Y: 25}, Sigma: 3, Weight: 2},
+		{Center: geom.Point{X: 75, Y: 75}, Sigma: 3, Weight: 1},
+	}
+	d := GaussianClusters(r, 3000, box, cl, 0.1)
+	if d.N() != 3000 {
+		t.Fatalf("N = %d", d.N())
+	}
+	near := func(c geom.Point) int {
+		n := 0
+		for _, p := range d.Points {
+			if p.Dist(c) < 10 {
+				n++
+			}
+		}
+		return n
+	}
+	n1, n2 := near(geom.Point{X: 25, Y: 25}), near(geom.Point{X: 75, Y: 75})
+	if n1 < 1500 || n2 < 700 {
+		t.Errorf("cluster concentrations too low: %d, %d", n1, n2)
+	}
+	if n1 < n2 {
+		t.Errorf("weight-2 cluster (%d) should outnumber weight-1 cluster (%d)", n1, n2)
+	}
+}
+
+func TestMaternCluster(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	d := MaternCluster(r, box, 0.002, 30, 4)
+	if d.N() == 0 {
+		t.Fatal("Matérn process produced no points")
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range d.Points {
+		if !box.Contains(p) {
+			t.Fatalf("point %v outside box", p)
+		}
+	}
+	// Clustered data: mean nearest-neighbour distance is far below the CSR
+	// expectation 0.5/sqrt(density).
+	mnn := meanNearestNeighbour(d.Points)
+	csr := 0.5 / math.Sqrt(float64(d.N())/box.Area())
+	if mnn > csr*0.8 {
+		t.Errorf("Matérn mean NN dist %v not clustered vs CSR %v", mnn, csr)
+	}
+}
+
+func TestDispersed(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	const minDist = 4.0
+	d := Dispersed(r, 300, box, minDist)
+	if d.N() != 300 {
+		t.Fatalf("N = %d", d.N())
+	}
+	violations := 0
+	for i := 0; i < d.N(); i++ {
+		for j := i + 1; j < d.N(); j++ {
+			if d.Points[i].Dist(d.Points[j]) < minDist {
+				violations++
+			}
+		}
+	}
+	// The generator admits fallback placements; near-zero violations expected
+	// at this density.
+	if violations > 3 {
+		t.Errorf("%d pairs violate the inhibition distance", violations)
+	}
+	mnn := meanNearestNeighbour(d.Points)
+	csr := 0.5 / math.Sqrt(float64(d.N())/box.Area())
+	if mnn < csr {
+		t.Errorf("dispersed mean NN dist %v should exceed CSR %v", mnn, csr)
+	}
+}
+
+func TestSpatioTemporalOutbreak(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	waves := []Wave{
+		{Center: geom.Point{X: 20, Y: 20}, Sigma: 4, TimeMean: 10, TimeSigma: 2, Weight: 1},
+		{Center: geom.Point{X: 80, Y: 80}, Sigma: 4, TimeMean: 40, TimeSigma: 2, Weight: 1},
+	}
+	d := SpatioTemporalOutbreak(r, 4000, box, 0, 50, waves, 0.1)
+	if d.N() != 4000 || !d.HasTimes() {
+		t.Fatalf("N=%d hasTimes=%v", d.N(), d.HasTimes())
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Early events cluster near wave 1's center, late ones near wave 2's.
+	early, late := centroidByTime(d, 0, 20), centroidByTime(d, 30, 50)
+	if early.Dist(geom.Point{X: 20, Y: 20}) > 15 {
+		t.Errorf("early centroid %v far from wave 1", early)
+	}
+	if late.Dist(geom.Point{X: 80, Y: 80}) > 15 {
+		t.Errorf("late centroid %v far from wave 2", late)
+	}
+}
+
+func TestWithField(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	d := UniformCSR(r, 500, box)
+	WithField(r, d, func(p geom.Point) float64 { return p.X }, 0)
+	for i, p := range d.Points {
+		if d.Values[i] != p.X {
+			t.Fatalf("value %d = %v, want %v", i, d.Values[i], p.X)
+		}
+	}
+}
+
+func TestResize(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	d := UniformCSR(r, 100, box)
+	small := Resize(r, d, 40)
+	if small.N() != 40 {
+		t.Errorf("shrink N = %d", small.N())
+	}
+	big := Resize(r, d, 250)
+	if big.N() != 250 {
+		t.Errorf("grow N = %d", big.N())
+	}
+	for _, p := range big.Points {
+		if !box.Contains(p) {
+			t.Fatalf("grown point %v outside bounds", p)
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	cases := []*Dataset{
+		{Points: []geom.Point{{X: 1.5, Y: -2.25}, {X: 0, Y: 7}}},
+		{Points: []geom.Point{{X: 1, Y: 2}}, Times: []float64{3.5}},
+		{Points: []geom.Point{{X: 1, Y: 2}}, Values: []float64{-9}},
+		{Points: []geom.Point{{X: 1, Y: 2}, {X: 3, Y: 4}}, Times: []float64{0, 1}, Values: []float64{5, 6}},
+	}
+	for i, d := range cases {
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, d); err != nil {
+			t.Fatalf("case %d write: %v", i, err)
+		}
+		got, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("case %d read: %v", i, err)
+		}
+		if got.N() != d.N() || got.HasTimes() != d.HasTimes() || got.HasValues() != d.HasValues() {
+			t.Fatalf("case %d shape mismatch: %+v vs %+v", i, got, d)
+		}
+		for j := range d.Points {
+			if got.Points[j] != d.Points[j] {
+				t.Errorf("case %d point %d: %v != %v", i, j, got.Points[j], d.Points[j])
+			}
+			if d.HasTimes() && got.Times[j] != d.Times[j] {
+				t.Errorf("case %d time %d mismatch", i, j)
+			}
+			if d.HasValues() && got.Values[j] != d.Values[j] {
+				t.Errorf("case %d value %d mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestCSVFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "d.csv")
+	r := rand.New(rand.NewSource(8))
+	d := UniformCSR(r, 50, box)
+	if err := WriteCSVFile(path, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSVFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != 50 {
+		t.Fatalf("N = %d", got.N())
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"a,b\n1,2\n",     // bad header
+		"x,y\n1\n",       // short row (csv library catches record length)
+		"x,y\n1,foo\n",   // non-numeric
+		"x,y,z,w,v\n",    // too many columns
+		"x,y\nNaN,2\n",   // non-finite coordinate
+		"x,y,t\n1,2,#\n", // non-numeric time
+	}
+	for i, s := range cases {
+		if _, err := ReadCSV(strings.NewReader(s)); err == nil {
+			t.Errorf("case %d: error expected for %q", i, s)
+		}
+	}
+}
+
+func meanNearestNeighbour(pts []geom.Point) float64 {
+	sum := 0.0
+	for i, p := range pts {
+		best := math.Inf(1)
+		for j, q := range pts {
+			if i == j {
+				continue
+			}
+			if d := p.Dist2(q); d < best {
+				best = d
+			}
+		}
+		sum += math.Sqrt(best)
+	}
+	return sum / float64(len(pts))
+}
+
+func centroidByTime(d *Dataset, t0, t1 float64) geom.Point {
+	var c geom.Point
+	n := 0
+	for i, p := range d.Points {
+		if d.Times[i] >= t0 && d.Times[i] <= t1 {
+			c = c.Add(p)
+			n++
+		}
+	}
+	if n == 0 {
+		return c
+	}
+	return c.Scale(1 / float64(n))
+}
+
+func TestFilterBox(t *testing.T) {
+	d := &Dataset{
+		Points: []geom.Point{{X: 1, Y: 1}, {X: 5, Y: 5}, {X: 9, Y: 9}},
+		Times:  []float64{1, 2, 3},
+		Values: []float64{10, 20, 30},
+	}
+	f := d.FilterBox(geom.BBox{MinX: 0, MinY: 0, MaxX: 5, MaxY: 5})
+	if f.N() != 2 || f.Times[1] != 2 || f.Values[1] != 20 {
+		t.Fatalf("FilterBox = %+v", f)
+	}
+	if empty := d.FilterBox(geom.EmptyBBox()); empty.N() != 0 {
+		t.Error("empty box filter should drop everything")
+	}
+}
+
+func TestFilterTime(t *testing.T) {
+	d := &Dataset{
+		Points: []geom.Point{{X: 1, Y: 1}, {X: 2, Y: 2}, {X: 3, Y: 3}},
+		Times:  []float64{10, 20, 30},
+	}
+	f, err := d.FilterTime(15, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.N() != 2 || f.Times[0] != 20 {
+		t.Fatalf("FilterTime = %+v", f)
+	}
+	if _, err := FromPoints(d.Points).FilterTime(0, 1); err == nil {
+		t.Error("FilterTime on timeless dataset accepted")
+	}
+}
+
+func TestSampleFromIntensity(t *testing.T) {
+	r := rand.New(rand.NewSource(20))
+	spec := geom.NewPixelGrid(geom.BBox{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}, 2, 2)
+	// Bottom-left pixel carries 90% of the mass.
+	vals := []float64{9, 0.5, 0.25, 0.25}
+	d, err := SampleFromIntensity(r, spec, vals, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inBL := 0
+	for _, p := range d.Points {
+		if !spec.Box.Contains(p) {
+			t.Fatalf("point %v outside grid", p)
+		}
+		if p.X < 5 && p.Y < 5 {
+			inBL++
+		}
+	}
+	share := float64(inBL) / 20000
+	if share < 0.88 || share > 0.92 {
+		t.Errorf("bottom-left share = %v, want ≈ 0.9", share)
+	}
+	// Errors.
+	if _, err := SampleFromIntensity(r, spec, vals[:2], 5); err == nil {
+		t.Error("wrong length accepted")
+	}
+	if _, err := SampleFromIntensity(r, spec, []float64{0, 0, 0, 0}, 5); err == nil {
+		t.Error("zero mass accepted")
+	}
+	if _, err := SampleFromIntensity(r, spec, []float64{1, -1, 0, 0}, 5); err == nil {
+		t.Error("negative intensity accepted")
+	}
+}

@@ -1,0 +1,345 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"geostat"
+)
+
+// RunC1 verifies the paper's headline K-function complexity claim: the
+// naive method is O(n²) per threshold while the range-query and one-pass
+// histogram methods scale near-linearly at fixed density.
+func RunC1(cfg *Config) error {
+	rng := cfg.rng()
+	thresholds := []float64{1, 2, 4, 8}
+	tb := newTable("n", "naive (1 thr)", "grid (1 thr)", "kd-tree (1 thr)", "curve (4 thr)", "naive/grid")
+	sizes := []int{2000, 4000, 8000, 16000}
+	if cfg.Quick {
+		sizes = []int{500, 1000, 2000}
+	}
+	for _, n := range sizes {
+		pts := geostat.UniformCSR(rng, n, studyBox).Points
+		const s = 4.0
+		var naive, grid, kdt, curve int
+		tNaive := medianOf3(func() { naive = geostat.KFunctionNaive(pts, s) })
+		tGrid := medianOf3(func() { grid = geostat.KFunction(pts, s) })
+		tKD := medianOf3(func() { kdt = geostat.KFunctionKDTree(pts, s) })
+		var cv []int
+		tCurve := medianOf3(func() { cv, _ = geostat.KFunctionCurve(pts, thresholds, 0) })
+		curve = cv[len(cv)-1]
+		if naive != grid || grid != kdt {
+			return fmt.Errorf("C1: methods disagree: %d %d %d", naive, grid, kdt)
+		}
+		if curve != geostat.KFunction(pts, thresholds[len(thresholds)-1]) {
+			return fmt.Errorf("C1: curve disagrees at s_max")
+		}
+		tb.add(n, tNaive, tGrid, tKD, tCurve, speedup(tNaive, tGrid))
+	}
+	tb.write(cfg.Out)
+	fmt.Fprintln(cfg.Out, "naive time ~4x per n doubling (O(n²)); indexed methods ~2x (near-linear at fixed density).")
+	return nil
+}
+
+// RunC2 verifies the KDV claim: naive is O(XYn); grid-cutoff and the
+// sweep line decouple the n term from the full raster.
+func RunC2(cfg *Config) error {
+	rng := cfg.rng()
+	k := geostat.MustKernel(geostat.Quartic, 4)
+	fmt.Fprintln(cfg.Out, "sweep over n (grid fixed 128x128, b=4):")
+	tb := newTable("n", "naive", "grid-cutoff", "sweep-line", "naive/sweep")
+	sizes := []int{5000, 10000, 20000, 40000}
+	if cfg.Quick {
+		sizes = []int{1000, 2000, 4000}
+	}
+	grid := geostat.NewPixelGrid(studyBox, 128, 128)
+	for _, n := range sizes {
+		pts := geostat.UniformCSR(rng, n, studyBox).Points
+		var tNaive, tCut, tSweep = timeKDV(pts, k, grid, geostat.KDVNaive),
+			timeKDV(pts, k, grid, geostat.KDVGridCutoff),
+			timeKDV(pts, k, grid, geostat.KDVSweepLine)
+		tb.add(n, tNaive, tCut, tSweep, speedup(tNaive, tSweep))
+	}
+	tb.write(cfg.Out)
+
+	fmt.Fprintln(cfg.Out, "\nsweep over raster size (n fixed 10000, b=4):")
+	tb = newTable("pixels", "naive", "grid-cutoff", "sweep-line")
+	pts := geostat.UniformCSR(rng, cfg.scale(10000), studyBox).Points
+	dims := []int{64, 128, 256}
+	if cfg.Quick {
+		dims = []int{32, 64}
+	}
+	for _, dim := range dims {
+		g := geostat.NewPixelGrid(studyBox, dim, dim)
+		tb.add(fmt.Sprintf("%dx%d", dim, dim),
+			timeKDV(pts, k, g, geostat.KDVNaive),
+			timeKDV(pts, k, g, geostat.KDVGridCutoff),
+			timeKDV(pts, k, g, geostat.KDVSweepLine))
+	}
+	tb.write(cfg.Out)
+	return nil
+}
+
+func timeKDV(pts []geostat.Point, k geostat.Kernel, g geostat.PixelGrid, m geostat.KDVMethod) (d time.Duration) {
+	return medianOf3(func() {
+		if _, err := geostat.KDV(pts, geostat.KDVOptions{Kernel: k, Grid: g, Method: m}); err != nil {
+			panic(err)
+		}
+	})
+}
+
+// RunC3 verifies Equation 6's (1±ε) guarantee empirically and measures the
+// accuracy/speed trade-off for the Gaussian kernel (where no exact
+// accelerator exists — §2.4's open problem).
+func RunC3(cfg *Config) error {
+	rng := cfg.rng()
+	pts := geostat.GaussianClusters(rng, cfg.scale(20000), studyBox, []geostat.GaussianCluster{
+		{Center: geostat.Point{X: 40, Y: 40}, Sigma: 10, Weight: 1},
+	}, 0.3).Points
+	k := geostat.MustKernel(geostat.Gaussian, 8)
+	grid := geostat.NewPixelGrid(studyBox, 64, 64)
+	exact, err := geostat.KDV(pts, geostat.KDVOptions{Kernel: k, Grid: grid, Method: geostat.KDVNaive})
+	if err != nil {
+		return err
+	}
+	tNaive := medianOf3(func() {
+		_, _ = geostat.KDV(pts, geostat.KDVOptions{Kernel: k, Grid: grid, Method: geostat.KDVNaive})
+	})
+	tb := newTable("eps", "time", "naive time", "speedup", "measured max rel err", "guarantee held")
+	for _, eps := range []float64{0.5, 0.1, 0.01} {
+		var approx *geostat.Heatmap
+		t := medianOf3(func() {
+			var err error
+			approx, err = geostat.KDV(pts, geostat.KDVOptions{Kernel: k, Grid: grid, Method: geostat.KDVBoundApprox, Epsilon: eps})
+			if err != nil {
+				panic(err)
+			}
+		})
+		worst := 0.0
+		held := true
+		for i, got := range approx.Values {
+			f := exact.Values[i]
+			if f == 0 {
+				continue
+			}
+			rel := abs(got-f) / f
+			if rel > worst {
+				worst = rel
+			}
+			if rel > eps+1e-9 {
+				held = false
+			}
+		}
+		tb.add(eps, t, tNaive, speedup(tNaive, t), worst, held)
+		if !held {
+			return fmt.Errorf("C3: eps=%v guarantee violated (worst %v)", eps, worst)
+		}
+	}
+	tb.write(cfg.Out)
+	return nil
+}
+
+// RunC4 verifies the sampling family's probabilistic error bound and
+// measures its n-independent cost.
+func RunC4(cfg *Config) error {
+	rng := cfg.rng()
+	k := geostat.MustKernel(geostat.Quartic, 8)
+	grid := geostat.NewPixelGrid(studyBox, 64, 64)
+	tb := newTable("n", "eps", "sample size", "exact time", "sampled time", "measured max err (per point)", "bound eps")
+	sizes := []int{50000, 200000}
+	if cfg.Quick {
+		sizes = []int{5000, 20000}
+	}
+	for _, n := range sizes {
+		pts := geostat.UniformCSR(rng, n, studyBox).Points
+		exact, err := geostat.KDV(pts, geostat.KDVOptions{Kernel: k, Grid: grid})
+		if err != nil {
+			return err
+		}
+		tExact := medianOf3(func() { _, _ = geostat.KDV(pts, geostat.KDVOptions{Kernel: k, Grid: grid}) })
+		for _, eps := range []float64{0.05, 0.02} {
+			var approx *geostat.Heatmap
+			t := medianOf3(func() {
+				var err error
+				approx, err = geostat.KDV(pts, geostat.KDVOptions{
+					Kernel: k, Grid: grid, Method: geostat.KDVSampled,
+					Epsilon: eps, Delta: 0.01, Rand: rand.New(rand.NewSource(cfg.Seed + int64(n))),
+				})
+				if err != nil {
+					panic(err)
+				}
+			})
+			worst := 0.0
+			for i := range approx.Values {
+				if e := abs(approx.Values[i]-exact.Values[i]) / float64(n); e > worst {
+					worst = e
+				}
+			}
+			m, _ := geostat.KDVSampleBound(grid.NumPixels(), eps, 0.01)
+			tb.add(n, eps, m, tExact, t, worst, eps)
+			if worst > eps {
+				return fmt.Errorf("C4: n=%d eps=%v measured error %v above bound", n, eps, worst)
+			}
+		}
+	}
+	tb.write(cfg.Out)
+	fmt.Fprintln(cfg.Out, "sample size depends only on (pixels, eps, delta), not n — speedup grows with n.")
+	return nil
+}
+
+// RunC5 measures goroutine-parallel speedup for KDV and the K-curve.
+func RunC5(cfg *Config) error {
+	rng := cfg.rng()
+	pts := geostat.UniformCSR(rng, cfg.scale(50000), studyBox).Points
+	k := geostat.MustKernel(geostat.Quartic, 4)
+	grid := geostat.NewPixelGrid(studyBox, 256, 256)
+	thresholds := []float64{1, 2, 4, 8}
+	maxW := runtime.GOMAXPROCS(0)
+	fmt.Fprintf(cfg.Out, "GOMAXPROCS=%d (speedup is bounded by available cores)\n", maxW)
+	tb := newTable("workers", "KDV grid-cutoff", "K-curve")
+	var base1, base2 time.Duration
+	seen := map[int]bool{}
+	for _, w := range []int{1, 2, 4, maxW} {
+		if w > maxW || seen[w] {
+			continue
+		}
+		seen[w] = true
+		t1 := medianOf3(func() {
+			_, _ = geostat.KDV(pts, geostat.KDVOptions{Kernel: k, Grid: grid, Method: geostat.KDVGridCutoff, Workers: w})
+		})
+		t2 := medianOf3(func() { _, _ = geostat.KFunctionCurve(pts, thresholds, w) })
+		if w == 1 {
+			base1, base2 = t1, t2
+			tb.add(w, t1.String(), t2.String())
+			continue
+		}
+		tb.add(w, fmt.Sprintf("%v (%s)", t1, speedup(base1, t1)), fmt.Sprintf("%v (%s)", t2, speedup(base2, t2)))
+	}
+	tb.write(cfg.Out)
+	return nil
+}
+
+// RunC6 compares the network K-function baselines.
+func RunC6(cfg *Config) error {
+	rng := cfg.rng()
+	g := geostat.GridNetwork(20, 20, 10, geostat.Point{})
+	thresholds := []float64{5, 10, 20, 40}
+	tb := newTable("events", "naive (1 thr)", "shared curve (4 thr)", "speedup")
+	sizes := []int{500, 1000, 2000}
+	if cfg.Quick {
+		sizes = []int{100, 200}
+	}
+	for _, n := range sizes {
+		events := geostat.RandomNetworkEvents(rng, g, n)
+		var naive int
+		tNaive := medianOf3(func() { naive = geostat.NetworkKFunction(g, events, 40) })
+		var curve []int
+		tCurve := medianOf3(func() { curve, _ = geostat.NetworkKFunctionCurve(g, events, thresholds, -1) })
+		if curve[len(curve)-1] != naive {
+			return fmt.Errorf("C6: methods disagree: %d vs %d", curve[len(curve)-1], naive)
+		}
+		tb.add(n, tNaive, tCurve, speedup(tNaive, tCurve))
+	}
+	tb.write(cfg.Out)
+	return nil
+}
+
+// RunC7 verifies the IDW claim (naive O(XYn)) against the kNN and radius
+// variants.
+func RunC7(cfg *Config) error {
+	rng := cfg.rng()
+	grid := geostat.NewPixelGrid(studyBox, 128, 128)
+	tb := newTable("n", "naive", "kNN (k=12)", "radius (r=8)", "naive/kNN")
+	sizes := []int{5000, 20000, 80000}
+	if cfg.Quick {
+		sizes = []int{1000, 4000}
+	}
+	for _, n := range sizes {
+		d := geostat.UniformCSR(rng, n, studyBox)
+		geostat.WithField(rng, d, func(p geostat.Point) float64 { return p.X + p.Y }, 1)
+		opt := geostat.IDWOptions{Grid: grid, Power: 2}
+		tNaive := medianOf3(func() { _, _ = geostat.IDW(d, opt) })
+		tKNN := medianOf3(func() { _, _ = geostat.IDWKNN(d, opt, 12) })
+		tRad := medianOf3(func() { _, _ = geostat.IDWRadius(d, opt, 8) })
+		tb.add(n, tNaive, tKNN, tRad, speedup(tNaive, tKNN))
+	}
+	tb.write(cfg.Out)
+	return nil
+}
+
+// RunC8 measures the remaining Table 1 tools: kriging neighbourhood size,
+// Moran/G permutation cost, DBSCAN naive vs grid.
+func RunC8(cfg *Config) error {
+	rng := cfg.rng()
+	n := cfg.scale(5000)
+	d := geostat.UniformCSR(rng, n, studyBox)
+	geostat.WithField(rng, d, func(p geostat.Point) float64 { return p.X/10 + p.Y/20 + 20 }, 0.5)
+
+	fmt.Fprintln(cfg.Out, "ordinary kriging (64x64 raster):")
+	bins, err := geostat.EmpiricalVariogram(d, 30, 12)
+	if err != nil {
+		return err
+	}
+	v, err := geostat.FitVariogram(bins, geostat.SphericalModel)
+	if err != nil {
+		return err
+	}
+	grid := geostat.NewPixelGrid(studyBox, 64, 64)
+	tb := newTable("neighbours k", "time")
+	for _, k := range []int{8, 16, 32} {
+		t := timeIt(func() {
+			if _, err := geostat.Krige(d, geostat.KrigingOptions{Grid: grid, Variogram: v, Neighbors: k, Workers: -1}); err != nil {
+				panic(err)
+			}
+		})
+		tb.add(k, t)
+	}
+	tb.write(cfg.Out)
+
+	fmt.Fprintln(cfg.Out, "\nMoran's I / General G (kNN weights k=8):")
+	w, err := geostat.KNNWeights(d.Points, 8)
+	if err != nil {
+		return err
+	}
+	pos := make([]float64, len(d.Values))
+	copy(pos, d.Values)
+	tb = newTable("perms", "Moran's I", "General G")
+	for _, perms := range []int{99, 999} {
+		tMoran := timeIt(func() {
+			if _, err := geostat.MoranI(d.Values, w, perms, rng); err != nil {
+				panic(err)
+			}
+		})
+		tG := timeIt(func() {
+			if _, err := geostat.GeneralG(pos, w, perms, rng); err != nil {
+				panic(err)
+			}
+		})
+		tb.add(perms, tMoran, tG)
+	}
+	tb.write(cfg.Out)
+
+	fmt.Fprintln(cfg.Out, "\nDBSCAN (eps=2, minPts=5):")
+	tb = newTable("n", "naive", "grid", "speedup")
+	sizes := []int{2000, 8000}
+	if cfg.Quick {
+		sizes = []int{500, 2000}
+	}
+	for _, dn := range sizes {
+		pts := geostat.UniformCSR(rng, dn, studyBox).Points
+		tNaive := medianOf3(func() { _, _ = geostat.DBSCANNaive(pts, 2, 5) })
+		tGrid := medianOf3(func() { _, _ = geostat.DBSCAN(pts, 2, 5) })
+		tb.add(dn, tNaive, tGrid, speedup(tNaive, tGrid))
+	}
+	tb.write(cfg.Out)
+	return nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

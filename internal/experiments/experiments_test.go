@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Every experiment must run to completion in quick mode — this is the
+// integration test for the whole geobench harness (each runner already
+// self-checks its scientific assertion and returns an error on failure).
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite skipped in -short mode")
+	}
+	for _, r := range All() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			cfg := &Config{Out: &buf, Dir: t.TempDir(), Seed: 42, Quick: true}
+			if err := r.Run(cfg); err != nil {
+				t.Fatalf("%s: %v\noutput:\n%s", r.ID, err, buf.String())
+			}
+			if buf.Len() == 0 {
+				t.Fatalf("%s produced no output", r.ID)
+			}
+		})
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, ok := Lookup("c1"); !ok {
+		t.Error("case-insensitive lookup failed")
+	}
+	if _, ok := Lookup("F6"); !ok {
+		t.Error("exact lookup failed")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Error("bogus id found")
+	}
+	if len(All()) < 16 {
+		t.Errorf("only %d experiments registered", len(All()))
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tb := newTable("a", "long-header", "c")
+	tb.add("x", 1.5, "yes")
+	tb.add(12345, 0.00012, "no")
+	var buf bytes.Buffer
+	tb.write(&buf)
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "a ") || !strings.Contains(lines[0], "long-header") {
+		t.Errorf("header: %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "1.500") {
+		t.Errorf("float formatting: %q", lines[2])
+	}
+	if !strings.Contains(lines[3], "0.00012") {
+		t.Errorf("small float formatting: %q", lines[3])
+	}
+}
+
+func TestConfigScale(t *testing.T) {
+	full := &Config{}
+	if full.scale(1000) != 1000 {
+		t.Error("full scale changed n")
+	}
+	quick := &Config{Quick: true}
+	if quick.scale(1000) != 100 {
+		t.Errorf("quick scale = %d", quick.scale(1000))
+	}
+	if quick.scale(50) != 10 {
+		t.Errorf("quick scale floor = %d", quick.scale(50))
+	}
+}
+
+func TestArtifactDisabled(t *testing.T) {
+	cfg := &Config{}
+	if _, ok := cfg.artifact("x.png"); ok {
+		t.Error("artifact without dir should be disabled")
+	}
+	cfg.Dir = t.TempDir()
+	path, ok := cfg.artifact("x.png")
+	if !ok || !strings.HasSuffix(path, "x.png") {
+		t.Errorf("artifact = %q, %v", path, ok)
+	}
+}

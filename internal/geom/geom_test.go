@@ -1,0 +1,173 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointArithmetic(t *testing.T) {
+	p := Point{1, 2}
+	q := Point{4, 6}
+	if got := p.Add(q); got != (Point{5, 8}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := q.Sub(p); got != (Point{3, 4}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Scale(2); got != (Point{2, 4}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := p.Dist(q); got != 5 {
+		t.Errorf("Dist = %v, want 5", got)
+	}
+	if got := p.Dist2(q); got != 25 {
+		t.Errorf("Dist2 = %v, want 25", got)
+	}
+	if got := (Point{3, 4}).Norm(); got != 5 {
+		t.Errorf("Norm = %v, want 5", got)
+	}
+}
+
+func TestDist2MatchesDist(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		p, q := Point{ax, ay}, Point{bx, by}
+		d := p.Dist(q)
+		return math.Abs(d*d-p.Dist2(q)) <= 1e-9*math.Max(1, d*d)
+	}
+	cfg := &quick.Config{Values: randomCoords(4)}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomCoords generates n bounded float64 args (quick's default generator
+// produces huge magnitudes that overflow squared distances).
+func randomCoords(n int) func(args []reflect.Value, r *rand.Rand) {
+	return func(args []reflect.Value, r *rand.Rand) {
+		for i := 0; i < n; i++ {
+			args[i] = reflect.ValueOf(r.Float64()*2000 - 1000)
+		}
+	}
+}
+
+func TestEmptyBBox(t *testing.T) {
+	e := EmptyBBox()
+	if !e.IsEmpty() {
+		t.Fatal("EmptyBBox not empty")
+	}
+	if e.Width() != 0 || e.Height() != 0 || e.Area() != 0 {
+		t.Errorf("empty box has nonzero extent: w=%v h=%v", e.Width(), e.Height())
+	}
+	b := BBox{0, 0, 1, 1}
+	if got := e.Union(b); got != b {
+		t.Errorf("empty ∪ b = %v, want %v", got, b)
+	}
+	if got := b.Union(e); got != b {
+		t.Errorf("b ∪ empty = %v, want %v", got, b)
+	}
+	if e.Intersects(b) || b.Intersects(e) {
+		t.Error("empty box intersects")
+	}
+	if !b.ContainsBox(e) {
+		t.Error("any box should contain the empty box")
+	}
+}
+
+func TestNewBBox(t *testing.T) {
+	pts := []Point{{1, 5}, {-2, 3}, {4, -1}}
+	b := NewBBox(pts)
+	want := BBox{-2, -1, 4, 5}
+	if b != want {
+		t.Errorf("NewBBox = %v, want %v", b, want)
+	}
+	for _, p := range pts {
+		if !b.Contains(p) {
+			t.Errorf("bbox does not contain %v", p)
+		}
+	}
+	if NewBBox(nil).IsEmpty() != true {
+		t.Error("NewBBox(nil) should be empty")
+	}
+}
+
+func TestBBoxContainsAndIntersects(t *testing.T) {
+	b := BBox{0, 0, 10, 10}
+	cases := []struct {
+		p    Point
+		want bool
+	}{
+		{Point{5, 5}, true},
+		{Point{0, 0}, true},
+		{Point{10, 10}, true},
+		{Point{-0.1, 5}, false},
+		{Point{5, 10.1}, false},
+	}
+	for _, c := range cases {
+		if got := b.Contains(c.p); got != c.want {
+			t.Errorf("Contains(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if !b.Intersects(BBox{9, 9, 20, 20}) {
+		t.Error("overlapping boxes should intersect")
+	}
+	if b.Intersects(BBox{11, 0, 20, 10}) {
+		t.Error("disjoint boxes should not intersect")
+	}
+	if !b.Intersects(BBox{10, 0, 20, 10}) {
+		t.Error("edge-touching boxes intersect (closed boxes)")
+	}
+}
+
+func TestBBoxPad(t *testing.T) {
+	b := BBox{0, 0, 2, 2}.Pad(1)
+	if b != (BBox{-1, -1, 3, 3}) {
+		t.Errorf("Pad = %v", b)
+	}
+	if !EmptyBBox().Pad(5).IsEmpty() {
+		t.Error("padding an empty box should stay empty")
+	}
+}
+
+func TestMinMaxDist2(t *testing.T) {
+	b := BBox{0, 0, 10, 10}
+	if got := b.MinDist2(Point{5, 5}); got != 0 {
+		t.Errorf("MinDist2 inside = %v, want 0", got)
+	}
+	if got := b.MinDist2(Point{13, 14}); got != 25 {
+		t.Errorf("MinDist2 corner = %v, want 25", got)
+	}
+	if got := b.MinDist2(Point{-3, 5}); got != 9 {
+		t.Errorf("MinDist2 edge = %v, want 9", got)
+	}
+	if got := b.MaxDist2(Point{0, 0}); got != 200 {
+		t.Errorf("MaxDist2 corner = %v, want 200", got)
+	}
+}
+
+// Property: for random boxes and points, MinDist2 <= dist² to any contained
+// point <= MaxDist2.
+func TestDistBoundsBracketContainedPoints(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		b := BBox{
+			MinX: r.Float64() * 100, MinY: r.Float64() * 100,
+		}
+		b.MaxX = b.MinX + r.Float64()*50
+		b.MaxY = b.MinY + r.Float64()*50
+		q := Point{r.Float64()*300 - 100, r.Float64()*300 - 100}
+		in := Point{
+			X: b.MinX + r.Float64()*(b.MaxX-b.MinX),
+			Y: b.MinY + r.Float64()*(b.MaxY-b.MinY),
+		}
+		d2 := q.Dist2(in)
+		if lo := b.MinDist2(q); d2 < lo-1e-9 {
+			t.Fatalf("MinDist2 %v > dist² %v (box %v q %v in %v)", lo, d2, b, q, in)
+		}
+		if hi := b.MaxDist2(q); d2 > hi+1e-9 {
+			t.Fatalf("MaxDist2 %v < dist² %v (box %v q %v in %v)", hi, d2, b, q, in)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// PixelGrid describes the X×Y raster of Definition 1: a bounding region
+// divided into NX×NY pixels. Density surfaces (KDV, IDW, Kriging, ...) are
+// evaluated at pixel centers. The grid is a pure description; the values
+// live in raster.Grid.
+//
+// Pixel (ix, iy) covers
+//
+//	[MinX + ix*CellW, MinX + (ix+1)*CellW) × [MinY + iy*CellH, MinY + (iy+1)*CellH)
+//
+// with ix in [0, NX) increasing eastwards and iy in [0, NY) increasing
+// northwards.
+type PixelGrid struct {
+	Box    BBox
+	NX, NY int
+}
+
+// NewPixelGrid returns a pixel grid with nx×ny pixels over box. It panics
+// if nx or ny is not positive or box is empty: a grid is always constructed
+// from validated tool options, so this is a programming error, not runtime
+// input.
+func NewPixelGrid(box BBox, nx, ny int) PixelGrid {
+	if nx <= 0 || ny <= 0 {
+		panic(fmt.Sprintf("geom: invalid pixel grid %dx%d", nx, ny))
+	}
+	if box.IsEmpty() || box.Width() <= 0 || box.Height() <= 0 {
+		panic("geom: pixel grid over empty or degenerate bbox")
+	}
+	return PixelGrid{Box: box, NX: nx, NY: ny}
+}
+
+// CellW returns the pixel width.
+func (g PixelGrid) CellW() float64 { return g.Box.Width() / float64(g.NX) }
+
+// CellH returns the pixel height.
+func (g PixelGrid) CellH() float64 { return g.Box.Height() / float64(g.NY) }
+
+// NumPixels returns NX*NY.
+func (g PixelGrid) NumPixels() int { return g.NX * g.NY }
+
+// Center returns the center of pixel (ix, iy).
+func (g PixelGrid) Center(ix, iy int) Point {
+	return Point{
+		X: g.Box.MinX + (float64(ix)+0.5)*g.CellW(),
+		Y: g.Box.MinY + (float64(iy)+0.5)*g.CellH(),
+	}
+}
+
+// CenterX returns the x coordinate of column ix's pixel centers.
+func (g PixelGrid) CenterX(ix int) float64 {
+	return g.Box.MinX + (float64(ix)+0.5)*g.CellW()
+}
+
+// CenterY returns the y coordinate of row iy's pixel centers.
+func (g PixelGrid) CenterY(iy int) float64 {
+	return g.Box.MinY + (float64(iy)+0.5)*g.CellH()
+}
+
+// Index returns the flat index of pixel (ix, iy), row-major with iy as the
+// slow axis. raster.Grid stores values in this order.
+func (g PixelGrid) Index(ix, iy int) int { return iy*g.NX + ix }
+
+// Locate returns the pixel containing p, clamped to the grid bounds. The
+// second result reports whether p was inside the grid's box before
+// clamping.
+func (g PixelGrid) Locate(p Point) (ix, iy int, inside bool) {
+	inside = g.Box.Contains(p)
+	ix = clamp(int((p.X-g.Box.MinX)/g.CellW()), 0, g.NX-1)
+	iy = clamp(int((p.Y-g.Box.MinY)/g.CellH()), 0, g.NY-1)
+	return ix, iy, inside
+}
+
+// ColRange returns the half-open range [lo, hi) of pixel columns whose
+// centers lie within horizontal distance r of x. Used by the cutoff and
+// sweep-line KDV algorithms to restrict work to a kernel's support.
+func (g PixelGrid) ColRange(x, r float64) (lo, hi int) {
+	return g.axisRange(x, r, g.Box.MinX, g.CellW(), g.NX)
+}
+
+// RowRange returns the half-open range [lo, hi) of pixel rows whose centers
+// lie within vertical distance r of y.
+func (g PixelGrid) RowRange(y, r float64) (lo, hi int) {
+	return g.axisRange(y, r, g.Box.MinY, g.CellH(), g.NY)
+}
+
+func (g PixelGrid) axisRange(v, r, min, cell float64, n int) (lo, hi int) {
+	// Center of index i is min + (i+0.5)*cell; we need centers in [v-r, v+r]:
+	//   i >= (v-r-min)/cell - 0.5   and   i <= (v+r-min)/cell - 0.5.
+	lo = int(math.Ceil((v-r-min)/cell - 0.5))
+	hi = int(math.Floor((v+r-min)/cell-0.5)) + 1
+	lo = clamp(lo, 0, n)
+	hi = clamp(hi, 0, n)
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

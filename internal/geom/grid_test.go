@@ -1,0 +1,122 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func testGrid() PixelGrid {
+	return NewPixelGrid(BBox{0, 0, 100, 50}, 20, 10)
+}
+
+func TestPixelGridBasics(t *testing.T) {
+	g := testGrid()
+	if g.CellW() != 5 || g.CellH() != 5 {
+		t.Fatalf("cell = %v×%v, want 5×5", g.CellW(), g.CellH())
+	}
+	if g.NumPixels() != 200 {
+		t.Fatalf("NumPixels = %d", g.NumPixels())
+	}
+	if c := g.Center(0, 0); c != (Point{2.5, 2.5}) {
+		t.Errorf("Center(0,0) = %v", c)
+	}
+	if c := g.Center(19, 9); c != (Point{97.5, 47.5}) {
+		t.Errorf("Center(19,9) = %v", c)
+	}
+	if g.CenterX(3) != g.Center(3, 0).X || g.CenterY(7) != g.Center(0, 7).Y {
+		t.Error("CenterX/CenterY disagree with Center")
+	}
+	if g.Index(3, 2) != 2*20+3 {
+		t.Errorf("Index = %d", g.Index(3, 2))
+	}
+}
+
+func TestNewPixelGridPanics(t *testing.T) {
+	for _, c := range []struct {
+		name string
+		fn   func()
+	}{
+		{"zero nx", func() { NewPixelGrid(BBox{0, 0, 1, 1}, 0, 5) }},
+		{"negative ny", func() { NewPixelGrid(BBox{0, 0, 1, 1}, 5, -1) }},
+		{"empty box", func() { NewPixelGrid(EmptyBBox(), 5, 5) }},
+		{"degenerate box", func() { NewPixelGrid(BBox{0, 0, 0, 1}, 5, 5) }},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", c.name)
+				}
+			}()
+			c.fn()
+		}()
+	}
+}
+
+func TestLocate(t *testing.T) {
+	g := testGrid()
+	ix, iy, in := g.Locate(Point{2.5, 2.5})
+	if ix != 0 || iy != 0 || !in {
+		t.Errorf("Locate center of (0,0) = %d,%d,%v", ix, iy, in)
+	}
+	ix, iy, in = g.Locate(Point{99.9, 49.9})
+	if ix != 19 || iy != 9 || !in {
+		t.Errorf("Locate near max = %d,%d,%v", ix, iy, in)
+	}
+	ix, iy, in = g.Locate(Point{-5, 200})
+	if in {
+		t.Error("outside point reported inside")
+	}
+	if ix != 0 || iy != 9 {
+		t.Errorf("clamping = %d,%d, want 0,9", ix, iy)
+	}
+}
+
+// Property: Locate(Center(ix,iy)) round-trips for every pixel.
+func TestLocateCenterRoundTrip(t *testing.T) {
+	g := testGrid()
+	for iy := 0; iy < g.NY; iy++ {
+		for ix := 0; ix < g.NX; ix++ {
+			jx, jy, in := g.Locate(g.Center(ix, iy))
+			if jx != ix || jy != iy || !in {
+				t.Fatalf("round-trip (%d,%d) -> (%d,%d,%v)", ix, iy, jx, jy, in)
+			}
+		}
+	}
+}
+
+// Property: ColRange/RowRange return exactly the centers within distance r,
+// verified against a brute-force scan over random query positions.
+func TestAxisRangeMatchesBruteForce(t *testing.T) {
+	g := testGrid()
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 5000; trial++ {
+		x := r.Float64()*140 - 20
+		rad := r.Float64() * 30
+		lo, hi := g.ColRange(x, rad)
+		for ix := 0; ix < g.NX; ix++ {
+			within := abs(g.CenterX(ix)-x) <= rad
+			inRange := ix >= lo && ix < hi
+			if within != inRange {
+				t.Fatalf("ColRange(%v,%v)=[%d,%d): col %d center %v mismatch",
+					x, rad, lo, hi, ix, g.CenterX(ix))
+			}
+		}
+		y := r.Float64()*90 - 20
+		lo, hi = g.RowRange(y, rad)
+		for iy := 0; iy < g.NY; iy++ {
+			within := abs(g.CenterY(iy)-y) <= rad
+			inRange := iy >= lo && iy < hi
+			if within != inRange {
+				t.Fatalf("RowRange(%v,%v)=[%d,%d): row %d center %v mismatch",
+					y, rad, lo, hi, iy, g.CenterY(iy))
+			}
+		}
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,82 @@
+package idw
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"geostat/internal/dataset"
+	"geostat/internal/geom"
+)
+
+func TestLOOCVSmoothFieldLowError(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	d := dataset.UniformCSR(r, 1500, box)
+	f := func(p geom.Point) float64 { return p.X/10 + math.Sin(p.Y/12) }
+	dataset.WithField(r, d, f, 0)
+	cv, err := LOOCV(d, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cv.Residuals) != d.N() {
+		t.Fatalf("residuals = %d", len(cv.Residuals))
+	}
+	if cv.RMSE > 0.25 {
+		t.Errorf("RMSE %v too high for a dense smooth field", cv.RMSE)
+	}
+	if cv.MAE > cv.RMSE {
+		t.Errorf("MAE %v > RMSE %v", cv.MAE, cv.RMSE)
+	}
+}
+
+// LOOCV must prefer a sensible k: on noisy data, k=1 overfits relative to
+// a moderate k.
+func TestLOOCVTunesK(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	d := dataset.UniformCSR(r, 800, box)
+	dataset.WithField(r, d, func(p geom.Point) float64 { return p.X / 10 }, 1.0)
+	cv1, err := LOOCV(d, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv12, err := LOOCV(d, 2, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cv12.RMSE >= cv1.RMSE {
+		t.Errorf("k=12 RMSE %v should beat k=1 RMSE %v on noisy data", cv12.RMSE, cv1.RMSE)
+	}
+}
+
+func TestLOOCVValidation(t *testing.T) {
+	d := field(3, 50)
+	if _, err := LOOCV(dataset.FromPoints(d.Points), 2, 5); err == nil {
+		t.Error("valueless dataset accepted")
+	}
+	if _, err := LOOCV(d, 0, 5); err == nil {
+		t.Error("zero power accepted")
+	}
+	one := &dataset.Dataset{Points: []geom.Point{{X: 1, Y: 1}}, Values: []float64{1}}
+	if _, err := LOOCV(one, 2, 5); err == nil {
+		t.Error("single sample accepted")
+	}
+	// k clamped to n-1.
+	if _, err := LOOCV(d, 2, 1000); err != nil {
+		t.Errorf("oversized k: %v", err)
+	}
+}
+
+func TestLOOCVDuplicateSites(t *testing.T) {
+	d := &dataset.Dataset{
+		Points: []geom.Point{{X: 1, Y: 1}, {X: 1, Y: 1}, {X: 5, Y: 5}},
+		Values: []float64{7, 7, 2},
+	}
+	cv, err := LOOCV(d, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The duplicate pair predicts each other exactly.
+	if cv.Residuals[0] != 0 || cv.Residuals[1] != 0 {
+		t.Errorf("duplicate residuals = %v", cv.Residuals[:2])
+	}
+}

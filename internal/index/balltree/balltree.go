@@ -1,0 +1,245 @@
+// Package balltree implements a ball-tree (Moore's anchors hierarchy [71]
+// in the paper): a binary tree whose nodes are bounding balls
+// (center, radius). Ball nodes give tighter distance brackets than
+// axis-aligned boxes on spherical clusters, which is why the
+// function-approximation KDE literature the paper reviews uses both.
+package balltree
+
+import (
+	"math"
+
+	"geostat/internal/geom"
+)
+
+// Tree is an immutable ball-tree. Build with New.
+type Tree struct {
+	pts   []geom.Point
+	idx   []int
+	nodes []node
+}
+
+type node struct {
+	center      geom.Point
+	radius      float64
+	lo, hi      int
+	left, right int32
+}
+
+const leafSize = 16
+
+// New builds a ball-tree over pts in O(n log n). The input slice is copied.
+func New(pts []geom.Point) *Tree {
+	t := &Tree{
+		pts: append([]geom.Point(nil), pts...),
+		idx: make([]int, len(pts)),
+	}
+	for i := range t.idx {
+		t.idx[i] = i
+	}
+	if len(pts) == 0 {
+		return t
+	}
+	t.nodes = make([]node, 0, 2*(len(pts)/leafSize+1))
+	t.build(0, len(pts))
+	return t
+}
+
+// Len returns the number of indexed points.
+func (t *Tree) Len() int { return len(t.pts) }
+
+func (t *Tree) build(lo, hi int) int32 {
+	ni := int32(len(t.nodes))
+	c, r := boundingBall(t.pts[lo:hi])
+	t.nodes = append(t.nodes, node{center: c, radius: r, lo: lo, hi: hi, left: -1, right: -1})
+	if hi-lo <= leafSize {
+		return ni
+	}
+	// Split by projecting onto the diameter direction: pick the point A
+	// farthest from the centroid, then B farthest from A, and partition by
+	// which of A/B is closer (the classic ball-tree split).
+	a := t.farthest(lo, hi, c)
+	b := t.farthest(lo, hi, t.pts[a])
+	pa, pb := t.pts[a], t.pts[b]
+	mid := lo
+	for i := lo; i < hi; i++ {
+		if t.pts[i].Dist2(pa) <= t.pts[i].Dist2(pb) {
+			t.swap(i, mid)
+			mid++
+		}
+	}
+	// Guard degenerate splits (all points identical): force a balanced cut.
+	if mid == lo || mid == hi {
+		mid = lo + (hi-lo)/2
+	}
+	left := t.build(lo, mid)
+	right := t.build(mid, hi)
+	t.nodes[ni].left = left
+	t.nodes[ni].right = right
+	return ni
+}
+
+func (t *Tree) swap(i, j int) {
+	t.pts[i], t.pts[j] = t.pts[j], t.pts[i]
+	t.idx[i], t.idx[j] = t.idx[j], t.idx[i]
+}
+
+func (t *Tree) farthest(lo, hi int, from geom.Point) int {
+	best, bestD := lo, -1.0
+	for i := lo; i < hi; i++ {
+		if d := t.pts[i].Dist2(from); d > bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+// boundingBall returns a ball containing all points: centroid center with
+// radius to the farthest point (within 2x of optimal, adequate for pruning).
+func boundingBall(pts []geom.Point) (geom.Point, float64) {
+	var c geom.Point
+	for _, p := range pts {
+		c = c.Add(p)
+	}
+	c = c.Scale(1 / float64(len(pts)))
+	r2 := 0.0
+	for _, p := range pts {
+		if d := p.Dist2(c); d > r2 {
+			r2 = d
+		}
+	}
+	return c, math.Sqrt(r2)
+}
+
+// RangeCount returns the number of points within distance r of q.
+func (t *Tree) RangeCount(q geom.Point, r float64) int {
+	if len(t.nodes) == 0 || r < 0 {
+		return 0
+	}
+	return t.rangeCount(0, q, r)
+}
+
+func (t *Tree) rangeCount(ni int32, q geom.Point, r float64) int {
+	n := &t.nodes[ni]
+	d := q.Dist(n.center)
+	if d > n.radius+r {
+		return 0 // ball entirely outside the disc
+	}
+	if d+n.radius <= r {
+		return n.hi - n.lo // ball entirely inside the disc
+	}
+	if n.left < 0 {
+		c := 0
+		r2 := r * r
+		for _, p := range t.pts[n.lo:n.hi] {
+			if p.Dist2(q) <= r2 {
+				c++
+			}
+		}
+		return c
+	}
+	return t.rangeCount(n.left, q, r) + t.rangeCount(n.right, q, r)
+}
+
+// RangeQuery appends the original indices of all points within distance r
+// of q to dst and returns the extended slice.
+func (t *Tree) RangeQuery(q geom.Point, r float64, dst []int) []int {
+	if len(t.nodes) == 0 || r < 0 {
+		return dst
+	}
+	return t.rangeQuery(0, q, r, dst)
+}
+
+func (t *Tree) rangeQuery(ni int32, q geom.Point, r float64, dst []int) []int {
+	n := &t.nodes[ni]
+	d := q.Dist(n.center)
+	if d > n.radius+r {
+		return dst
+	}
+	if d+n.radius <= r {
+		return append(dst, t.idx[n.lo:n.hi]...)
+	}
+	if n.left < 0 {
+		r2 := r * r
+		for i := n.lo; i < n.hi; i++ {
+			if t.pts[i].Dist2(q) <= r2 {
+				dst = append(dst, t.idx[i])
+			}
+		}
+		return dst
+	}
+	dst = t.rangeQuery(n.left, q, r, dst)
+	return t.rangeQuery(n.right, q, r, dst)
+}
+
+// NodeID identifies a tree node for the best-first traversal API used by
+// bound-based kernel aggregation. The root is NodeID(0) on a non-empty
+// tree; IsLeaf/Children navigate downwards.
+type NodeID int32
+
+// Root returns the root node id and false if the tree is empty.
+func (t *Tree) Root() (NodeID, bool) {
+	if len(t.nodes) == 0 {
+		return 0, false
+	}
+	return 0, true
+}
+
+// IsLeaf reports whether id is a leaf.
+func (t *Tree) IsLeaf(id NodeID) bool { return t.nodes[id].left < 0 }
+
+// Children returns the two children of an internal node.
+func (t *Tree) Children(id NodeID) (NodeID, NodeID) {
+	n := &t.nodes[id]
+	return NodeID(n.left), NodeID(n.right)
+}
+
+// NodeCount returns the number of points under id.
+func (t *Tree) NodeCount(id NodeID) int {
+	n := &t.nodes[id]
+	return n.hi - n.lo
+}
+
+// NodeBracket returns [dMin, dMax] bounds on the distance from q to any
+// point under id.
+func (t *Tree) NodeBracket(id NodeID, q geom.Point) (dMin, dMax float64) {
+	n := &t.nodes[id]
+	d := q.Dist(n.center)
+	return math.Max(0, d-n.radius), d + n.radius
+}
+
+// NodePoints calls fn for every point under id (used when a best-first
+// traversal decides to resolve a leaf exactly).
+func (t *Tree) NodePoints(id NodeID, fn func(p geom.Point)) {
+	n := &t.nodes[id]
+	for _, p := range t.pts[n.lo:n.hi] {
+		fn(p)
+	}
+}
+
+// Visit walks the tree with per-node distance brackets [dMin, dMax] from q,
+// the traversal primitive for bound-based kernel aggregation: fn returns
+// true to descend, false to accept the node's count·bracket contribution.
+func (t *Tree) Visit(q geom.Point, fn func(dMin, dMax float64, count int) bool, leafFn func(p geom.Point)) {
+	if len(t.nodes) == 0 {
+		return
+	}
+	t.visit(0, q, fn, leafFn)
+}
+
+func (t *Tree) visit(ni int32, q geom.Point, fn func(float64, float64, int) bool, leafFn func(geom.Point)) {
+	n := &t.nodes[ni]
+	d := q.Dist(n.center)
+	dMin := math.Max(0, d-n.radius)
+	dMax := d + n.radius
+	if !fn(dMin, dMax, n.hi-n.lo) {
+		return
+	}
+	if n.left < 0 {
+		for _, p := range t.pts[n.lo:n.hi] {
+			leafFn(p)
+		}
+		return
+	}
+	t.visit(n.left, q, fn, leafFn)
+	t.visit(n.right, q, fn, leafFn)
+}

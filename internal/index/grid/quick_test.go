@@ -1,0 +1,94 @@
+package grid
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"geostat/internal/geom"
+)
+
+// cloud generates point clouds with skewed densities (all mass in one
+// corner is the grid index's worst case).
+type cloud struct {
+	Pts  []geom.Point
+	Cell float64
+}
+
+func (cloud) Generate(r *rand.Rand, size int) reflect.Value {
+	n := r.Intn(size*8 + 1)
+	c := cloud{Cell: []float64{0.1, 1, 10, 1000}[r.Intn(4)]}
+	skew := r.Intn(3) == 0
+	for i := 0; i < n; i++ {
+		p := geom.Point{X: r.Float64() * 100, Y: r.Float64() * 100}
+		if skew {
+			p = geom.Point{X: r.Float64(), Y: r.Float64()} // everything in one cell region
+		}
+		c.Pts = append(c.Pts, p)
+	}
+	return reflect.ValueOf(c)
+}
+
+// Property: grid RangeCount equals brute force for arbitrary cell sizes,
+// query centers (possibly far outside the data), and radii.
+func TestQuickRangeCount(t *testing.T) {
+	f := func(c cloud, qx, qy, rad float64) bool {
+		g := New(c.Pts, c.Cell)
+		q := geom.Point{X: qx*300 - 100, Y: qy*300 - 100}
+		r := rad * rad * 60
+		want := 0
+		for _, p := range c.Pts {
+			if p.Dist2(q) <= r*r {
+				want++
+			}
+		}
+		return g.RangeCount(q, r) == want
+	}
+	cfg := &quick.Config{
+		MaxCount: 300,
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			args[0] = cloud{}.Generate(r, 20)
+			for i := 1; i < 4; i++ {
+				args[i] = reflect.ValueOf(r.Float64())
+			}
+		},
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: RangeQuery returns exactly the points RangeCount counts, each
+// exactly once.
+func TestQuickRangeQueryConsistent(t *testing.T) {
+	f := func(c cloud, qx, qy, rad float64) bool {
+		g := New(c.Pts, c.Cell)
+		q := geom.Point{X: qx * 100, Y: qy * 100}
+		r := rad * 40
+		got := g.RangeQuery(q, r, nil)
+		seen := make(map[int]bool, len(got))
+		for _, i := range got {
+			if seen[i] {
+				return false // duplicate
+			}
+			seen[i] = true
+			if c.Pts[i].Dist2(q) > r*r {
+				return false // out of range
+			}
+		}
+		return len(got) == g.RangeCount(q, r)
+	}
+	cfg := &quick.Config{
+		MaxCount: 300,
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			args[0] = cloud{}.Generate(r, 20)
+			for i := 1; i < 4; i++ {
+				args[i] = reflect.ValueOf(r.Float64())
+			}
+		},
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

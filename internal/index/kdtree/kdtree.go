@@ -1,0 +1,367 @@
+// Package kdtree implements a 2-d tree over point datasets (Bentley [21]
+// in the paper), the index structure behind two of the paper's acceleration
+// families: range-query-based K-function computation (§2.3) and
+// function-approximation KDE, which walks the tree refining per-node
+// lower/upper kernel bounds (§2.2).
+//
+// The tree is built once over an immutable point slice; nodes store their
+// bounding box and subtree size so that (a) disc range counting can accept
+// or reject whole subtrees and (b) bound-based KDE can score a whole
+// subtree in O(1) from MinDist2/MaxDist2.
+package kdtree
+
+import (
+	"math"
+	"sort"
+
+	"geostat/internal/geom"
+)
+
+// Tree is an immutable 2-d tree. Build with New.
+type Tree struct {
+	pts   []geom.Point // points reordered during construction
+	idx   []int        // idx[i] = original index of pts[i]
+	nodes []node       // implicit tree, nodes[0] is the root
+}
+
+// node is one kd-tree node covering pts[lo:hi).
+type node struct {
+	box         geom.BBox
+	lo, hi      int // point range covered by this subtree
+	left, right int32
+	// left/right are node indices; -1 for leaves.
+}
+
+const leafSize = 16 // points per leaf; small enough for tight boxes, large enough to amortise recursion
+
+// New builds a kd-tree over pts. The input slice is not modified; the tree
+// keeps its own reordered copy. Building is O(n log n).
+func New(pts []geom.Point) *Tree {
+	t := &Tree{
+		pts: append([]geom.Point(nil), pts...),
+		idx: make([]int, len(pts)),
+	}
+	for i := range t.idx {
+		t.idx[i] = i
+	}
+	if len(pts) == 0 {
+		return t
+	}
+	t.nodes = make([]node, 0, 2*(len(pts)/leafSize+1))
+	t.build(0, len(pts), 0)
+	return t
+}
+
+// Len returns the number of indexed points.
+func (t *Tree) Len() int { return len(t.pts) }
+
+// Bounds returns the bounding box of the indexed points.
+func (t *Tree) Bounds() geom.BBox {
+	if len(t.nodes) == 0 {
+		return geom.EmptyBBox()
+	}
+	return t.nodes[0].box
+}
+
+// build constructs the subtree over pts[lo:hi) splitting on the wider axis,
+// and returns the node index.
+func (t *Tree) build(lo, hi, depth int) int32 {
+	ni := int32(len(t.nodes))
+	n := node{box: geom.NewBBox(t.pts[lo:hi]), lo: lo, hi: hi, left: -1, right: -1}
+	t.nodes = append(t.nodes, n)
+	if hi-lo <= leafSize {
+		return ni
+	}
+	// Split on the wider axis at the median for balanced depth.
+	byX := t.pts[lo:hi]
+	axisX := t.nodes[ni].box.Width() >= t.nodes[ni].box.Height()
+	mid := (hi - lo) / 2
+	sub := &pointsByAxis{pts: byX, idx: t.idx[lo:hi], x: axisX}
+	// nth_element via full sort would be O(n log² n) overall; a quickselect
+	// keeps construction O(n log n).
+	quickselect(sub, mid)
+	left := t.build(lo, lo+mid, depth+1)
+	right := t.build(lo+mid, hi, depth+1)
+	t.nodes[ni].left = left
+	t.nodes[ni].right = right
+	return ni
+}
+
+// pointsByAxis sorts a point range (and its parallel index slice) by one axis.
+type pointsByAxis struct {
+	pts []geom.Point
+	idx []int
+	x   bool
+}
+
+func (s *pointsByAxis) Len() int { return len(s.pts) }
+func (s *pointsByAxis) Less(i, j int) bool {
+	if s.x {
+		return s.pts[i].X < s.pts[j].X
+	}
+	return s.pts[i].Y < s.pts[j].Y
+}
+func (s *pointsByAxis) Swap(i, j int) {
+	s.pts[i], s.pts[j] = s.pts[j], s.pts[i]
+	s.idx[i], s.idx[j] = s.idx[j], s.idx[i]
+}
+
+// quickselect partially sorts s so that element k is in its sorted position
+// and everything before it is <= everything after. Falls back to heapsort
+// behaviour via sort.Sort on tiny ranges.
+func quickselect(s *pointsByAxis, k int) {
+	lo, hi := 0, s.Len()
+	for hi-lo > 8 {
+		p := partition(s, lo, hi)
+		switch {
+		case p == k:
+			return
+		case k < p:
+			hi = p
+		default:
+			lo = p + 1
+		}
+	}
+	sort.Sort(&rangeSorter{s, lo, hi})
+}
+
+// rangeSorter sorts the subrange [lo, hi) of s.
+type rangeSorter struct {
+	s      *pointsByAxis
+	lo, hi int
+}
+
+func (r *rangeSorter) Len() int           { return r.hi - r.lo }
+func (r *rangeSorter) Less(i, j int) bool { return r.s.Less(r.lo+i, r.lo+j) }
+func (r *rangeSorter) Swap(i, j int)      { r.s.Swap(r.lo+i, r.lo+j) }
+
+// partition performs a Hoare-style partition of s[lo:hi) around a
+// median-of-three pivot and returns the pivot's final index.
+func partition(s *pointsByAxis, lo, hi int) int {
+	mid := lo + (hi-lo)/2
+	// Median of three to resist sorted inputs.
+	if s.Less(mid, lo) {
+		s.Swap(mid, lo)
+	}
+	if s.Less(hi-1, lo) {
+		s.Swap(hi-1, lo)
+	}
+	if s.Less(hi-1, mid) {
+		s.Swap(hi-1, mid)
+	}
+	s.Swap(mid, hi-1) // pivot to end
+	pivot := hi - 1
+	store := lo
+	for i := lo; i < pivot; i++ {
+		if s.Less(i, pivot) {
+			s.Swap(i, store)
+			store++
+		}
+	}
+	s.Swap(store, pivot)
+	return store
+}
+
+// RangeCount returns the number of indexed points within distance r of q
+// (boundary inclusive), in O(sqrt(n) + k-ish) time by accepting and
+// rejecting whole subtrees against the disc.
+func (t *Tree) RangeCount(q geom.Point, r float64) int {
+	if len(t.nodes) == 0 {
+		return 0
+	}
+	return t.rangeCount(0, q, r*r)
+}
+
+func (t *Tree) rangeCount(ni int32, q geom.Point, r2 float64) int {
+	n := &t.nodes[ni]
+	if n.box.MinDist2(q) > r2 {
+		return 0
+	}
+	if n.box.MaxDist2(q) <= r2 {
+		return n.hi - n.lo
+	}
+	if n.left < 0 {
+		c := 0
+		for _, p := range t.pts[n.lo:n.hi] {
+			if p.Dist2(q) <= r2 {
+				c++
+			}
+		}
+		return c
+	}
+	return t.rangeCount(n.left, q, r2) + t.rangeCount(n.right, q, r2)
+}
+
+// RangeQuery appends to dst the original indices of all points within
+// distance r of q and returns the extended slice.
+func (t *Tree) RangeQuery(q geom.Point, r float64, dst []int) []int {
+	if len(t.nodes) == 0 {
+		return dst
+	}
+	return t.rangeQuery(0, q, r*r, dst)
+}
+
+func (t *Tree) rangeQuery(ni int32, q geom.Point, r2 float64, dst []int) []int {
+	n := &t.nodes[ni]
+	if n.box.MinDist2(q) > r2 {
+		return dst
+	}
+	if n.box.MaxDist2(q) <= r2 {
+		return append(dst, t.idx[n.lo:n.hi]...)
+	}
+	if n.left < 0 {
+		for i := n.lo; i < n.hi; i++ {
+			if t.pts[i].Dist2(q) <= r2 {
+				dst = append(dst, t.idx[i])
+			}
+		}
+		return dst
+	}
+	dst = t.rangeQuery(n.left, q, r2, dst)
+	return t.rangeQuery(n.right, q, r2, dst)
+}
+
+// Nearest returns the original index of the point nearest to q and its
+// distance. It returns (-1, +Inf) on an empty tree.
+func (t *Tree) Nearest(q geom.Point) (int, float64) {
+	idx, d2 := t.KNearest(q, 1, nil)
+	if len(idx) == 0 {
+		return -1, math.Inf(1)
+	}
+	return idx[0], math.Sqrt(d2[0])
+}
+
+// KNearest returns the original indices of the k points nearest to q,
+// ordered by increasing distance, and their squared distances. The reuse
+// slice, if non-nil, is used as scratch to avoid allocation.
+func (t *Tree) KNearest(q geom.Point, k int, reuse []int) (idx []int, d2 []float64) {
+	if k <= 0 || len(t.nodes) == 0 {
+		return nil, nil
+	}
+	if k > len(t.pts) {
+		k = len(t.pts)
+	}
+	h := &nnHeap{}
+	t.kNearest(0, q, k, h)
+	// Extract in increasing order.
+	idx = reuse[:0]
+	idx = append(idx, make([]int, h.n)...)
+	d2 = make([]float64, h.n)
+	for i := h.n - 1; i >= 0; i-- {
+		idx[i], d2[i] = h.pop()
+	}
+	return idx, d2
+}
+
+func (t *Tree) kNearest(ni int32, q geom.Point, k int, h *nnHeap) {
+	n := &t.nodes[ni]
+	if h.n == k && n.box.MinDist2(q) > h.max() {
+		return
+	}
+	if n.left < 0 {
+		for i := n.lo; i < n.hi; i++ {
+			h.push(t.idx[i], t.pts[i].Dist2(q), k)
+		}
+		return
+	}
+	// Visit the child nearer to q first for tighter pruning.
+	l, r := n.left, n.right
+	if t.nodes[l].box.MinDist2(q) > t.nodes[r].box.MinDist2(q) {
+		l, r = r, l
+	}
+	t.kNearest(l, q, k, h)
+	t.kNearest(r, q, k, h)
+}
+
+// nnHeap is a fixed-capacity max-heap on squared distance, keeping the k
+// best candidates seen so far.
+type nnHeap struct {
+	idx []int
+	d2  []float64
+	n   int
+}
+
+func (h *nnHeap) max() float64 { return h.d2[0] }
+
+func (h *nnHeap) push(idx int, d2 float64, k int) {
+	if h.n < k {
+		h.idx = append(h.idx[:h.n], idx)
+		h.d2 = append(h.d2[:h.n], d2)
+		h.n++
+		h.up(h.n - 1)
+		return
+	}
+	if d2 >= h.d2[0] {
+		return
+	}
+	h.idx[0], h.d2[0] = idx, d2
+	h.down(0)
+}
+
+func (h *nnHeap) pop() (int, float64) {
+	idx, d2 := h.idx[0], h.d2[0]
+	h.n--
+	h.idx[0], h.d2[0] = h.idx[h.n], h.d2[h.n]
+	h.down(0)
+	return idx, d2
+}
+
+func (h *nnHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.d2[parent] >= h.d2[i] {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *nnHeap) down(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < h.n && h.d2[l] > h.d2[big] {
+			big = l
+		}
+		if r < h.n && h.d2[r] > h.d2[big] {
+			big = r
+		}
+		if big == i {
+			return
+		}
+		h.swap(i, big)
+		i = big
+	}
+}
+
+func (h *nnHeap) swap(i, j int) {
+	h.idx[i], h.idx[j] = h.idx[j], h.idx[i]
+	h.d2[i], h.d2[j] = h.d2[j], h.d2[i]
+}
+
+// Visit walks the tree for bound-based aggregation (the QUAD/KARL pattern):
+// fn is called with each node's bounding box and point count and decides
+// whether to descend (true) or accept the node as-is (false). Leaves whose
+// fn returns true are expanded point-by-point via leafFn.
+func (t *Tree) Visit(fn func(box geom.BBox, count int) bool, leafFn func(p geom.Point)) {
+	if len(t.nodes) == 0 {
+		return
+	}
+	t.visit(0, fn, leafFn)
+}
+
+func (t *Tree) visit(ni int32, fn func(geom.BBox, int) bool, leafFn func(geom.Point)) {
+	n := &t.nodes[ni]
+	if !fn(n.box, n.hi-n.lo) {
+		return
+	}
+	if n.left < 0 {
+		for _, p := range t.pts[n.lo:n.hi] {
+			leafFn(p)
+		}
+		return
+	}
+	t.visit(n.left, fn, leafFn)
+	t.visit(n.right, fn, leafFn)
+}

@@ -1,0 +1,80 @@
+package rangetree
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"geostat/internal/geom"
+)
+
+// Property (testing/quick): CountRect equals brute force for arbitrary
+// clouds (with duplicate coordinates) and arbitrary rectangles, including
+// inverted and empty ones.
+func TestQuickCountRect(t *testing.T) {
+	type query struct {
+		X0, X1, Y0, Y1 float64
+	}
+	f := func(pts []geom.Point, q query) bool {
+		tr := New(pts)
+		want := 0
+		for _, p := range pts {
+			if p.X >= q.X0 && p.X <= q.X1 && p.Y >= q.Y0 && p.Y <= q.Y1 {
+				want++
+			}
+		}
+		return tr.CountRect(q.X0, q.X1, q.Y0, q.Y1) == want
+	}
+	cfg := &quick.Config{
+		MaxCount: 400,
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			n := r.Intn(200)
+			pts := make([]geom.Point, n)
+			for i := range pts {
+				// Snap coordinates to a small lattice: duplicate x and y
+				// values are the range tree's interesting case.
+				pts[i] = geom.Point{
+					X: float64(r.Intn(20)),
+					Y: float64(r.Intn(20)),
+				}
+			}
+			args[0] = reflect.ValueOf(pts)
+			q := query{
+				X0: float64(r.Intn(25) - 2), Y0: float64(r.Intn(25) - 2),
+			}
+			q.X1 = q.X0 + float64(r.Intn(12)-2) // sometimes inverted
+			q.Y1 = q.Y0 + float64(r.Intn(12)-2)
+			args[1] = reflect.ValueOf(q)
+		},
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: counts are monotone under rectangle growth.
+func TestQuickMonotoneGrowth(t *testing.T) {
+	f := func(pts []geom.Point, grow float64) bool {
+		tr := New(pts)
+		small := tr.CountRect(5, 10, 5, 10)
+		g := 1 + grow
+		big := tr.CountRect(5-g, 10+g, 5-g, 10+g)
+		return big >= small
+	}
+	cfg := &quick.Config{
+		MaxCount: 200,
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			n := r.Intn(300)
+			pts := make([]geom.Point, n)
+			for i := range pts {
+				pts[i] = geom.Point{X: r.Float64() * 15, Y: r.Float64() * 15}
+			}
+			args[0] = reflect.ValueOf(pts)
+			args[1] = reflect.ValueOf(r.Float64() * 5)
+		},
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

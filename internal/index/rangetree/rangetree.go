@@ -1,0 +1,151 @@
+// Package rangetree implements a static 2-D range tree (de Berg et al. [40]
+// in the paper) for axis-aligned rectangle counting in O(log² n) per query.
+// The K-function needs disc counts, but rectangle counting is the classic
+// range-tree workload and serves two roles here: (1) a conservative
+// pre-filter bracketing a disc between its inscribed and circumscribed
+// squares, and (2) the counting substrate for workloads where the query
+// region genuinely is a rectangle (e.g. the temporal axis of the
+// spatiotemporal tools).
+//
+// Layout: a perfectly balanced implicit tree over points sorted by x; every
+// node stores the sorted y-slice of its subtree. Counting a rectangle
+// decomposes [x0,x1] into O(log n) canonical nodes and binary-searches each
+// node's y-slice: O(log² n) per query, O(n log n) space.
+package rangetree
+
+import (
+	"sort"
+
+	"geostat/internal/geom"
+)
+
+// Tree is an immutable 2-D range tree. Build with New.
+type Tree struct {
+	xs    []float64   // points sorted by x (primary key), then y
+	ys    []float64   // y of the x-sorted points
+	level [][]float64 // level[d] = concatenated sorted-y slices of depth-d nodes
+	n     int
+}
+
+// New builds a range tree over pts in O(n log n).
+func New(pts []geom.Point) *Tree {
+	n := len(pts)
+	t := &Tree{n: n}
+	if n == 0 {
+		return t
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		pa, pb := pts[order[a]], pts[order[b]]
+		if pa.X != pb.X {
+			return pa.X < pb.X
+		}
+		return pa.Y < pb.Y
+	})
+	t.xs = make([]float64, n)
+	t.ys = make([]float64, n)
+	for i, oi := range order {
+		t.xs[i] = pts[oi].X
+		t.ys[i] = pts[oi].Y
+	}
+	// Build levels bottom-up by merging: level d covers segments of length
+	// 2^d (the leaves are the x-sorted singleton ys). We store sorted-y
+	// arrays for every power-of-two segmentation — a "merge sort tree".
+	cur := append([]float64(nil), t.ys...)
+	t.level = append(t.level, append([]float64(nil), cur...))
+	for size := 1; size < n; size *= 2 {
+		next := make([]float64, n)
+		for lo := 0; lo < n; lo += 2 * size {
+			mid := min(lo+size, n)
+			hi := min(lo+2*size, n)
+			mergeSorted(next[lo:hi], cur[lo:mid], cur[mid:hi])
+		}
+		cur = next
+		t.level = append(t.level, append([]float64(nil), cur...))
+	}
+	return t
+}
+
+// Len returns the number of indexed points.
+func (t *Tree) Len() int { return t.n }
+
+// CountRect returns the number of points with x in [x0, x1] and y in
+// [y0, y1] (all bounds inclusive).
+func (t *Tree) CountRect(x0, x1, y0, y1 float64) int {
+	if t.n == 0 || x0 > x1 || y0 > y1 {
+		return 0
+	}
+	// x-range to index range [lo, hi) in the x-sorted order.
+	lo := sort.SearchFloat64s(t.xs, x0)
+	hi := sort.Search(t.n, func(i int) bool { return t.xs[i] > x1 })
+	return t.countYRange(lo, hi, y0, y1)
+}
+
+// countYRange counts points with index in [lo, hi) (x-sorted order) and y
+// in [y0, y1], by decomposing [lo, hi) into maximal aligned power-of-two
+// segments and binary-searching each segment's sorted-y slice.
+func (t *Tree) countYRange(lo, hi int, y0, y1 float64) int {
+	count := 0
+	for lo < hi {
+		// Largest aligned block starting at lo that fits in [lo, hi).
+		d := trailingOnes(lo, hi)
+		seg := 1 << d
+		ys := t.level[d][lo : lo+min(seg, hi-lo)]
+		// The stored block covers indices [lo, lo+seg) but a partial tail
+		// block (hi not aligned) isn't a complete node at this level;
+		// trailingOnes only returns d with lo+2^d <= hi and lo aligned, so
+		// ys is exactly the node's slice.
+		count += countSorted(ys, y0, y1)
+		lo += seg
+	}
+	return count
+}
+
+// trailingOnes returns the largest d such that lo is a multiple of 2^d and
+// lo + 2^d <= hi.
+func trailingOnes(lo, hi int) int {
+	d := 0
+	for {
+		if lo&((1<<(d+1))-1) != 0 {
+			break
+		}
+		if lo+(1<<(d+1)) > hi {
+			break
+		}
+		d++
+	}
+	return d
+}
+
+// countSorted counts values in the sorted slice ys lying in [y0, y1].
+func countSorted(ys []float64, y0, y1 float64) int {
+	a := sort.SearchFloat64s(ys, y0)
+	b := sort.Search(len(ys), func(i int) bool { return ys[i] > y1 })
+	return b - a
+}
+
+func mergeSorted(dst, a, b []float64) {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			dst[k] = a[i]
+			i++
+		} else {
+			dst[k] = b[j]
+			j++
+		}
+		k++
+	}
+	copy(dst[k:], a[i:])
+	copy(dst[k+len(a)-i:], b[j:])
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,101 @@
+package rangetree
+
+import (
+	"math/rand"
+	"testing"
+
+	"geostat/internal/geom"
+)
+
+func randomPoints(r *rand.Rand, n int) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: r.Float64() * 100, Y: r.Float64() * 100}
+	}
+	return pts
+}
+
+func bruteCount(pts []geom.Point, x0, x1, y0, y1 float64) int {
+	c := 0
+	for _, p := range pts {
+		if p.X >= x0 && p.X <= x1 && p.Y >= y0 && p.Y <= y1 {
+			c++
+		}
+	}
+	return c
+}
+
+func TestEmpty(t *testing.T) {
+	tr := New(nil)
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if got := tr.CountRect(0, 100, 0, 100); got != 0 {
+		t.Errorf("CountRect = %d", got)
+	}
+}
+
+func TestInvertedRect(t *testing.T) {
+	tr := New([]geom.Point{{X: 5, Y: 5}})
+	if got := tr.CountRect(10, 0, 0, 10); got != 0 {
+		t.Errorf("inverted x-range: %d", got)
+	}
+	if got := tr.CountRect(0, 10, 10, 0); got != 0 {
+		t.Errorf("inverted y-range: %d", got)
+	}
+}
+
+func TestCountRectMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 3, 5, 8, 9, 31, 32, 33, 500, 2048} {
+		pts := randomPoints(r, n)
+		tr := New(pts)
+		for trial := 0; trial < 150; trial++ {
+			x0 := r.Float64()*120 - 10
+			x1 := x0 + r.Float64()*60
+			y0 := r.Float64()*120 - 10
+			y1 := y0 + r.Float64()*60
+			want := bruteCount(pts, x0, x1, y0, y1)
+			if got := tr.CountRect(x0, x1, y0, y1); got != want {
+				t.Fatalf("n=%d: CountRect(%v,%v,%v,%v) = %d, want %d",
+					n, x0, x1, y0, y1, got, want)
+			}
+		}
+	}
+}
+
+func TestBoundaryInclusive(t *testing.T) {
+	pts := []geom.Point{{X: 1, Y: 1}, {X: 2, Y: 2}, {X: 3, Y: 3}}
+	tr := New(pts)
+	if got := tr.CountRect(1, 3, 1, 3); got != 3 {
+		t.Errorf("inclusive bounds = %d, want 3", got)
+	}
+	if got := tr.CountRect(2, 2, 2, 2); got != 1 {
+		t.Errorf("point rect = %d, want 1", got)
+	}
+}
+
+func TestDuplicateCoordinates(t *testing.T) {
+	var pts []geom.Point
+	for i := 0; i < 64; i++ {
+		pts = append(pts, geom.Point{X: 7, Y: float64(i % 4)})
+	}
+	tr := New(pts)
+	if got := tr.CountRect(7, 7, 1, 2); got != 32 {
+		t.Errorf("duplicate-x count = %d, want 32", got)
+	}
+	if got := tr.CountRect(6.5, 7.5, -1, 10); got != 64 {
+		t.Errorf("all count = %d, want 64", got)
+	}
+}
+
+func TestFullPlaneCountsAll(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for _, n := range []int{1, 100, 777} {
+		pts := randomPoints(r, n)
+		tr := New(pts)
+		if got := tr.CountRect(-1e9, 1e9, -1e9, 1e9); got != n {
+			t.Errorf("n=%d: full-plane count = %d", n, got)
+		}
+	}
+}

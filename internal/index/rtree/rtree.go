@@ -1,0 +1,218 @@
+// Package rtree implements a static, STR-bulk-loaded R-tree over points —
+// the index family underlying production GIS engines (PostGIS, Sedona,
+// GeoMesa) that the paper's software-development discussion targets.
+// Sort-Tile-Recursive packing produces near-square leaf tiles, giving range
+// performance competitive with the kd-tree while keeping the node layout
+// the one spatial databases use.
+package rtree
+
+import (
+	"math"
+	"sort"
+
+	"geostat/internal/geom"
+)
+
+const fanout = 16 // entries per node (leaf points or child nodes)
+
+// Tree is an immutable STR-packed R-tree. Build with New.
+type Tree struct {
+	pts   []geom.Point // leaf points, tile order
+	idx   []int        // original indices, parallel to pts
+	nodes []node
+	root  int32 // -1 when empty
+}
+
+// node covers pts[lo:hi) (leaves) or children[childLo:childHi) (internal).
+type node struct {
+	box      geom.BBox
+	lo, hi   int32 // leaf point range; only for leaves
+	children []int32
+}
+
+// New bulk-loads an R-tree over pts with Sort-Tile-Recursive packing:
+// points are sorted by x, cut into vertical slices of ~√(n/fanout) tiles,
+// each slice sorted by y and cut into leaf tiles of `fanout` points;
+// the packing recurses over the tile MBRs.
+func New(pts []geom.Point) *Tree {
+	t := &Tree{
+		pts:  append([]geom.Point(nil), pts...),
+		idx:  make([]int, len(pts)),
+		root: -1,
+	}
+	for i := range t.idx {
+		t.idx[i] = i
+	}
+	if len(pts) == 0 {
+		return t
+	}
+	// STR leaf packing.
+	order := make([]int, len(pts))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return pts[order[a]].X < pts[order[b]].X })
+	nLeaves := (len(pts) + fanout - 1) / fanout
+	nSlices := int(math.Ceil(math.Sqrt(float64(nLeaves))))
+	sliceSize := (len(pts) + nSlices - 1) / nSlices
+	// Within each x-slice, order by y.
+	for s := 0; s < len(order); s += sliceSize {
+		e := s + sliceSize
+		if e > len(order) {
+			e = len(order)
+		}
+		sl := order[s:e]
+		sort.Slice(sl, func(a, b int) bool { return pts[sl[a]].Y < pts[sl[b]].Y })
+	}
+	// Materialise tile order.
+	for i, oi := range order {
+		t.pts[i] = pts[oi]
+		t.idx[i] = oi
+	}
+	// Leaf nodes over consecutive fanout-sized runs.
+	var level []int32
+	for lo := 0; lo < len(t.pts); lo += fanout {
+		hi := lo + fanout
+		if hi > len(t.pts) {
+			hi = len(t.pts)
+		}
+		t.nodes = append(t.nodes, node{
+			box: geom.NewBBox(t.pts[lo:hi]),
+			lo:  int32(lo), hi: int32(hi),
+		})
+		level = append(level, int32(len(t.nodes)-1))
+	}
+	// Pack upper levels until a single root remains.
+	for len(level) > 1 {
+		var next []int32
+		for lo := 0; lo < len(level); lo += fanout {
+			hi := lo + fanout
+			if hi > len(level) {
+				hi = len(level)
+			}
+			children := append([]int32(nil), level[lo:hi]...)
+			box := geom.EmptyBBox()
+			for _, c := range children {
+				box = box.Union(t.nodes[c].box)
+			}
+			t.nodes = append(t.nodes, node{box: box, children: children})
+			next = append(next, int32(len(t.nodes)-1))
+		}
+		level = next
+	}
+	t.root = level[0]
+	return t
+}
+
+// Len returns the number of indexed points.
+func (t *Tree) Len() int { return len(t.pts) }
+
+// Bounds returns the root MBR.
+func (t *Tree) Bounds() geom.BBox {
+	if t.root < 0 {
+		return geom.EmptyBBox()
+	}
+	return t.nodes[t.root].box
+}
+
+// RangeCount returns the number of points within distance r of q
+// (boundary inclusive).
+func (t *Tree) RangeCount(q geom.Point, r float64) int {
+	if t.root < 0 || r < 0 {
+		return 0
+	}
+	return t.rangeCount(t.root, q, r*r)
+}
+
+func (t *Tree) rangeCount(ni int32, q geom.Point, r2 float64) int {
+	n := &t.nodes[ni]
+	if n.box.MinDist2(q) > r2 {
+		return 0
+	}
+	if n.box.MaxDist2(q) <= r2 {
+		return t.subtreeSize(ni)
+	}
+	if n.children == nil {
+		c := 0
+		for _, p := range t.pts[n.lo:n.hi] {
+			if p.Dist2(q) <= r2 {
+				c++
+			}
+		}
+		return c
+	}
+	total := 0
+	for _, c := range n.children {
+		total += t.rangeCount(c, q, r2)
+	}
+	return total
+}
+
+func (t *Tree) subtreeSize(ni int32) int {
+	n := &t.nodes[ni]
+	if n.children == nil {
+		return int(n.hi - n.lo)
+	}
+	total := 0
+	for _, c := range n.children {
+		total += t.subtreeSize(c)
+	}
+	return total
+}
+
+// SearchRect appends the original indices of all points inside the box
+// (boundary inclusive) and returns the extended slice — the native R-tree
+// window query.
+func (t *Tree) SearchRect(box geom.BBox, dst []int) []int {
+	if t.root < 0 || box.IsEmpty() {
+		return dst
+	}
+	return t.searchRect(t.root, box, dst)
+}
+
+func (t *Tree) searchRect(ni int32, box geom.BBox, dst []int) []int {
+	n := &t.nodes[ni]
+	if !n.box.Intersects(box) {
+		return dst
+	}
+	if n.children == nil {
+		for i := n.lo; i < n.hi; i++ {
+			if box.Contains(t.pts[i]) {
+				dst = append(dst, t.idx[i])
+			}
+		}
+		return dst
+	}
+	for _, c := range n.children {
+		dst = t.searchRect(c, box, dst)
+	}
+	return dst
+}
+
+// RangeQuery appends the original indices of all points within distance r
+// of q and returns the extended slice.
+func (t *Tree) RangeQuery(q geom.Point, r float64, dst []int) []int {
+	if t.root < 0 || r < 0 {
+		return dst
+	}
+	return t.rangeQuery(t.root, q, r*r, dst)
+}
+
+func (t *Tree) rangeQuery(ni int32, q geom.Point, r2 float64, dst []int) []int {
+	n := &t.nodes[ni]
+	if n.box.MinDist2(q) > r2 {
+		return dst
+	}
+	if n.children == nil {
+		for i := n.lo; i < n.hi; i++ {
+			if t.pts[i].Dist2(q) <= r2 {
+				dst = append(dst, t.idx[i])
+			}
+		}
+		return dst
+	}
+	for _, c := range n.children {
+		dst = t.rangeQuery(c, q, r2, dst)
+	}
+	return dst
+}

@@ -1,0 +1,153 @@
+package rtree
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"geostat/internal/geom"
+)
+
+func randomPoints(r *rand.Rand, n int) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: r.Float64() * 100, Y: r.Float64() * 100}
+	}
+	return pts
+}
+
+func TestEmpty(t *testing.T) {
+	tr := New(nil)
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if tr.RangeCount(geom.Point{}, 5) != 0 {
+		t.Error("count on empty")
+	}
+	if got := tr.SearchRect(geom.BBox{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, nil); len(got) != 0 {
+		t.Error("rect on empty")
+	}
+	if !tr.Bounds().IsEmpty() {
+		t.Error("bounds on empty")
+	}
+}
+
+func TestRangeCountMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 15, 16, 17, 255, 256, 257, 2000} {
+		pts := randomPoints(r, n)
+		tr := New(pts)
+		if tr.Len() != n {
+			t.Fatalf("Len = %d", tr.Len())
+		}
+		for trial := 0; trial < 80; trial++ {
+			q := geom.Point{X: r.Float64()*140 - 20, Y: r.Float64()*140 - 20}
+			rad := r.Float64() * 40
+			want := 0
+			for _, p := range pts {
+				if p.Dist2(q) <= rad*rad {
+					want++
+				}
+			}
+			if got := tr.RangeCount(q, rad); got != want {
+				t.Fatalf("n=%d: RangeCount = %d, want %d", n, got, want)
+			}
+		}
+	}
+}
+
+func TestSearchRectMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	pts := randomPoints(r, 1200)
+	tr := New(pts)
+	for trial := 0; trial < 100; trial++ {
+		box := geom.BBox{MinX: r.Float64() * 90, MinY: r.Float64() * 90}
+		box.MaxX = box.MinX + r.Float64()*30
+		box.MaxY = box.MinY + r.Float64()*30
+		got := tr.SearchRect(box, nil)
+		sort.Ints(got)
+		var want []int
+		for i, p := range pts {
+			if box.Contains(p) {
+				want = append(want, i)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("rect size %d, want %d", len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("rect idx mismatch at %d", i)
+			}
+		}
+	}
+}
+
+func TestRangeQueryMatchesCount(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	pts := randomPoints(r, 700)
+	tr := New(pts)
+	for trial := 0; trial < 60; trial++ {
+		q := geom.Point{X: r.Float64() * 100, Y: r.Float64() * 100}
+		rad := r.Float64() * 25
+		got := tr.RangeQuery(q, rad, nil)
+		if len(got) != tr.RangeCount(q, rad) {
+			t.Fatalf("query %d vs count %d", len(got), tr.RangeCount(q, rad))
+		}
+		for _, i := range got {
+			if pts[i].Dist2(q) > rad*rad {
+				t.Fatal("out-of-range index returned")
+			}
+		}
+	}
+}
+
+func TestDuplicatesAndCollinear(t *testing.T) {
+	pts := make([]geom.Point, 300)
+	for i := range pts {
+		switch {
+		case i < 100:
+			pts[i] = geom.Point{X: 5, Y: 5}
+		default:
+			pts[i] = geom.Point{X: float64(i), Y: 0}
+		}
+	}
+	tr := New(pts)
+	if got := tr.RangeCount(geom.Point{X: 5, Y: 5}, 0); got != 100 {
+		t.Errorf("duplicates = %d", got)
+	}
+	if got := tr.RangeCount(geom.Point{X: 200, Y: 0}, 10.5); got != 21 {
+		t.Errorf("collinear = %d, want 21", got)
+	}
+}
+
+// testing/quick: STR packing must not lose or duplicate points for any
+// cloud shape.
+func TestQuickFullCover(t *testing.T) {
+	f := func(pts []geom.Point) bool {
+		tr := New(pts)
+		all := tr.SearchRect(geom.BBox{MinX: -1e9, MinY: -1e9, MaxX: 1e9, MaxY: 1e9}, nil)
+		if len(all) != len(pts) {
+			return false
+		}
+		seen := make(map[int]bool, len(all))
+		for _, i := range all {
+			if seen[i] {
+				return false
+			}
+			seen[i] = true
+		}
+		return true
+	}
+	cfg := &quick.Config{
+		MaxCount: 200,
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			args[0] = reflect.ValueOf(randomPoints(r, r.Intn(600)))
+		},
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,355 @@
+package kde
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"geostat/internal/dataset"
+	"geostat/internal/geom"
+	"geostat/internal/kernel"
+)
+
+// ---- MultiBandwidth (SAFE-style bandwidth sharing) ----
+
+func TestMultiBandwidthMatchesPerBandwidthExact(t *testing.T) {
+	pts := clusteredPoints(20, 400)
+	grid := geom.NewPixelGrid(box, 24, 20)
+	bandwidths := []float64{2, 5, 9, 16, 30}
+	for _, kt := range []kernel.Type{kernel.Uniform, kernel.Epanechnikov, kernel.Quartic, kernel.Triweight} {
+		surfaces, err := MultiBandwidth(pts, grid, kt, bandwidths, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(surfaces) != len(bandwidths) {
+			t.Fatalf("%v: %d surfaces", kt, len(surfaces))
+		}
+		for bi, b := range bandwidths {
+			want, err := Exact(pts, Options{Kernel: kernel.MustNew(kt, b), Grid: grid})
+			if err != nil {
+				t.Fatal(err)
+			}
+			d, _ := surfaces[bi].MaxAbsDiff(want)
+			_, peak := want.MinMax()
+			if d > 1e-9*(1+peak) {
+				t.Errorf("%v b=%v: multi-bandwidth differs by %v", kt, b, d)
+			}
+		}
+	}
+}
+
+func TestMultiBandwidthValidation(t *testing.T) {
+	pts := clusteredPoints(21, 20)
+	grid := geom.NewPixelGrid(box, 8, 8)
+	if _, err := MultiBandwidth(pts, grid, kernel.Gaussian, []float64{1}, 0); err == nil {
+		t.Error("Gaussian accepted")
+	}
+	if _, err := MultiBandwidth(pts, grid, kernel.Quartic, nil, 0); err == nil {
+		t.Error("empty bandwidths accepted")
+	}
+	if _, err := MultiBandwidth(pts, grid, kernel.Quartic, []float64{5, 5}, 0); err == nil {
+		t.Error("non-increasing bandwidths accepted")
+	}
+	if _, err := MultiBandwidth(pts, grid, kernel.Quartic, []float64{-1, 2}, 0); err == nil {
+		t.Error("negative bandwidth accepted")
+	}
+	if _, err := MultiBandwidth(pts, geom.PixelGrid{}, kernel.Quartic, []float64{1}, 0); err == nil {
+		t.Error("zero grid accepted")
+	}
+}
+
+func TestMultiBandwidthParallelMatchesSerial(t *testing.T) {
+	pts := clusteredPoints(22, 300)
+	grid := geom.NewPixelGrid(box, 20, 16)
+	bw := []float64{3, 8, 15}
+	serial, err := MultiBandwidth(pts, grid, kernel.Quartic, bw, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := MultiBandwidth(pts, grid, kernel.Quartic, bw, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range bw {
+		if d, _ := serial[i].MaxAbsDiff(par[i]); d > 1e-12 {
+			t.Errorf("b=%v: parallel differs by %v", bw[i], d)
+		}
+	}
+}
+
+// ---- Adaptive KDV ----
+
+func TestAdaptiveUniformBandwidthMatchesFixed(t *testing.T) {
+	// With every per-point bandwidth equal, adaptive == fixed KDV.
+	pts := clusteredPoints(23, 300)
+	grid := geom.NewPixelGrid(box, 24, 20)
+	const b = 9.0
+	bw := make([]float64, len(pts))
+	for i := range bw {
+		bw[i] = b
+	}
+	adaptive, err := Adaptive(pts, bw, kernel.Quartic, grid, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed, err := Exact(pts, Options{Kernel: kernel.MustNew(kernel.Quartic, b), Grid: grid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := adaptive.MaxAbsDiff(fixed)
+	_, peak := fixed.MinMax()
+	if d > 1e-9*(1+peak) {
+		t.Errorf("adaptive(const b) differs from fixed by %v", d)
+	}
+}
+
+func TestAdaptiveValidation(t *testing.T) {
+	pts := clusteredPoints(24, 10)
+	grid := geom.NewPixelGrid(box, 8, 8)
+	if _, err := Adaptive(pts, []float64{1}, kernel.Quartic, grid, 0); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	bw := make([]float64, len(pts))
+	for i := range bw {
+		bw[i] = 1
+	}
+	if _, err := Adaptive(pts, bw, kernel.Gaussian, grid, 0); err == nil {
+		t.Error("Gaussian accepted")
+	}
+	bw[3] = -1
+	if _, err := Adaptive(pts, bw, kernel.Quartic, grid, 0); err == nil {
+		t.Error("negative bandwidth accepted")
+	}
+	if _, err := Adaptive(pts, bw[:0], kernel.Quartic, geom.PixelGrid{}, 0); err == nil {
+		t.Error("zero grid accepted")
+	}
+}
+
+func TestAdaptiveParallelMatchesSerial(t *testing.T) {
+	pts := clusteredPoints(25, 500)
+	grid := geom.NewPixelGrid(box, 30, 24)
+	bw, err := AdaptiveBandwidths(pts, 8, 1.0, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := Adaptive(pts, bw, kernel.Quartic, grid, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Adaptive(pts, bw, kernel.Quartic, grid, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := serial.MaxAbsDiff(par); d > 1e-9 {
+		t.Errorf("parallel adaptive differs by %v", d)
+	}
+}
+
+func TestAdaptiveBandwidthsStructure(t *testing.T) {
+	// Dense cluster points get smaller bandwidths than isolated ones.
+	r := rand.New(rand.NewSource(26))
+	dense := dataset.GaussianClusters(r, 200, box, []dataset.Cluster{
+		{Center: geom.Point{X: 30, Y: 40}, Sigma: 2, Weight: 1},
+	}, 0).Points
+	isolated := geom.Point{X: 95, Y: 75}
+	pts := append(dense, isolated)
+	bw, err := AdaptiveBandwidths(pts, 5, 1.0, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanDense := 0.0
+	for _, b := range bw[:len(dense)] {
+		meanDense += b
+	}
+	meanDense /= float64(len(dense))
+	if bw[len(bw)-1] < 5*meanDense {
+		t.Errorf("isolated bandwidth %v not ≫ dense mean %v", bw[len(bw)-1], meanDense)
+	}
+	// Floor respected.
+	all := make([]geom.Point, 10)
+	for i := range all {
+		all[i] = geom.Point{X: 1, Y: 1} // duplicates: kNN distance 0
+	}
+	bw, err = AdaptiveBandwidths(all, 3, 1.0, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range bw {
+		if b != 0.75 {
+			t.Fatalf("floor not applied: %v", b)
+		}
+	}
+	if _, err := AdaptiveBandwidths(pts, 0, 1, 1); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := AdaptiveBandwidths(pts, 3, 0, 1); err == nil {
+		t.Error("zero scale accepted")
+	}
+}
+
+// ---- Bandwidth selection ----
+
+func TestSilvermanBandwidth(t *testing.T) {
+	// Known variance: points on a circle of radius r have σ_x = σ_y = r/√2.
+	var pts []geom.Point
+	const n, r = 1000, 10.0
+	for i := 0; i < n; i++ {
+		theta := 2 * math.Pi * float64(i) / n
+		pts = append(pts, geom.Point{X: r * math.Cos(theta), Y: r * math.Sin(theta)})
+	}
+	b, err := SilvermanBandwidth(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := r / math.Sqrt2 * math.Pow(n, -1.0/6)
+	if math.Abs(b-want)/want > 0.01 {
+		t.Errorf("Silverman = %v, want %v", b, want)
+	}
+	if _, err := SilvermanBandwidth(pts[:1]); err == nil {
+		t.Error("single point accepted")
+	}
+	same := []geom.Point{{X: 1, Y: 1}, {X: 1, Y: 1}}
+	if _, err := SilvermanBandwidth(same); err == nil {
+		t.Error("zero variance accepted")
+	}
+}
+
+func TestSelectBandwidthCVPrefersTrueScale(t *testing.T) {
+	// Data from Gaussian blobs with σ=3: CV should prefer a bandwidth near
+	// the blob scale over extreme candidates.
+	r := rand.New(rand.NewSource(27))
+	pts := dataset.GaussianClusters(r, 600, box, []dataset.Cluster{
+		{Center: geom.Point{X: 30, Y: 30}, Sigma: 3, Weight: 1},
+		{Center: geom.Point{X: 70, Y: 60}, Sigma: 3, Weight: 1},
+	}, 0.05).Points
+	best, err := SelectBandwidthCV(pts, kernel.Quartic, []float64{0.3, 4, 60}, 5, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best != 4 {
+		t.Errorf("CV chose %v, want 4 (blob scale)", best)
+	}
+}
+
+func TestSelectBandwidthCVValidation(t *testing.T) {
+	pts := clusteredPoints(28, 100)
+	r := rand.New(rand.NewSource(1))
+	if _, err := SelectBandwidthCV(pts, kernel.Quartic, nil, 5, r); err == nil {
+		t.Error("no candidates accepted")
+	}
+	if _, err := SelectBandwidthCV(pts, kernel.Quartic, []float64{1}, 1, r); err == nil {
+		t.Error("folds=1 accepted")
+	}
+	if _, err := SelectBandwidthCV(pts[:4], kernel.Quartic, []float64{1}, 5, r); err == nil {
+		t.Error("too few points accepted")
+	}
+	if _, err := SelectBandwidthCV(pts, kernel.Gaussian, []float64{1}, 5, r); err == nil {
+		t.Error("Gaussian accepted")
+	}
+	if _, err := SelectBandwidthCV(pts, kernel.Quartic, []float64{-1}, 5, r); err == nil {
+		t.Error("negative candidate accepted")
+	}
+	if _, err := SelectBandwidthCV(pts, kernel.Quartic, []float64{1}, 5, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+// ---- Weighted KDV ----
+
+func TestWeightedKDVAllMethodsAgree(t *testing.T) {
+	pts := clusteredPoints(70, 300)
+	r := rand.New(rand.NewSource(70))
+	weights := make([]float64, len(pts))
+	for i := range weights {
+		weights[i] = 0.5 + r.Float64()*3
+	}
+	opt := Options{
+		Kernel:  kernel.MustNew(kernel.Quartic, 9),
+		Grid:    geom.NewPixelGrid(box, 22, 18),
+		Weights: weights,
+	}
+	naive, err := Naive(pts, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut, err := GridCutoff(pts, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep, err := SweepLine(pts, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, peak := naive.MinMax()
+	if d, _ := cut.MaxAbsDiff(naive); d > 1e-9*(1+peak) {
+		t.Errorf("weighted cutoff differs by %v", d)
+	}
+	if d, _ := sweep.MaxAbsDiff(naive); d > 1e-9*(1+peak) {
+		t.Errorf("weighted sweep differs by %v", d)
+	}
+	// Integer-weight equivalence: weight 3 == the point appearing 3 times.
+	p3 := []geom.Point{{X: 40, Y: 40}, {X: 60, Y: 55}}
+	w3 := []float64{3, 1}
+	opt3 := opt
+	opt3.Weights = w3
+	weighted, err := SweepLine(p3, opt3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expanded := []geom.Point{p3[0], p3[0], p3[0], p3[1]}
+	opt3.Weights = nil
+	dup, err := SweepLine(expanded, opt3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := weighted.MaxAbsDiff(dup); d > 1e-9 {
+		t.Errorf("integer weights != duplication by %v", d)
+	}
+}
+
+func TestWeightedKDVValidation(t *testing.T) {
+	pts := clusteredPoints(71, 20)
+	opt := Options{
+		Kernel:  kernel.MustNew(kernel.Quartic, 9),
+		Grid:    geom.NewPixelGrid(box, 8, 8),
+		Weights: []float64{1, 2}, // wrong length
+	}
+	if _, err := Naive(pts, opt); err == nil {
+		t.Error("wrong-length weights accepted by Naive")
+	}
+	if _, err := GridCutoff(pts, opt); err == nil {
+		t.Error("wrong-length weights accepted by GridCutoff")
+	}
+	if _, err := SweepLine(pts, opt); err == nil {
+		t.Error("wrong-length weights accepted by SweepLine")
+	}
+	ok := make([]float64, len(pts))
+	for i := range ok {
+		ok[i] = 1
+	}
+	opt.Weights = ok
+	if _, err := BoundApprox(pts, opt, 0.1); err == nil {
+		t.Error("weights accepted by BoundApprox")
+	}
+	if _, err := Sampled(pts, opt, rand.New(rand.NewSource(1)), 0.1, 0.1); err == nil {
+		t.Error("weights accepted by Sampled")
+	}
+}
+
+func TestWeightedNormalizeIntegratesToOne(t *testing.T) {
+	pts := []geom.Point{{X: 50, Y: 40}, {X: 52, Y: 42}}
+	opt := Options{
+		Kernel:    kernel.MustNew(kernel.Quartic, 10),
+		Grid:      geom.NewPixelGrid(box, 200, 160),
+		Normalize: true,
+		Weights:   []float64{3, 1},
+	}
+	out, err := GridCutoff(pts, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	integral := out.Sum() * opt.Grid.CellW() * opt.Grid.CellH()
+	if math.Abs(integral-1) > 0.02 {
+		t.Errorf("weighted normalised integral = %v, want ≈1", integral)
+	}
+}

@@ -1,0 +1,144 @@
+package kde
+
+import (
+	"fmt"
+	"sort"
+
+	"geostat/internal/geom"
+	"geostat/internal/kernel"
+	"geostat/internal/raster"
+)
+
+// Stream maintains a KDV surface under event insertions and removals — the
+// interactive/streaming-KDE use case the paper's §2.2 cites ([67]: live
+// visualization of arriving data). Each update scatters (or retracts) one
+// kernel footprint: O(footprint) per event, no recomputation of the rest
+// of the surface. Finite-support kernels only.
+type Stream struct {
+	k      kernel.Kernel
+	grid   geom.PixelGrid
+	values []float64
+	count  int
+}
+
+// NewStream returns an empty streaming surface.
+func NewStream(k kernel.Kernel, grid geom.PixelGrid) (*Stream, error) {
+	if k.Bandwidth() <= 0 {
+		return nil, fmt.Errorf("kde: kernel not initialised; use kernel.New")
+	}
+	if !k.FiniteSupport() {
+		return nil, fmt.Errorf("kde: streaming requires a finite-support kernel, got %v", k.Type())
+	}
+	if grid.NX <= 0 || grid.NY <= 0 {
+		return nil, fmt.Errorf("kde: grid not initialised")
+	}
+	return &Stream{k: k, grid: grid, values: make([]float64, grid.NumPixels())}, nil
+}
+
+// Count returns the number of live events.
+func (s *Stream) Count() int { return s.count }
+
+// Add inserts an event.
+func (s *Stream) Add(p geom.Point) {
+	s.apply(p, +1)
+	s.count++
+}
+
+// Remove retracts a previously added event. Removing an event that was
+// never added silently corrupts the surface (the stream keeps no event
+// log); the sliding-window driver below guarantees matched add/remove.
+func (s *Stream) Remove(p geom.Point) {
+	s.apply(p, -1)
+	s.count--
+}
+
+func (s *Stream) apply(p geom.Point, sign float64) {
+	b := s.k.Bandwidth()
+	colLo, colHi := s.grid.ColRange(p.X, b)
+	rowLo, rowHi := s.grid.RowRange(p.Y, b)
+	for iy := rowLo; iy < rowHi; iy++ {
+		dy := s.grid.CenterY(iy) - p.Y
+		dy2 := dy * dy
+		base := iy * s.grid.NX
+		for ix := colLo; ix < colHi; ix++ {
+			dx := s.grid.CenterX(ix) - p.X
+			if v := s.k.Eval2(dx*dx + dy2); v != 0 {
+				s.values[base+ix] += sign * v
+			}
+		}
+	}
+}
+
+// Snapshot returns a copy of the current surface.
+func (s *Stream) Snapshot() *raster.Grid {
+	return &raster.Grid{Spec: s.grid, Values: append([]float64(nil), s.values...)}
+}
+
+// Surface returns the live surface (shared storage; mutated by updates).
+func (s *Stream) Surface() *raster.Grid {
+	return &raster.Grid{Spec: s.grid, Values: s.values}
+}
+
+// WindowStream drives a Stream over a time-ordered event log with a
+// sliding window: after Advance(now), the surface holds exactly the events
+// with now−width < t ≤ now. This is the live hotspot-map loop: each frame
+// advances the clock and renders the snapshot.
+type WindowStream struct {
+	stream *Stream
+	pts    []geom.Point
+	times  []float64
+	width  float64
+	addI   int // next event to add (t <= now)
+	remI   int // next event to remove (t <= now-width)
+}
+
+// NewWindowStream sorts the events by time and returns a driver with the
+// given window width. The input slices are not modified.
+func NewWindowStream(k kernel.Kernel, grid geom.PixelGrid, pts []geom.Point, times []float64, width float64) (*WindowStream, error) {
+	if len(pts) != len(times) {
+		return nil, fmt.Errorf("kde: %d points but %d times", len(pts), len(times))
+	}
+	if !(width > 0) {
+		return nil, fmt.Errorf("kde: window width must be positive, got %g", width)
+	}
+	s, err := NewStream(k, grid)
+	if err != nil {
+		return nil, err
+	}
+	order := make([]int, len(pts))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return times[order[a]] < times[order[b]] })
+	w := &WindowStream{
+		stream: s,
+		pts:    make([]geom.Point, len(pts)),
+		times:  make([]float64, len(pts)),
+		width:  width,
+	}
+	for i, oi := range order {
+		w.pts[i] = pts[oi]
+		w.times[i] = times[oi]
+	}
+	return w, nil
+}
+
+// Advance moves the clock forward to now (monotone: rewinding is not
+// supported) and updates the surface to the events in (now−width, now].
+func (w *WindowStream) Advance(now float64) {
+	for w.addI < len(w.pts) && w.times[w.addI] <= now {
+		w.stream.Add(w.pts[w.addI])
+		w.addI++
+	}
+	cutoff := now - w.width
+	for w.remI < w.addI && w.times[w.remI] <= cutoff {
+		w.stream.Remove(w.pts[w.remI])
+		w.remI++
+	}
+}
+
+// Snapshot returns a copy of the current window's surface.
+func (w *WindowStream) Snapshot() *raster.Grid { return w.stream.Snapshot() }
+
+// Live returns the number of events currently in the window.
+func (w *WindowStream) Live() int { return w.stream.Count() }

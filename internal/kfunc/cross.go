@@ -1,0 +1,192 @@
+package kfunc
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"geostat/internal/geom"
+	gridindex "geostat/internal/index/grid"
+)
+
+// Cross-type and space-time interaction extensions of the K-function
+// family: the bivariate (cross) K-function used to ask "do type-1 events
+// cluster around type-2 events?" (crimes around bars, cases around
+// outbreak sources), and the Knox test — the classic closed-form screen
+// for space-time interaction that Equation 8's full surface generalises.
+
+// CrossCount returns the number of (a, b) pairs with dist(a_i, b_j) <= s —
+// the raw bivariate K-function numerator K_12(s).
+func CrossCount(a, b []geom.Point, s float64) int {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	idx := gridindex.New(b, s)
+	count := 0
+	for _, p := range a {
+		count += idx.RangeCount(p, s)
+	}
+	return count
+}
+
+// CrossCurve evaluates the cross count at every threshold (ascending) in
+// one pass over the close pairs.
+func CrossCurve(a, b []geom.Point, thresholds []float64) ([]int, error) {
+	if err := checkThresholds(thresholds); err != nil {
+		return nil, err
+	}
+	out := make([]int, len(thresholds))
+	if len(a) == 0 || len(b) == 0 {
+		return out, nil
+	}
+	sMax := thresholds[len(thresholds)-1]
+	idx := gridindex.New(b, sMax)
+	hist := make([]int64, len(thresholds))
+	for _, p := range a {
+		idx.ForEachInRange(p, sMax, func(_ int, d2 float64) {
+			bin := sort.SearchFloat64s(thresholds, math.Sqrt(d2))
+			if bin < len(hist) {
+				hist[bin]++
+			}
+		})
+	}
+	running := int64(0)
+	for i := range hist {
+		running += hist[i]
+		out[i] = int(running)
+	}
+	return out, nil
+}
+
+// CrossPlot computes a bivariate K-function plot under the random-labelling
+// null: the observed K_12 curve plus min/max envelopes over sims random
+// reassignments of the type labels across the pooled points. Exceeding the
+// envelope means the two types attract each other beyond what their pooled
+// spatial pattern explains.
+func CrossPlot(a, b []geom.Point, thresholds []float64, sims int, rng *rand.Rand) (*Plot, error) {
+	if sims < 1 {
+		return nil, fmt.Errorf("kfunc: need at least 1 simulation, got %d", sims)
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return nil, fmt.Errorf("kfunc: both types need events (%d, %d)", len(a), len(b))
+	}
+	obs, err := CrossCurve(a, b, thresholds)
+	if err != nil {
+		return nil, err
+	}
+	d := len(thresholds)
+	p := &Plot{
+		S:   append([]float64(nil), thresholds...),
+		K:   make([]float64, d),
+		Lo:  make([]float64, d),
+		Hi:  make([]float64, d),
+		Sim: sims,
+	}
+	for i, c := range obs {
+		p.K[i] = float64(c)
+		p.Lo[i] = math.Inf(1)
+		p.Hi[i] = math.Inf(-1)
+	}
+	pool := make([]geom.Point, 0, len(a)+len(b))
+	pool = append(pool, a...)
+	pool = append(pool, b...)
+	for l := 0; l < sims; l++ {
+		rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+		counts, err := CrossCurve(pool[:len(a)], pool[len(a):], thresholds)
+		if err != nil {
+			return nil, err
+		}
+		for i, c := range counts {
+			v := float64(c)
+			p.Lo[i] = math.Min(p.Lo[i], v)
+			p.Hi[i] = math.Max(p.Hi[i], v)
+		}
+	}
+	return p, nil
+}
+
+// KnoxResult is the Knox test for space-time interaction.
+type KnoxResult struct {
+	Statistic int     // pairs close in BOTH space and time
+	PermMean  float64 // mean under time permutation
+	PermStd   float64
+	Z         float64
+	P         float64 // upper-tail pseudo p-value (interaction inflates the count)
+	Perms     int
+}
+
+// Knox counts unordered pairs simultaneously within spatial threshold s
+// and temporal threshold t, and tests it against perms random permutations
+// of the times over the fixed locations — the classical space-time
+// interaction screen (Equation 8's K(s,t) at a single threshold pair, with
+// the correct conditional null).
+func Knox(pts []geom.Point, times []float64, s, t float64, perms int, rng *rand.Rand) (*KnoxResult, error) {
+	n := len(pts)
+	if len(times) != n {
+		return nil, fmt.Errorf("kfunc: %d points but %d times", n, len(times))
+	}
+	if n < 3 {
+		return nil, fmt.Errorf("kfunc: Knox needs at least 3 events, got %d", n)
+	}
+	if perms < 1 {
+		return nil, fmt.Errorf("kfunc: Knox needs perms >= 1, got %d", perms)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("kfunc: Knox requires a rng")
+	}
+	// Enumerate spatially-close unordered pairs ONCE; permutations only
+	// re-examine the time gaps of those pairs.
+	idx := gridindex.New(pts, s)
+	type pair struct{ i, j int32 }
+	var pairs []pair
+	for i, p := range pts {
+		idx.ForEachInRange(p, s, func(j int, _ float64) {
+			if j > i {
+				pairs = append(pairs, pair{int32(i), int32(j)})
+			}
+		})
+	}
+	countClose := func(ts []float64) int {
+		c := 0
+		for _, pr := range pairs {
+			if math.Abs(ts[pr.i]-ts[pr.j]) <= t {
+				c++
+			}
+		}
+		return c
+	}
+	obs := countClose(times)
+	perm := append([]float64(nil), times...)
+	samples := make([]float64, perms)
+	for p := range samples {
+		rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		samples[p] = float64(countClose(perm))
+	}
+	mean, std := permMeanStd(samples)
+	res := &KnoxResult{Statistic: obs, PermMean: mean, PermStd: std, Perms: perms}
+	if std > 0 {
+		res.Z = (float64(obs) - mean) / std
+	}
+	extreme := 0
+	for _, v := range samples {
+		if v >= float64(obs) {
+			extreme++
+		}
+	}
+	res.P = float64(extreme+1) / float64(perms+1)
+	return res, nil
+}
+
+func permMeanStd(xs []float64) (mean, std float64) {
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		d := x - mean
+		std += d * d
+	}
+	std = math.Sqrt(std / float64(len(xs)))
+	return mean, std
+}

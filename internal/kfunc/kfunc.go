@@ -1,0 +1,265 @@
+// Package kfunc implements Ripley's K-function (Definition 2 of the paper)
+// and its plot with Monte-Carlo envelopes (Definition 3), plus the network
+// (§2.3) and spatiotemporal (Equation 8) variants.
+//
+// Conventions. Equation 2 counts ordered pairs; this package counts
+// ordered pairs with i ≠ j (excluding the n self-pairs, which add a
+// constant and carry no spatial information — the spatstat convention).
+// Raw counts are what Definitions 2–3 compare against envelopes; the
+// normalised estimator K̂(s) = |A|·count/(n(n−1)) and Besag's L-transform
+// are provided for users who want the classical statistics.
+//
+// Acceleration families from §2.3:
+//
+//   - Naive: the O(n²) double loop per threshold.
+//   - Indexed: Σ_i RangeCount(p_i, s) over a grid or kd-tree index — the
+//     range-query-based family.
+//   - Curve: all D thresholds in ONE pass — every pair within s_max is
+//     found once via a grid index, histogrammed by distance, and the
+//     cumulative histogram yields every K(s_d) simultaneously. This is the
+//     sharing observation of §2.4 applied to K-functions.
+//   - Workers > 1 parallelises the per-point loop (the parallel family).
+package kfunc
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"geostat/internal/geom"
+	"geostat/internal/index/balltree"
+	gridindex "geostat/internal/index/grid"
+	"geostat/internal/index/kdtree"
+	"geostat/internal/index/rtree"
+)
+
+// Naive computes K_P(s) (ordered pairs, i≠j) by the O(n²) double loop —
+// the baseline whose cost §1 of the paper highlights.
+func Naive(pts []geom.Point, s float64) int {
+	s2 := s * s
+	count := 0
+	for i := range pts {
+		for j := range pts {
+			if i != j && pts[i].Dist2(pts[j]) <= s2 {
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// GridIndexed computes K_P(s) as Σ_i |R(p_i)|−1 using a uniform grid index
+// (the range-query-based method of §2.3).
+func GridIndexed(pts []geom.Point, s float64) int {
+	idx := gridindex.New(pts, s)
+	count := 0
+	for _, p := range pts {
+		count += idx.RangeCount(p, s) - 1 // exclude self
+	}
+	return count
+}
+
+// KDTreeIndexed computes K_P(s) using a kd-tree range count per point.
+func KDTreeIndexed(pts []geom.Point, s float64) int {
+	tree := kdtree.New(pts)
+	count := 0
+	for _, p := range pts {
+		count += tree.RangeCount(p, s) - 1
+	}
+	return count
+}
+
+// BallTreeIndexed computes K_P(s) using a ball-tree range count per point.
+func BallTreeIndexed(pts []geom.Point, s float64) int {
+	tree := balltree.New(pts)
+	count := 0
+	for _, p := range pts {
+		count += tree.RangeCount(p, s) - 1
+	}
+	return count
+}
+
+// RTreeIndexed computes K_P(s) using an STR R-tree range count per point —
+// the index layout of production GIS engines.
+func RTreeIndexed(pts []geom.Point, s float64) int {
+	tree := rtree.New(pts)
+	count := 0
+	for _, p := range pts {
+		count += tree.RangeCount(p, s) - 1
+	}
+	return count
+}
+
+// Curve computes the K-function at every threshold in thresholds
+// (ascending) in a single pass: pairs within the largest threshold are
+// enumerated once through a grid index and histogrammed by distance.
+// Workers parallelises the per-point enumeration (0/1 serial, <0 =
+// GOMAXPROCS).
+func Curve(pts []geom.Point, thresholds []float64, workers int) ([]int, error) {
+	if err := checkThresholds(thresholds); err != nil {
+		return nil, err
+	}
+	d := len(thresholds)
+	counts := make([]int, d)
+	if len(pts) < 2 {
+		return counts, nil
+	}
+	sMax := thresholds[d-1]
+	idx := gridindex.New(pts, sMax)
+
+	nw := normWorkers(workers)
+	hist := make([]int64, d)
+	if nw <= 1 {
+		countInto(pts, idx, thresholds, 0, len(pts), hist)
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		partials := make([][]int64, nw)
+		const chunk = 256
+		for w := 0; w < nw; w++ {
+			partials[w] = make([]int64, d)
+			wg.Add(1)
+			go func(local []int64) {
+				defer wg.Done()
+				for {
+					lo := int(next.Add(chunk)) - chunk
+					if lo >= len(pts) {
+						return
+					}
+					hi := lo + chunk
+					if hi > len(pts) {
+						hi = len(pts)
+					}
+					countInto(pts, idx, thresholds, lo, hi, local)
+				}
+			}(partials[w])
+		}
+		wg.Wait()
+		for _, p := range partials {
+			for i, v := range p {
+				hist[i] += v
+			}
+		}
+	}
+	// Cumulative: hist[d] currently holds pairs with dist in the d-th bin
+	// (between thresholds[d-1] and thresholds[d]).
+	running := int64(0)
+	for i := range hist {
+		running += hist[i]
+		counts[i] = int(running)
+	}
+	return counts, nil
+}
+
+// countInto histograms, for source points [lo, hi), every neighbour within
+// thresholds' maximum into the first threshold bin that contains its
+// distance.
+func countInto(pts []geom.Point, idx *gridindex.Index, thresholds []float64, lo, hi int, hist []int64) {
+	sMax := thresholds[len(thresholds)-1]
+	for i := lo; i < hi; i++ {
+		p := pts[i]
+		idx.ForEachInRange(p, sMax, func(j int, d2 float64) {
+			if j == i {
+				return
+			}
+			d := math.Sqrt(d2)
+			// First threshold >= d: binary search for short lists would be
+			// fine, but thresholds are few, typically ≤ 64.
+			bin := sort.SearchFloat64s(thresholds, d)
+			if bin < len(hist) {
+				hist[bin]++
+			}
+		})
+	}
+}
+
+// NaiveCurve computes the K-function at every threshold with the O(D·n²)
+// approach used by off-the-shelf packages: one full double loop per
+// threshold. It exists as the baseline for the C1 experiment.
+func NaiveCurve(pts []geom.Point, thresholds []float64) ([]int, error) {
+	if err := checkThresholds(thresholds); err != nil {
+		return nil, err
+	}
+	out := make([]int, len(thresholds))
+	for i, s := range thresholds {
+		out[i] = Naive(pts, s)
+	}
+	return out, nil
+}
+
+// Estimate converts a raw ordered-pair count into the classical unbiased
+// estimator K̂(s) = |A|·count/(n·(n−1)) for a window of the given area.
+func Estimate(count, n int, area float64) float64 {
+	if n < 2 {
+		return 0
+	}
+	return area * float64(count) / (float64(n) * float64(n-1))
+}
+
+// BesagL converts K̂ to Besag's variance-stabilised L(s) = sqrt(K̂/π).
+// Under CSR, L(s) ≈ s, making departures easy to read.
+func BesagL(kHat float64) float64 {
+	if kHat <= 0 {
+		return 0
+	}
+	return math.Sqrt(kHat / math.Pi)
+}
+
+// BorderCorrected computes the border-corrected estimator: only points
+// whose distance to the window boundary is at least s contribute as
+// sources (their discs lie fully inside the window, so their counts are
+// unbiased). It returns the corrected K̂(s) and the number of eligible
+// source points; ok=false means no point is eligible at this s.
+func BorderCorrected(pts []geom.Point, s float64, window geom.BBox) (kHat float64, eligible int, ok bool) {
+	n := len(pts)
+	if n < 2 {
+		return 0, 0, false
+	}
+	idx := gridindex.New(pts, s)
+	total := 0
+	for _, p := range pts {
+		if p.X-window.MinX < s || window.MaxX-p.X < s ||
+			p.Y-window.MinY < s || window.MaxY-p.Y < s {
+			continue
+		}
+		eligible++
+		total += idx.RangeCount(p, s) - 1
+	}
+	if eligible == 0 {
+		return 0, 0, false
+	}
+	lambda := float64(n) / window.Area()
+	// K̂ = mean neighbours per eligible source / intensity.
+	return float64(total) / (float64(eligible) * lambda), eligible, true
+}
+
+func checkThresholds(ts []float64) error {
+	if len(ts) == 0 {
+		return fmt.Errorf("kfunc: no thresholds")
+	}
+	prev := math.Inf(-1)
+	for i, t := range ts {
+		if !(t >= 0) {
+			return fmt.Errorf("kfunc: threshold %d is %g, want >= 0", i, t)
+		}
+		if t <= prev {
+			return fmt.Errorf("kfunc: thresholds must be strictly increasing (index %d)", i)
+		}
+		prev = t
+	}
+	return nil
+}
+
+func normWorkers(w int) int {
+	switch {
+	case w < 0:
+		return runtime.GOMAXPROCS(0)
+	case w == 0:
+		return 1
+	default:
+		return w
+	}
+}

@@ -1,0 +1,132 @@
+package kfunc
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"geostat/internal/dataset"
+	"geostat/internal/geom"
+)
+
+// Regime classifies a dataset's behaviour at one threshold relative to the
+// Monte-Carlo envelope (the reading of Figure 2 in the paper).
+type Regime int
+
+const (
+	// Random: K within [L(s), U(s)] — indistinguishable from CSR.
+	Random Regime = iota
+	// Clustered: K above U(s) — meaningful hotspots at this scale.
+	Clustered
+	// Dispersed: K below L(s) — points repel at this scale.
+	Dispersed
+)
+
+// String returns the regime name.
+func (r Regime) String() string {
+	switch r {
+	case Clustered:
+		return "clustered"
+	case Dispersed:
+		return "dispersed"
+	default:
+		return "random"
+	}
+}
+
+// Plot is a K-function plot (Definition 3): the observed curve K(s_d) and
+// the pointwise min/max envelope over L simulated CSR datasets.
+type Plot struct {
+	S   []float64 // thresholds s_1..s_D
+	K   []float64 // observed K_P(s_d), raw ordered-pair counts
+	Lo  []float64 // L(s_d) = min over simulations (Equation 4)
+	Hi  []float64 // U(s_d) = max over simulations (Equation 5)
+	Sim int       // number of simulations L
+}
+
+// RegimeAt classifies the dataset at threshold index d per Figure 2.
+func (p *Plot) RegimeAt(d int) Regime {
+	switch {
+	case p.K[d] > p.Hi[d]:
+		return Clustered
+	case p.K[d] < p.Lo[d]:
+		return Dispersed
+	default:
+		return Random
+	}
+}
+
+// PlotOptions configures MakePlot.
+type PlotOptions struct {
+	// Thresholds are the s_1 < ... < s_D evaluation distances.
+	Thresholds []float64
+	// Simulations is L, the number of random datasets for the envelope.
+	Simulations int
+	// Window is the region CSR simulations draw from. A zero box means the
+	// data's bounding box.
+	Window geom.BBox
+	// Workers parallelises both the observed curve and each simulation.
+	Workers int
+}
+
+// MakePlotWithNull computes a K-function plot whose envelope comes from a
+// caller-supplied null model: simulate is called opt.Simulations times and
+// must return a dataset of comparable size. This generalises Definition 3
+// beyond CSR — e.g. pass a SampleFromIntensity closure for the
+// inhomogeneous null ("same first-order intensity, no interaction"), or a
+// random-labelling null for marked patterns.
+func MakePlotWithNull(pts []geom.Point, opt PlotOptions, simulate func() []geom.Point) (*Plot, error) {
+	if opt.Simulations < 1 {
+		return nil, fmt.Errorf("kfunc: need at least 1 simulation, got %d", opt.Simulations)
+	}
+	if err := checkThresholds(opt.Thresholds); err != nil {
+		return nil, err
+	}
+	d := len(opt.Thresholds)
+	p := &Plot{
+		S:   append([]float64(nil), opt.Thresholds...),
+		K:   make([]float64, d),
+		Lo:  make([]float64, d),
+		Hi:  make([]float64, d),
+		Sim: opt.Simulations,
+	}
+	obs, err := Curve(pts, opt.Thresholds, opt.Workers)
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range obs {
+		p.K[i] = float64(c)
+		p.Lo[i] = math.Inf(1)
+		p.Hi[i] = math.Inf(-1)
+	}
+	for l := 0; l < opt.Simulations; l++ {
+		counts, err := Curve(simulate(), opt.Thresholds, opt.Workers)
+		if err != nil {
+			return nil, err
+		}
+		for i, c := range counts {
+			v := float64(c)
+			p.Lo[i] = math.Min(p.Lo[i], v)
+			p.Hi[i] = math.Max(p.Hi[i], v)
+		}
+	}
+	return p, nil
+}
+
+// MakePlot computes a K-function plot for pts: the observed curve plus
+// min/max envelopes over opt.Simulations CSR datasets of the same size
+// (Definition 3). rng drives the simulations; pass a seeded source for
+// reproducibility.
+func MakePlot(pts []geom.Point, opt PlotOptions, rng *rand.Rand) (*Plot, error) {
+	window := opt.Window
+	if window.IsEmpty() || window.Area() == 0 {
+		window = geom.NewBBox(pts)
+		if window.IsEmpty() || window.Area() == 0 {
+			return nil, fmt.Errorf("kfunc: degenerate window; provide PlotOptions.Window")
+		}
+	}
+	n := len(pts)
+	return MakePlotWithNull(pts, opt, func() []geom.Point {
+		return dataset.UniformCSR(rng, n, window).Points
+	})
+}

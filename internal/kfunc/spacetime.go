@@ -1,0 +1,217 @@
+package kfunc
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"geostat/internal/dataset"
+	"geostat/internal/geom"
+	gridindex "geostat/internal/index/grid"
+)
+
+// Spatiotemporal K-function (Equation 8 of the paper): pairs are counted
+// when BOTH the spatial distance is within s and the time gap is within t.
+// The plot (Figure 6) is a surface over an M×T grid of (s_α, t_β)
+// thresholds with min/max envelopes from L simulations (Equations 9–10).
+
+// STNaive computes K(s, t) by the O(n²) double loop (i ≠ j ordered pairs).
+func STNaive(pts []geom.Point, times []float64, s, t float64) int {
+	s2 := s * s
+	count := 0
+	for i := range pts {
+		for j := range pts {
+			if i == j {
+				continue
+			}
+			if pts[i].Dist2(pts[j]) <= s2 && math.Abs(times[i]-times[j]) <= t {
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// STSurface computes K(s_α, t_β) for every combination of the ascending
+// spatial and temporal thresholds in ONE pass over the close pairs: each
+// pair within (s_max, any t) is binned into the 2-D histogram
+// (spatial bin, temporal bin) and a 2-D cumulative sum yields the full
+// surface. Row α·len(tThresholds)+β of the result is K(s_α, t_β).
+func STSurface(pts []geom.Point, times []float64, sThresholds, tThresholds []float64, workers int) ([]int, error) {
+	if err := checkThresholds(sThresholds); err != nil {
+		return nil, fmt.Errorf("spatial: %w", err)
+	}
+	if err := checkThresholds(tThresholds); err != nil {
+		return nil, fmt.Errorf("temporal: %w", err)
+	}
+	if len(times) != len(pts) {
+		return nil, fmt.Errorf("kfunc: %d points but %d times", len(pts), len(times))
+	}
+	m, tt := len(sThresholds), len(tThresholds)
+	out := make([]int, m*tt)
+	if len(pts) < 2 {
+		return out, nil
+	}
+	sMax := sThresholds[m-1]
+	tMax := tThresholds[tt-1]
+	idx := gridindex.New(pts, sMax)
+
+	// hist[(sBin)·(tt+1) + tBin] counts pairs whose distance falls in
+	// spatial bin sBin and time gap in temporal bin tBin; bin == len means
+	// "beyond the largest threshold" and is dropped by the cumulation.
+	width := tt + 1
+	hist := make([]int64, (m+1)*width)
+	binPair := func(local []int64, i int) {
+		p := pts[i]
+		ti := times[i]
+		idx.ForEachInRange(p, sMax, func(j int, d2 float64) {
+			if j == i {
+				return
+			}
+			dt := math.Abs(times[j] - ti)
+			if dt > tMax {
+				return
+			}
+			sBin := sort.SearchFloat64s(sThresholds, math.Sqrt(d2))
+			tBin := sort.SearchFloat64s(tThresholds, dt)
+			local[sBin*width+tBin]++
+		})
+	}
+
+	nw := normWorkers(workers)
+	if nw <= 1 {
+		for i := range pts {
+			binPair(hist, i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		const chunk = 256
+		for w := 0; w < nw; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				local := make([]int64, len(hist))
+				for {
+					lo := int(next.Add(chunk)) - chunk
+					if lo >= len(pts) {
+						break
+					}
+					hi := lo + chunk
+					if hi > len(pts) {
+						hi = len(pts)
+					}
+					for i := lo; i < hi; i++ {
+						binPair(local, i)
+					}
+				}
+				mu.Lock()
+				for i, v := range local {
+					hist[i] += v
+				}
+				mu.Unlock()
+			}()
+		}
+		wg.Wait()
+	}
+
+	// 2-D cumulative over bins (excluding the overflow row/col).
+	cum := make([]int64, (m+1)*width)
+	for a := 0; a < m; a++ {
+		for b := 0; b < tt; b++ {
+			c := hist[a*width+b]
+			if a > 0 {
+				c += cum[(a-1)*width+b]
+			}
+			if b > 0 {
+				c += cum[a*width+b-1]
+			}
+			if a > 0 && b > 0 {
+				c -= cum[(a-1)*width+b-1]
+			}
+			cum[a*width+b] = c
+			out[a*tt+b] = int(c)
+		}
+	}
+	return out, nil
+}
+
+// STPlot is a spatiotemporal K-function plot (Figure 6): observed surface
+// plus envelopes, flattened row-major with the spatial index slow.
+type STPlot struct {
+	S, T      []float64
+	K, Lo, Hi []float64 // len(S)·len(T) surfaces
+	Sim       int
+}
+
+// At returns the surface values at spatial index a, temporal index b.
+func (p *STPlot) At(a, b int) (k, lo, hi float64) {
+	i := a*len(p.T) + b
+	return p.K[i], p.Lo[i], p.Hi[i]
+}
+
+// RegimeAt classifies the dataset at threshold pair (a, b) like Figure 6.
+func (p *STPlot) RegimeAt(a, b int) Regime {
+	k, lo, hi := p.At(a, b)
+	switch {
+	case k > hi:
+		return Clustered
+	case k < lo:
+		return Dispersed
+	default:
+		return Random
+	}
+}
+
+// MakeSTPlot computes the observed K(s,t) surface and min/max envelopes
+// over sims random datasets: CSR in the window crossed with uniform times
+// over the data's time range (the space-time null model: no interaction).
+func MakeSTPlot(d *dataset.Dataset, sThresholds, tThresholds []float64, sims, workers int, rng *rand.Rand) (*STPlot, error) {
+	if !d.HasTimes() {
+		return nil, fmt.Errorf("kfunc: dataset has no event times")
+	}
+	if sims < 1 {
+		return nil, fmt.Errorf("kfunc: need at least 1 simulation, got %d", sims)
+	}
+	obs, err := STSurface(d.Points, d.Times, sThresholds, tThresholds, workers)
+	if err != nil {
+		return nil, err
+	}
+	window := d.Bounds()
+	t0, t1, _ := d.TimeRange()
+	p := &STPlot{
+		S:   append([]float64(nil), sThresholds...),
+		T:   append([]float64(nil), tThresholds...),
+		K:   make([]float64, len(obs)),
+		Lo:  make([]float64, len(obs)),
+		Hi:  make([]float64, len(obs)),
+		Sim: sims,
+	}
+	for i, c := range obs {
+		p.K[i] = float64(c)
+		p.Lo[i] = math.Inf(1)
+		p.Hi[i] = math.Inf(-1)
+	}
+	n := d.N()
+	for l := 0; l < sims; l++ {
+		sim := dataset.UniformCSR(rng, n, window)
+		sim.Times = make([]float64, n)
+		for i := range sim.Times {
+			sim.Times[i] = t0 + rng.Float64()*(t1-t0)
+		}
+		counts, err := STSurface(sim.Points, sim.Times, sThresholds, tThresholds, workers)
+		if err != nil {
+			return nil, err
+		}
+		for i, c := range counts {
+			v := float64(c)
+			p.Lo[i] = math.Min(p.Lo[i], v)
+			p.Hi[i] = math.Max(p.Hi[i], v)
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,248 @@
+package kriging
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"geostat/internal/dataset"
+	"geostat/internal/geom"
+)
+
+var box = geom.BBox{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}
+
+func smoothField(seed int64, n int, noise float64) *dataset.Dataset {
+	r := rand.New(rand.NewSource(seed))
+	d := dataset.UniformCSR(r, n, box)
+	return dataset.WithField(r, d, func(p geom.Point) float64 {
+		return math.Sin(p.X/25) * math.Cos(p.Y/25) * 10
+	}, noise)
+}
+
+func TestVariogramModels(t *testing.T) {
+	for _, m := range []Model{Spherical, Exponential, GaussianModel} {
+		v := Variogram{Model: m, Nugget: 0.5, Sill: 2, Range: 10}
+		if got := v.Eval(0); got != 0 {
+			t.Errorf("%v: γ(0) = %v, want 0", m, got)
+		}
+		// Just above zero: at least the nugget.
+		if got := v.Eval(1e-9); got < 0.5-1e-6 {
+			t.Errorf("%v: γ(0+) = %v, want >= nugget", m, got)
+		}
+		// Far beyond range: nugget + sill (exactly for spherical, ≈ for the
+		// exponential forms with their 95% convention at h=Range).
+		if got := v.Eval(100); math.Abs(got-2.5) > 0.15 {
+			t.Errorf("%v: γ(∞) = %v, want ≈ 2.5", m, got)
+		}
+		// Monotone non-decreasing.
+		prev := 0.0
+		for h := 0.0; h <= 30; h += 0.25 {
+			g := v.Eval(h)
+			if g < prev-1e-12 {
+				t.Fatalf("%v: γ not monotone at %v", m, h)
+			}
+			prev = g
+		}
+	}
+	if Spherical.String() != "spherical" || Exponential.String() != "exponential" || GaussianModel.String() != "gaussian" {
+		t.Error("model names wrong")
+	}
+}
+
+func TestEmpiricalValidation(t *testing.T) {
+	d := smoothField(1, 100, 0)
+	if _, err := Empirical(dataset.FromPoints(d.Points), 20, 10); err == nil {
+		t.Error("valueless dataset accepted")
+	}
+	if _, err := Empirical(d, 0, 10); err == nil {
+		t.Error("zero maxLag accepted")
+	}
+	if _, err := Empirical(d, 20, 0); err == nil {
+		t.Error("zero bins accepted")
+	}
+	far := &dataset.Dataset{
+		Points: []geom.Point{{X: 0, Y: 0}, {X: 1000, Y: 1000}},
+		Values: []float64{1, 2},
+	}
+	if _, err := Empirical(far, 1, 4); err == nil {
+		t.Error("no-pairs case should error")
+	}
+}
+
+func TestEmpiricalStructure(t *testing.T) {
+	d := smoothField(2, 800, 0.1)
+	bins, err := Empirical(d, 40, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bins) < 8 {
+		t.Fatalf("only %d bins populated", len(bins))
+	}
+	// A spatially correlated field: semivariance at short lags is well
+	// below semivariance at long lags.
+	if bins[0].Gamma >= bins[len(bins)-1].Gamma {
+		t.Errorf("γ(short)=%v not below γ(long)=%v", bins[0].Gamma, bins[len(bins)-1].Gamma)
+	}
+	for _, b := range bins {
+		if b.Pairs <= 0 || b.Lag <= 0 || b.Gamma < 0 {
+			t.Fatalf("invalid bin %+v", b)
+		}
+	}
+}
+
+func TestFitRecoversKnownVariogram(t *testing.T) {
+	// Synthesize empirical bins from a known model and refit.
+	truth := Variogram{Model: Spherical, Nugget: 0.3, Sill: 4, Range: 22}
+	var bins []EmpiricalBin
+	for h := 1.0; h <= 40; h += 2 {
+		bins = append(bins, EmpiricalBin{Lag: h, Gamma: truth.Eval(h), Pairs: 100})
+	}
+	got, err := Fit(bins, Spherical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Nugget-truth.Nugget) > 0.3 ||
+		math.Abs(got.Sill-truth.Sill) > 0.6 ||
+		math.Abs(got.Range-truth.Range) > 4 {
+		t.Errorf("Fit = %+v, want ≈ %+v", got, truth)
+	}
+	if _, err := Fit(nil, Spherical); err == nil {
+		t.Error("empty bins accepted")
+	}
+}
+
+func TestFitConstantField(t *testing.T) {
+	bins := []EmpiricalBin{{Lag: 5, Gamma: 0, Pairs: 10}, {Lag: 10, Gamma: 0, Pairs: 10}}
+	v, err := Fit(bins, Exponential)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Sill != 0 || v.Range <= 0 {
+		t.Errorf("flat fit = %+v", v)
+	}
+}
+
+func TestInterpolateValidation(t *testing.T) {
+	d := smoothField(3, 50, 0)
+	g := geom.NewPixelGrid(box, 5, 5)
+	v := Variogram{Model: Spherical, Nugget: 0, Sill: 1, Range: 10}
+	if _, err := Interpolate(dataset.FromPoints(d.Points), Options{Grid: g, Variogram: v}); err == nil {
+		t.Error("valueless dataset accepted")
+	}
+	if _, err := Interpolate(d, Options{Variogram: v}); err == nil {
+		t.Error("zero grid accepted")
+	}
+	if _, err := Interpolate(d, Options{Grid: g}); err == nil {
+		t.Error("unfitted variogram accepted")
+	}
+	if _, err := Interpolate(d, Options{Grid: g, Variogram: v, Neighbors: -1}); err == nil {
+		t.Error("negative neighbours accepted")
+	}
+	tiny := &dataset.Dataset{Points: []geom.Point{{X: 1, Y: 1}}, Values: []float64{2}}
+	if _, err := Interpolate(tiny, Options{Grid: g, Variogram: v}); err == nil {
+		t.Error("single sample accepted")
+	}
+}
+
+func TestExactAtSamples(t *testing.T) {
+	g := geom.NewPixelGrid(box, 20, 20)
+	q := g.Center(5, 5)
+	d := &dataset.Dataset{
+		Points: []geom.Point{q, {X: 80, Y: 80}, {X: 20, Y: 70}},
+		Values: []float64{13, 2, 5},
+	}
+	out, err := Interpolate(d, Options{
+		Grid:      g,
+		Variogram: Variogram{Model: Spherical, Nugget: 0, Sill: 1, Range: 30},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.At(5, 5); math.Abs(got-13) > 1e-9 {
+		t.Errorf("value at sample = %v, want 13", got)
+	}
+}
+
+func TestFieldRecovery(t *testing.T) {
+	d := smoothField(4, 1500, 0)
+	bins, err := Empirical(d, 40, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := Fit(bins, Spherical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := Options{Grid: geom.NewPixelGrid(box, 20, 20), Variogram: v, Neighbors: 16}
+	out, err := Interpolate(d, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(p geom.Point) float64 { return math.Sin(p.X/25) * math.Cos(p.Y/25) * 10 }
+	sumErr := 0.0
+	for iy := 0; iy < o.Grid.NY; iy++ {
+		for ix := 0; ix < o.Grid.NX; ix++ {
+			sumErr += math.Abs(out.At(ix, iy) - f(o.Grid.Center(ix, iy)))
+		}
+	}
+	mean := sumErr / float64(o.Grid.NumPixels())
+	if mean > 0.5 {
+		t.Errorf("mean kriging error %v (field amplitude 10)", mean)
+	}
+}
+
+func TestGlobalEqualsFullNeighborhood(t *testing.T) {
+	d := smoothField(5, 40, 0.1)
+	v := Variogram{Model: Exponential, Nugget: 0.1, Sill: 2, Range: 25}
+	g := geom.NewPixelGrid(box, 8, 8)
+	global, err := Interpolate(d, Options{Grid: g, Variogram: v, Neighbors: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Interpolate(d, Options{Grid: g, Variogram: v, Neighbors: d.N()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff, _ := global.MaxAbsDiff(full); diff > 1e-7 {
+		t.Errorf("global vs full-neighbourhood diff %v", diff)
+	}
+}
+
+func TestDuplicateSamplesFallback(t *testing.T) {
+	// Duplicate sites make the kriging matrix singular; the estimator must
+	// fall back instead of failing.
+	d := &dataset.Dataset{
+		Points: []geom.Point{{X: 10, Y: 10}, {X: 10, Y: 10}, {X: 90, Y: 90}},
+		Values: []float64{4, 4, 8},
+	}
+	out, err := Interpolate(d, Options{
+		Grid:      geom.NewPixelGrid(box, 6, 6),
+		Variogram: Variogram{Model: Spherical, Nugget: 0, Sill: 1, Range: 20},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range out.Values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("non-finite kriging output")
+		}
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	d := smoothField(6, 300, 0.1)
+	v := Variogram{Model: Spherical, Nugget: 0.1, Sill: 2, Range: 25}
+	o := Options{Grid: geom.NewPixelGrid(box, 10, 10), Variogram: v, Neighbors: 10}
+	serial, err := Interpolate(d, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Workers = 4
+	par, err := Interpolate(d, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff, _ := serial.MaxAbsDiff(par); diff > 1e-12 {
+		t.Errorf("parallel differs by %v", diff)
+	}
+}

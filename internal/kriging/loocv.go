@@ -1,0 +1,79 @@
+package kriging
+
+import (
+	"fmt"
+	"math"
+
+	"geostat/internal/dataset"
+	"geostat/internal/index/kdtree"
+)
+
+// CVResult summarises a leave-one-out cross-validation of an interpolator:
+// each sample is predicted from its neighbours with itself withheld.
+type CVResult struct {
+	RMSE      float64
+	MAE       float64
+	Residuals []float64 // predicted − observed, per sample
+}
+
+// LOOCV cross-validates ordinary kriging with the given variogram and
+// neighbourhood size: sample i is estimated from its k nearest other
+// samples. The headline use is comparing variogram models or neighbourhood
+// sizes without ground truth.
+func LOOCV(d *dataset.Dataset, v Variogram, neighbors int) (*CVResult, error) {
+	if !d.HasValues() {
+		return nil, fmt.Errorf("kriging: dataset has no values")
+	}
+	n := d.N()
+	if n < 3 {
+		return nil, fmt.Errorf("kriging: need at least 3 samples, got %d", n)
+	}
+	if !(v.Range > 0) {
+		return nil, fmt.Errorf("kriging: variogram not fitted (Range %g)", v.Range)
+	}
+	k := neighbors
+	if k <= 0 || k > n-1 {
+		k = n - 1
+	}
+	tree := kdtree.New(d.Points)
+	st := newSolveState(k)
+	res := &CVResult{Residuals: make([]float64, n)}
+	idxBuf := make([]int, 0, k+1)
+	d2Buf := make([]float64, 0, k+1)
+	for i, p := range d.Points {
+		// k+1 nearest includes the sample itself; withhold it. Duplicate
+		// sites keep their twin (that is the honest LOOCV answer there).
+		idx, d2 := tree.KNearest(p, k+1, nil)
+		idxBuf = idxBuf[:0]
+		d2Buf = d2Buf[:0]
+		for j, id := range idx {
+			if id == i {
+				continue
+			}
+			idxBuf = append(idxBuf, id)
+			d2Buf = append(d2Buf, d2[j])
+		}
+		if len(idxBuf) > k {
+			idxBuf = idxBuf[:k]
+			d2Buf = d2Buf[:k]
+		}
+		pred, err := st.estimateFrom(d, p, idxBuf, d2Buf, v)
+		if err != nil {
+			return nil, fmt.Errorf("kriging: LOOCV at sample %d: %w", i, err)
+		}
+		res.Residuals[i] = pred - d.Values[i]
+	}
+	finishCV(res)
+	return res, nil
+}
+
+func finishCV(res *CVResult) {
+	var sq, ab float64
+	for _, r := range res.Residuals {
+		sq += r * r
+		ab += math.Abs(r)
+	}
+	n := float64(len(res.Residuals))
+	res.RMSE = math.Sqrt(sq / n)
+	res.MAE = ab / n
+}

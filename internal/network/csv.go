@@ -1,0 +1,136 @@
+package network
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+
+	"geostat/internal/geom"
+)
+
+// Edge-list CSV interchange: one row per road segment with endpoint
+// coordinates, nodes deduplicated by exact coordinates on read. Header:
+//
+//	x1,y1,x2,y2[,length]
+//
+// (length defaults to the Euclidean segment length). This is the minimal
+// schema road-segment exports reduce to.
+
+// ReadEdgeCSV builds a graph from an edge-list CSV.
+func ReadEdgeCSV(r io.Reader) (*Graph, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("network: reading CSV header: %w", err)
+	}
+	hasLen, err := parseEdgeHeader(header)
+	if err != nil {
+		return nil, err
+	}
+	b := NewBuilder()
+	nodeAt := make(map[geom.Point]int32)
+	node := func(p geom.Point) int32 {
+		if id, ok := nodeAt[p]; ok {
+			return id
+		}
+		id := b.AddNode(p)
+		nodeAt[p] = id
+		return id
+	}
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("network: reading CSV line %d: %w", line, err)
+		}
+		vals := make([]float64, len(rec))
+		for i, s := range rec {
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return nil, fmt.Errorf("network: CSV line %d column %d: %w", line, i+1, err)
+			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("network: CSV line %d column %d: non-finite value", line, i+1)
+			}
+			vals[i] = v
+		}
+		a := node(geom.Point{X: vals[0], Y: vals[1]})
+		c := node(geom.Point{X: vals[2], Y: vals[3]})
+		if hasLen {
+			b.AddEdgeLen(a, c, vals[4])
+		} else {
+			b.AddEdge(a, c)
+		}
+	}
+	return b.Build()
+}
+
+// WriteEdgeCSV writes g as an edge-list CSV (always with the length
+// column, preserving non-geometric weights).
+func WriteEdgeCSV(w io.Writer, g *Graph) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"x1", "y1", "x2", "y2", "length"}); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for ei := 0; ei < g.NumEdges(); ei++ {
+		e := g.Edge(int32(ei))
+		a, b := g.Node(e.A), g.Node(e.B)
+		if err := cw.Write([]string{f(a.X), f(a.Y), f(b.X), f(b.Y), f(e.Length)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadEdgeCSVFile reads a graph from the named edge-list file.
+func ReadEdgeCSVFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadEdgeCSV(f)
+}
+
+// WriteEdgeCSVFile writes g to the named edge-list file.
+func WriteEdgeCSVFile(path string, g *Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteEdgeCSV(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func parseEdgeHeader(h []string) (hasLen bool, err error) {
+	base := []string{"x1", "y1", "x2", "y2"}
+	match := func(want []string) bool {
+		if len(h) != len(want) {
+			return false
+		}
+		for i := range want {
+			if h[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if match(base) {
+		return false, nil
+	}
+	if match(append(base, "length")) {
+		return true, nil
+	}
+	return false, fmt.Errorf("network: unrecognised edge CSV header %v (want x1,y1,x2,y2[,length])", h)
+}

@@ -1,0 +1,103 @@
+package network
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"geostat/internal/geom"
+)
+
+func TestEdgeCSVRoundTrip(t *testing.T) {
+	g := GridNetwork(4, 3, 10, geom.Point{X: 5, Y: 5})
+	var buf bytes.Buffer
+	if err := WriteEdgeCSV(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEdgeCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumNodes() != g.NumNodes() || back.NumEdges() != g.NumEdges() {
+		t.Fatalf("shape: %d/%d nodes, %d/%d edges",
+			back.NumNodes(), g.NumNodes(), back.NumEdges(), g.NumEdges())
+	}
+	if math.Abs(back.TotalLength()-g.TotalLength()) > 1e-9 {
+		t.Errorf("TotalLength %v vs %v", back.TotalLength(), g.TotalLength())
+	}
+	// Shortest paths must survive the round trip (node ids may differ, so
+	// compare distances between snapped positions).
+	for _, probe := range []geom.Point{{X: 5, Y: 5}, {X: 35, Y: 25}} {
+		src1, _ := g.Snap(probe)
+		src2, _ := back.Snap(probe)
+		dst := geom.Point{X: 25, Y: 15}
+		d1, _ := g.Snap(dst)
+		d2, _ := back.Snap(dst)
+		dj1 := NewDijkstra(g)
+		dj1.FromPosition(src1, math.Inf(1))
+		dj2 := NewDijkstra(back)
+		dj2.FromPosition(src2, math.Inf(1))
+		v1 := dj1.PositionDist(d1, src1, true)
+		v2 := dj2.PositionDist(d2, src2, true)
+		if math.Abs(v1-v2) > 1e-9 {
+			t.Errorf("probe %v: distance %v vs %v", probe, v1, v2)
+		}
+	}
+}
+
+func TestEdgeCSVWithoutLength(t *testing.T) {
+	in := "x1,y1,x2,y2\n0,0,3,4\n3,4,3,10\n"
+	g, err := ReadEdgeCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("shape: %d nodes, %d edges", g.NumNodes(), g.NumEdges())
+	}
+	if math.Abs(g.TotalLength()-11) > 1e-12 { // 5 + 6
+		t.Errorf("TotalLength = %v, want 11", g.TotalLength())
+	}
+}
+
+func TestEdgeCSVCustomLength(t *testing.T) {
+	in := "x1,y1,x2,y2,length\n0,0,1,0,99\n"
+	g, err := ReadEdgeCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Edge(0).Length != 99 {
+		t.Errorf("length = %v", g.Edge(0).Length)
+	}
+}
+
+func TestEdgeCSVErrors(t *testing.T) {
+	cases := []string{
+		"a,b,c,d\n",                       // bad header
+		"x1,y1,x2,y2\n1,2,3\n",            // short row
+		"x1,y1,x2,y2\n1,2,3,zap\n",        // non-numeric
+		"x1,y1,x2,y2\nNaN,2,3,4\n",        // non-finite
+		"x1,y1,x2,y2,length\n0,0,1,0,0\n", // zero length rejected by Build
+	}
+	for i, s := range cases {
+		if _, err := ReadEdgeCSV(strings.NewReader(s)); err == nil {
+			t.Errorf("case %d accepted: %q", i, s)
+		}
+	}
+}
+
+func TestEdgeCSVFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "net.csv")
+	g := GridNetwork(3, 3, 5, geom.Point{})
+	if err := WriteEdgeCSVFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEdgeCSVFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumEdges() != g.NumEdges() {
+		t.Errorf("edges %d vs %d", back.NumEdges(), g.NumEdges())
+	}
+}

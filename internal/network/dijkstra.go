@@ -1,0 +1,180 @@
+package network
+
+import "math"
+
+// Dijkstra is a reusable single-source shortest-path engine. Reuse across
+// sources amortises allocation: the per-run reset touches only the nodes
+// reached by the previous run, so n bounded searches over a graph with V
+// nodes cost O(Σ reached · log V), not O(n·V).
+type Dijkstra struct {
+	g       *Graph
+	dist    []float64
+	parent  []int32 // edge id through which each node was settled; -1 unset
+	touched []int32
+	heap    distHeap
+}
+
+// NewDijkstra returns an engine bound to g.
+func NewDijkstra(g *Graph) *Dijkstra {
+	d := &Dijkstra{
+		g:      g,
+		dist:   make([]float64, g.NumNodes()),
+		parent: make([]int32, g.NumNodes()),
+	}
+	for i := range d.dist {
+		d.dist[i] = math.Inf(1)
+		d.parent[i] = -1
+	}
+	return d
+}
+
+// reset clears state from the previous run.
+func (d *Dijkstra) reset() {
+	for _, u := range d.touched {
+		d.dist[u] = math.Inf(1)
+		d.parent[u] = -1
+	}
+	d.touched = d.touched[:0]
+	d.heap = d.heap[:0]
+}
+
+// seed sets a tentative source distance (multiple seeds express a source
+// position in the interior of an edge: its two endpoints with offset
+// distances). via records the edge the seed mass arrives through.
+func (d *Dijkstra) seed(u int32, dist float64) {
+	d.seedVia(u, dist, -1)
+}
+
+func (d *Dijkstra) seedVia(u int32, dist float64, via int32) {
+	if dist < d.dist[u] {
+		if math.IsInf(d.dist[u], 1) {
+			d.touched = append(d.touched, u)
+		}
+		d.dist[u] = dist
+		d.parent[u] = via
+		d.heap.push(nodeDist{u, dist})
+	}
+}
+
+// run executes Dijkstra until the heap empties or every remaining node is
+// farther than maxDist (use +Inf for an unbounded search).
+func (d *Dijkstra) run(maxDist float64) {
+	for len(d.heap) > 0 {
+		nd := d.heap.pop()
+		if nd.dist > d.dist[nd.node] {
+			continue // stale entry
+		}
+		if nd.dist > maxDist {
+			break
+		}
+		d.g.Neighbors(nd.node, func(v, ei int32, w float64) {
+			alt := nd.dist + w
+			if alt < d.dist[v] && alt <= maxDist {
+				if math.IsInf(d.dist[v], 1) {
+					d.touched = append(d.touched, v)
+				}
+				d.dist[v] = alt
+				d.parent[v] = ei
+				d.heap.push(nodeDist{v, alt})
+			}
+		})
+	}
+}
+
+// FromNode computes distances from node src to all nodes within maxDist.
+// The returned slice aliases the engine's state and is valid until the next
+// call; unreachable (or out-of-range) nodes hold +Inf.
+func (d *Dijkstra) FromNode(src int32, maxDist float64) []float64 {
+	d.reset()
+	d.seed(src, 0)
+	d.run(maxDist)
+	return d.dist
+}
+
+// FromPosition computes distances from a network position to all nodes
+// within maxDist, seeding both endpoints of the position's edge. Each
+// seed's parent edge is the source edge itself, so shortest-path-tree
+// consumers see the mass arriving at the endpoints along that edge.
+func (d *Dijkstra) FromPosition(pos Position, maxDist float64) []float64 {
+	d.reset()
+	e := d.g.Edge(pos.Edge)
+	d.seedVia(e.A, pos.Offset, pos.Edge)
+	d.seedVia(e.B, e.Length-pos.Offset, pos.Edge)
+	d.run(maxDist)
+	return d.dist
+}
+
+// ParentEdge returns the edge through which node u was settled in the last
+// run (-1 if u is an edge-less seed or unreached). Together with Reached
+// this exposes the shortest-path tree.
+func (d *Dijkstra) ParentEdge(u int32) int32 { return d.parent[u] }
+
+// Dist returns node u's distance from the last run's source.
+func (d *Dijkstra) Dist(u int32) float64 { return d.dist[u] }
+
+// Reached returns the nodes touched by the last run (distances <= maxDist
+// plus frontier nodes). Useful for enumerating candidate edges without a
+// full scan.
+func (d *Dijkstra) Reached() []int32 { return d.touched }
+
+// PositionDist returns the network distance from the last run's source to
+// the given position, exploiting that nodeDist already holds the source→
+// endpoint distances. sameEdge handles a source on the same edge: pass the
+// source position (ok=true) to enable the direct along-edge path.
+func (d *Dijkstra) PositionDist(pos Position, src Position, srcValid bool) float64 {
+	e := d.g.Edge(pos.Edge)
+	via := math.Min(d.dist[e.A]+pos.Offset, d.dist[e.B]+e.Length-pos.Offset)
+	if srcValid && src.Edge == pos.Edge {
+		via = math.Min(via, math.Abs(src.Offset-pos.Offset))
+	}
+	return via
+}
+
+// nodeDist is a heap entry.
+type nodeDist struct {
+	node int32
+	dist float64
+}
+
+// distHeap is a binary min-heap on dist. A hand-rolled heap (rather than
+// container/heap) avoids interface boxing in the innermost loop of every
+// network tool.
+type distHeap []nodeDist
+
+func (h *distHeap) push(nd nodeDist) {
+	*h = append(*h, nd)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if (*h)[parent].dist <= (*h)[i].dist {
+			break
+		}
+		(*h)[parent], (*h)[i] = (*h)[i], (*h)[parent]
+		i = parent
+	}
+}
+
+func (h *distHeap) pop() nodeDist {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && old[l].dist < old[small].dist {
+			small = l
+		}
+		if r < n && old[r].dist < old[small].dist {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		old[i], old[small] = old[small], old[i]
+		i = small
+	}
+	return top
+}

@@ -1,0 +1,226 @@
+// Package network provides the road-network substrate behind the paper's
+// network-constrained tools (§2.2 NKDV, §2.3 network K-function): a
+// weighted undirected graph in CSR form, bounded Dijkstra searches, events
+// snapped onto edges, lixels (the network analogue of pixels), and
+// synthetic network generators replacing the paper's real road networks
+// (see DESIGN.md's substitution table).
+//
+// Positions on the network are expressed as (edge, offset-from-edge-start).
+// Shortest-path distance between two positions is computed through the
+// edge endpoints, with a same-edge shortcut — the standard formulation from
+// Okabe & Yamada [74].
+package network
+
+import (
+	"fmt"
+	"math"
+
+	"geostat/internal/geom"
+)
+
+// Edge is one undirected road segment between two graph nodes.
+type Edge struct {
+	A, B   int32   // endpoint node ids
+	Length float64 // positive edge length (network distance units)
+}
+
+// Graph is an immutable weighted undirected graph. Build with Builder.
+type Graph struct {
+	nodes []geom.Point
+	edges []Edge
+
+	// CSR adjacency: for node u, adjacency entries are
+	// adjTo/adjEdge/adjW[adjOff[u]:adjOff[u+1]].
+	adjOff  []int32
+	adjTo   []int32
+	adjEdge []int32
+	adjW    []float64
+
+	totalLen float64
+}
+
+// Builder accumulates nodes and edges for a Graph.
+type Builder struct {
+	nodes []geom.Point
+	edges []Edge
+}
+
+// NewBuilder returns an empty graph builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// AddNode adds a node at p and returns its id.
+func (b *Builder) AddNode(p geom.Point) int32 {
+	b.nodes = append(b.nodes, p)
+	return int32(len(b.nodes) - 1)
+}
+
+// AddEdge adds an undirected edge between nodes a and b with the Euclidean
+// length of the segment. It returns the edge id.
+func (b *Builder) AddEdge(a, bn int32) int32 {
+	return b.AddEdgeLen(a, bn, b.nodes[a].Dist(b.nodes[bn]))
+}
+
+// AddEdgeLen adds an undirected edge with an explicit length (for networks
+// whose traversal cost differs from geometric length). It returns the edge
+// id.
+func (b *Builder) AddEdgeLen(a, bn int32, length float64) int32 {
+	b.edges = append(b.edges, Edge{A: a, B: bn, Length: length})
+	return int32(len(b.edges) - 1)
+}
+
+// Build validates and freezes the builder into a Graph.
+func (b *Builder) Build() (*Graph, error) {
+	n := int32(len(b.nodes))
+	for i, e := range b.edges {
+		if e.A < 0 || e.A >= n || e.B < 0 || e.B >= n {
+			return nil, fmt.Errorf("network: edge %d references missing node (%d-%d, %d nodes)", i, e.A, e.B, n)
+		}
+		if !(e.Length > 0) || math.IsInf(e.Length, 1) {
+			return nil, fmt.Errorf("network: edge %d has invalid length %g", i, e.Length)
+		}
+	}
+	g := &Graph{
+		nodes: append([]geom.Point(nil), b.nodes...),
+		edges: append([]Edge(nil), b.edges...),
+	}
+	// Build CSR adjacency (each undirected edge appears in both endpoint
+	// lists).
+	deg := make([]int32, n+1)
+	for _, e := range g.edges {
+		deg[e.A+1]++
+		deg[e.B+1]++
+		g.totalLen += e.Length
+	}
+	for u := int32(0); u < n; u++ {
+		deg[u+1] += deg[u]
+	}
+	g.adjOff = deg
+	m := len(g.edges) * 2
+	g.adjTo = make([]int32, m)
+	g.adjEdge = make([]int32, m)
+	g.adjW = make([]float64, m)
+	cursor := make([]int32, n)
+	put := func(u, v, ei int32, w float64) {
+		slot := g.adjOff[u] + cursor[u]
+		g.adjTo[slot] = v
+		g.adjEdge[slot] = ei
+		g.adjW[slot] = w
+		cursor[u]++
+	}
+	for ei, e := range g.edges {
+		put(e.A, e.B, int32(ei), e.Length)
+		put(e.B, e.A, int32(ei), e.Length)
+	}
+	return g, nil
+}
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumEdges returns the undirected edge count.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Node returns the location of node u.
+func (g *Graph) Node(u int32) geom.Point { return g.nodes[u] }
+
+// Edge returns edge ei.
+func (g *Graph) Edge(ei int32) Edge { return g.edges[ei] }
+
+// TotalLength returns the summed length of all edges — the "area" of the
+// network for intensity normalisation (events per unit length).
+func (g *Graph) TotalLength() float64 { return g.totalLen }
+
+// Neighbors calls fn for every edge incident to u.
+func (g *Graph) Neighbors(u int32, fn func(v, edgeID int32, w float64)) {
+	for i := g.adjOff[u]; i < g.adjOff[u+1]; i++ {
+		fn(g.adjTo[i], g.adjEdge[i], g.adjW[i])
+	}
+}
+
+// PointAt returns the planar location of the position at offset along edge
+// ei (offset clamped to [0, Length]).
+func (g *Graph) PointAt(ei int32, offset float64) geom.Point {
+	e := g.edges[ei]
+	t := offset / e.Length
+	if t < 0 {
+		t = 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	a, b := g.nodes[e.A], g.nodes[e.B]
+	return geom.Point{X: a.X + t*(b.X-a.X), Y: a.Y + t*(b.Y-a.Y)}
+}
+
+// Components labels each node with its connected-component id (0-based)
+// and returns the labels with the component count. Network tools assume
+// reachability; a loaded network with several components usually signals
+// a data problem (cmd/nkdv warns on it).
+func (g *Graph) Components() (labels []int, count int) {
+	labels = make([]int, g.NumNodes())
+	for i := range labels {
+		labels[i] = -1
+	}
+	var queue []int32
+	for start := int32(0); start < int32(g.NumNodes()); start++ {
+		if labels[start] != -1 {
+			continue
+		}
+		labels[start] = count
+		queue = append(queue[:0], start)
+		for len(queue) > 0 {
+			u := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			g.Neighbors(u, func(v, _ int32, _ float64) {
+				if labels[v] == -1 {
+					labels[v] = count
+					queue = append(queue, v)
+				}
+			})
+		}
+		count++
+	}
+	return labels, count
+}
+
+// Position is a location on the network: offset along edge Edge from its A
+// endpoint, 0 <= Offset <= edge length.
+type Position struct {
+	Edge   int32
+	Offset float64
+}
+
+// Snap maps an arbitrary planar point to the nearest network position by
+// scanning every edge (O(E); snapping happens once per event, far from the
+// hot path). It returns the position and the planar snap distance. Snapping
+// an empty graph returns a zero Position and +Inf.
+func (g *Graph) Snap(p geom.Point) (Position, float64) {
+	best := Position{}
+	bestD2 := math.Inf(1)
+	for ei, e := range g.edges {
+		a, b := g.nodes[e.A], g.nodes[e.B]
+		t, proj := projectOnSegment(p, a, b)
+		if d2 := p.Dist2(proj); d2 < bestD2 {
+			bestD2 = d2
+			best = Position{Edge: int32(ei), Offset: t * e.Length}
+		}
+	}
+	return best, math.Sqrt(bestD2)
+}
+
+// projectOnSegment returns the parameter t in [0,1] and the closest point
+// to p on segment ab.
+func projectOnSegment(p, a, b geom.Point) (float64, geom.Point) {
+	ab := b.Sub(a)
+	den := ab.X*ab.X + ab.Y*ab.Y
+	if den == 0 {
+		return 0, a
+	}
+	t := ((p.X-a.X)*ab.X + (p.Y-a.Y)*ab.Y) / den
+	if t < 0 {
+		t = 0
+	} else if t > 1 {
+		t = 1
+	}
+	return t, geom.Point{X: a.X + t*ab.X, Y: a.Y + t*ab.Y}
+}

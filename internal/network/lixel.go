@@ -1,0 +1,50 @@
+package network
+
+import "math"
+
+// Lixel is one "linear pixel": a subsegment of an edge, the evaluation unit
+// of NKDV (the network analogue of Definition 1's pixels). Lixels are
+// produced by Lixelize, which splits every edge into pieces of roughly the
+// requested length.
+type Lixel struct {
+	Edge       int32
+	Start, End float64 // offsets along the edge, Start < End
+}
+
+// Center returns the lixel's center offset along its edge.
+func (l Lixel) Center() float64 { return (l.Start + l.End) / 2 }
+
+// Length returns the lixel's length.
+func (l Lixel) Length() float64 { return l.End - l.Start }
+
+// Position returns the lixel center as a network position.
+func (l Lixel) Position() Position { return Position{Edge: l.Edge, Offset: l.Center()} }
+
+// Lixelize splits every edge of g into lixels of approximately targetLen
+// (each edge gets ceil(length/targetLen) equal pieces, so lixels never
+// straddle nodes). It returns the lixels ordered by edge id then offset,
+// plus edgeOff so that lixels of edge e are lixels[edgeOff[e]:edgeOff[e+1]].
+func Lixelize(g *Graph, targetLen float64) (lixels []Lixel, edgeOff []int32) {
+	if !(targetLen > 0) {
+		targetLen = 1
+	}
+	edgeOff = make([]int32, g.NumEdges()+1)
+	for ei := 0; ei < g.NumEdges(); ei++ {
+		e := g.Edge(int32(ei))
+		pieces := int(math.Ceil(e.Length / targetLen))
+		if pieces < 1 {
+			pieces = 1
+		}
+		step := e.Length / float64(pieces)
+		for i := 0; i < pieces; i++ {
+			start := float64(i) * step
+			end := start + step
+			if i == pieces-1 {
+				end = e.Length
+			}
+			lixels = append(lixels, Lixel{Edge: int32(ei), Start: start, End: end})
+		}
+		edgeOff[ei+1] = int32(len(lixels))
+	}
+	return lixels, edgeOff
+}

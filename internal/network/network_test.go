@@ -1,0 +1,321 @@
+package network
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"geostat/internal/geom"
+)
+
+func line3() *Graph {
+	// 0 --5-- 1 --5-- 2 along the x axis.
+	b := NewBuilder()
+	n0 := b.AddNode(geom.Point{X: 0, Y: 0})
+	n1 := b.AddNode(geom.Point{X: 5, Y: 0})
+	n2 := b.AddNode(geom.Point{X: 10, Y: 0})
+	b.AddEdge(n0, n1)
+	b.AddEdge(n1, n2)
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestBuilderValidation(t *testing.T) {
+	b := NewBuilder()
+	n0 := b.AddNode(geom.Point{})
+	b.AddEdgeLen(n0, 5, 1) // missing node
+	if _, err := b.Build(); err == nil {
+		t.Error("edge to missing node accepted")
+	}
+	b = NewBuilder()
+	n0 = b.AddNode(geom.Point{})
+	n1 := b.AddNode(geom.Point{X: 1, Y: 0})
+	b.AddEdgeLen(n0, n1, 0)
+	if _, err := b.Build(); err == nil {
+		t.Error("zero-length edge accepted")
+	}
+	b = NewBuilder()
+	n0 = b.AddNode(geom.Point{})
+	n1 = b.AddNode(geom.Point{X: 1, Y: 0})
+	b.AddEdgeLen(n0, n1, math.Inf(1))
+	if _, err := b.Build(); err == nil {
+		t.Error("infinite edge accepted")
+	}
+}
+
+func TestGraphBasics(t *testing.T) {
+	g := line3()
+	if g.NumNodes() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("nodes=%d edges=%d", g.NumNodes(), g.NumEdges())
+	}
+	if g.TotalLength() != 10 {
+		t.Errorf("TotalLength = %v", g.TotalLength())
+	}
+	degree := 0
+	g.Neighbors(1, func(v, e int32, w float64) {
+		degree++
+		if w != 5 {
+			t.Errorf("edge weight %v", w)
+		}
+	})
+	if degree != 2 {
+		t.Errorf("node 1 degree = %d", degree)
+	}
+	if p := g.PointAt(0, 2.5); p != (geom.Point{X: 2.5, Y: 0}) {
+		t.Errorf("PointAt = %v", p)
+	}
+	if p := g.PointAt(1, -3); p != (geom.Point{X: 5, Y: 0}) {
+		t.Errorf("PointAt clamps low: %v", p)
+	}
+	if p := g.PointAt(1, 99); p != (geom.Point{X: 10, Y: 0}) {
+		t.Errorf("PointAt clamps high: %v", p)
+	}
+}
+
+func TestSnap(t *testing.T) {
+	g := line3()
+	pos, d := g.Snap(geom.Point{X: 3, Y: 4})
+	if pos.Edge != 0 || math.Abs(pos.Offset-3) > 1e-12 || math.Abs(d-4) > 1e-12 {
+		t.Errorf("Snap = %+v, %v", pos, d)
+	}
+	// Beyond the far end: clamps to the last node.
+	pos, d = g.Snap(geom.Point{X: 14, Y: 3})
+	if pos.Edge != 1 || math.Abs(pos.Offset-5) > 1e-12 || math.Abs(d-5) > 1e-12 {
+		t.Errorf("Snap clamp = %+v, %v", pos, d)
+	}
+}
+
+func TestDijkstraFromNode(t *testing.T) {
+	g := GridNetwork(4, 4, 1, geom.Point{})
+	d := NewDijkstra(g)
+	dist := d.FromNode(0, math.Inf(1))
+	// Manhattan distances on a unit grid.
+	for iy := 0; iy < 4; iy++ {
+		for ix := 0; ix < 4; ix++ {
+			want := float64(ix + iy)
+			if got := dist[iy*4+ix]; math.Abs(got-want) > 1e-12 {
+				t.Errorf("dist to (%d,%d) = %v, want %v", ix, iy, got, want)
+			}
+		}
+	}
+}
+
+func TestDijkstraBounded(t *testing.T) {
+	g := GridNetwork(10, 10, 1, geom.Point{})
+	d := NewDijkstra(g)
+	dist := d.FromNode(0, 3)
+	for u := 0; u < g.NumNodes(); u++ {
+		manhattan := float64(u%10 + u/10)
+		if manhattan <= 3 {
+			if math.IsInf(dist[u], 1) {
+				t.Errorf("node %d within bound unreached", u)
+			}
+		} else if !math.IsInf(dist[u], 1) {
+			t.Errorf("node %d beyond bound has dist %v", u, dist[u])
+		}
+	}
+}
+
+func TestDijkstraReuseIsClean(t *testing.T) {
+	g := GridNetwork(6, 6, 1, geom.Point{})
+	d := NewDijkstra(g)
+	first := append([]float64(nil), d.FromNode(0, math.Inf(1))...)
+	d.FromNode(35, 2) // perturb state
+	second := d.FromNode(0, math.Inf(1))
+	for u := range first {
+		if first[u] != second[u] {
+			t.Fatalf("reused engine differs at node %d: %v vs %v", u, first[u], second[u])
+		}
+	}
+}
+
+func TestFromPositionAndPositionDist(t *testing.T) {
+	g := line3()
+	d := NewDijkstra(g)
+	src := Position{Edge: 0, Offset: 2} // at x=2
+	d.FromPosition(src, math.Inf(1))
+	cases := []struct {
+		pos  Position
+		want float64
+	}{
+		{Position{Edge: 0, Offset: 4}, 2}, // same edge, x=4
+		{Position{Edge: 0, Offset: 0.5}, 1.5},
+		{Position{Edge: 1, Offset: 1}, 4}, // x=6 via node 1
+		{Position{Edge: 1, Offset: 5}, 8}, // x=10
+	}
+	for _, c := range cases {
+		if got := d.PositionDist(c.pos, src, true); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("dist to %+v = %v, want %v", c.pos, got, c.want)
+		}
+	}
+}
+
+// Figure 3's phenomenon: on a ring-radial network, two points on adjacent
+// spokes near the hub are planar-close but network-far... unless they pass
+// through the hub. Use two points just off different spokes at mid radius:
+// planar distance is small, network distance must route via hub or ring.
+func TestRingRadialFigure3(t *testing.T) {
+	g := RingRadialNetwork(3, 8, 10, geom.Point{})
+	d := NewDijkstra(g)
+	// Positions on spokes 0 and 1, between ring 1 (r=10) and ring 2 (r=20):
+	// on the radial edge from ring1-node to ring2-node, 5 units out.
+	var e01, e12 int32 = -1, -1
+	for ei := int32(0); ei < int32(g.NumEdges()); ei++ {
+		e := g.Edge(ei)
+		a, b := g.Node(e.A), g.Node(e.B)
+		onSpoke0 := math.Abs(a.Y) < 1e-9 && math.Abs(b.Y) < 1e-9 && a.X > 0 && b.X > 0
+		if onSpoke0 && math.Abs(a.X-10) < 1e-9 && math.Abs(b.X-20) < 1e-9 {
+			e01 = ei
+		}
+		theta := 2 * math.Pi / 8
+		sx, sy := math.Cos(theta), math.Sin(theta)
+		near := func(p geom.Point, r float64) bool {
+			return math.Abs(p.X-r*sx) < 1e-9 && math.Abs(p.Y-r*sy) < 1e-9
+		}
+		if near(a, 10) && near(b, 20) || near(b, 10) && near(a, 20) {
+			e12 = ei
+		}
+	}
+	if e01 < 0 || e12 < 0 {
+		t.Fatal("could not locate radial edges")
+	}
+	pa := Position{Edge: e01, Offset: 5}
+	pb := Position{Edge: e12, Offset: 5}
+	// Planar distance between the two points:
+	qa := g.PointAt(pa.Edge, pa.Offset)
+	qb := g.PointAt(pb.Edge, pb.Offset)
+	planar := qa.Dist(qb)
+	d.FromPosition(pa, math.Inf(1))
+	netDist := d.PositionDist(pb, pa, true)
+	if netDist <= planar*1.5 {
+		t.Errorf("network dist %v should far exceed planar %v", netDist, planar)
+	}
+	// Shortest route: 5 back to ring 1 node, arc 2π·10/8, 5 out = 10 + 7.854.
+	want := 5 + 2*math.Pi*10/8 + 5
+	if math.Abs(netDist-want) > 1e-9 {
+		t.Errorf("network dist = %v, want %v", netDist, want)
+	}
+}
+
+func TestLixelize(t *testing.T) {
+	g := line3()
+	lx, off := Lixelize(g, 2)
+	// Edge length 5 → 3 lixels each of length 5/3.
+	if len(lx) != 6 {
+		t.Fatalf("lixel count = %d, want 6", len(lx))
+	}
+	if off[0] != 0 || off[1] != 3 || off[2] != 6 {
+		t.Fatalf("edgeOff = %v", off)
+	}
+	totalLen := 0.0
+	for _, l := range lx {
+		if l.Length() <= 0 {
+			t.Fatalf("non-positive lixel %+v", l)
+		}
+		totalLen += l.Length()
+		if l.Center() < l.Start || l.Center() > l.End {
+			t.Fatalf("center outside lixel %+v", l)
+		}
+		if l.Position().Edge != l.Edge {
+			t.Fatal("Position edge mismatch")
+		}
+	}
+	if math.Abs(totalLen-g.TotalLength()) > 1e-9 {
+		t.Errorf("lixels cover %v, want %v", totalLen, g.TotalLength())
+	}
+	// Degenerate target length falls back safely.
+	lx, _ = Lixelize(g, -1)
+	if len(lx) == 0 {
+		t.Error("fallback lixelisation empty")
+	}
+}
+
+func TestRandomPositionsUniformByLength(t *testing.T) {
+	// Two edges, one 9x longer: expect ~90% of positions on it.
+	b := NewBuilder()
+	n0 := b.AddNode(geom.Point{X: 0, Y: 0})
+	n1 := b.AddNode(geom.Point{X: 9, Y: 0})
+	n2 := b.AddNode(geom.Point{X: 9, Y: 1})
+	b.AddEdge(n0, n1) // length 9
+	b.AddEdge(n1, n2) // length 1
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(1))
+	pos := RandomPositions(r, g, 10000)
+	onLong := 0
+	for _, p := range pos {
+		e := g.Edge(p.Edge)
+		if p.Offset < 0 || p.Offset > e.Length {
+			t.Fatalf("offset %v outside edge length %v", p.Offset, e.Length)
+		}
+		if p.Edge == 0 {
+			onLong++
+		}
+	}
+	if onLong < 8800 || onLong > 9200 {
+		t.Errorf("long-edge share = %d/10000, want ≈9000", onLong)
+	}
+}
+
+func TestClusteredPositions(t *testing.T) {
+	g := GridNetwork(10, 10, 10, geom.Point{})
+	r := rand.New(rand.NewSource(2))
+	pos := ClusteredPositions(r, g, 500, 3, 5)
+	if len(pos) != 500 {
+		t.Fatalf("len = %d", len(pos))
+	}
+	for _, p := range pos {
+		if p.Edge < 0 || int(p.Edge) >= g.NumEdges() {
+			t.Fatalf("bad edge %d", p.Edge)
+		}
+	}
+}
+
+func TestGridNetworkShape(t *testing.T) {
+	g := GridNetwork(3, 2, 2, geom.Point{X: 1, Y: 1})
+	if g.NumNodes() != 6 {
+		t.Errorf("nodes = %d", g.NumNodes())
+	}
+	// Horizontal: 2 per row × 2 rows = 4; vertical: 3 = total 7.
+	if g.NumEdges() != 7 {
+		t.Errorf("edges = %d", g.NumEdges())
+	}
+	if g.Node(0) != (geom.Point{X: 1, Y: 1}) {
+		t.Errorf("origin node = %v", g.Node(0))
+	}
+}
+
+func TestComponents(t *testing.T) {
+	// Two disjoint lines plus an isolated node.
+	b := NewBuilder()
+	a0 := b.AddNode(geom.Point{X: 0, Y: 0})
+	a1 := b.AddNode(geom.Point{X: 1, Y: 0})
+	c0 := b.AddNode(geom.Point{X: 10, Y: 0})
+	c1 := b.AddNode(geom.Point{X: 11, Y: 0})
+	b.AddNode(geom.Point{X: 50, Y: 50}) // isolated
+	b.AddEdge(a0, a1)
+	b.AddEdge(c0, c1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, count := g.Components()
+	if count != 3 {
+		t.Fatalf("components = %d, want 3", count)
+	}
+	if labels[a0] != labels[a1] || labels[c0] != labels[c1] {
+		t.Error("connected nodes in different components")
+	}
+	if labels[a0] == labels[c0] || labels[4] == labels[a0] || labels[4] == labels[c0] {
+		t.Error("disconnected nodes share a component")
+	}
+	// A connected grid has one component.
+	if _, n := GridNetwork(4, 4, 1, geom.Point{}).Components(); n != 1 {
+		t.Errorf("grid components = %d", n)
+	}
+}

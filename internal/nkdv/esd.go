@@ -1,0 +1,155 @@
+package nkdv
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"geostat/internal/network"
+)
+
+// ForwardESD computes NKDV with Okabe's equal-split discontinuous kernel
+// restricted to the shortest-path tree: kernel mass passing through an
+// intersection of degree d splits equally among its d−1 onward edges, so
+// (unlike the plain shortest-path kernel of Forward) total mass is
+// conserved across intersections — a junction of many roads no longer
+// multiplies density. Mass hitting a dead end (degree 1) stops.
+//
+// Concretely, a lixel center x on edge f reached through endpoint E gets
+//
+//	K(dist(E)+off) · treeFactor(E) / (deg(E)−1)
+//
+// where treeFactor(E) multiplies 1/(deg(v)−1) over every intersection v on
+// the shortest path strictly before E, and the entry is skipped when the
+// shortest path to E runs along f itself (that mass already passed x and
+// is accounted for by the entry at f's other endpoint or the same-edge
+// term). Events on f itself contribute the direct term K(|off − srcOff|).
+func ForwardESD(g *network.Graph, events []network.Position, opt Options) (*Surface, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	lixels, edgeOff := network.Lixelize(g, opt.LixelLength)
+	s := &Surface{Lixels: lixels, EdgeOff: edgeOff, Values: make([]float64, len(lixels))}
+	b := opt.Kernel.Bandwidth()
+
+	degree := make([]int, g.NumNodes())
+	for u := int32(0); u < int32(g.NumNodes()); u++ {
+		degree[u] = degreeOf(g, u)
+	}
+
+	nw := normWorkers(opt.Workers)
+	if nw > len(events) {
+		nw = max(1, len(events))
+	}
+	var mu sync.Mutex
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dij := network.NewDijkstra(g)
+			local := make([]float64, len(lixels))
+			factor := make([]float64, g.NumNodes())
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(events) {
+					break
+				}
+				ev := events[i]
+				dij.FromPosition(ev, b)
+				reached := dij.Reached()
+				// treeFactor per reached node, computed in settling order
+				// (Reached appends on first touch, but parents settle before
+				// children in Dijkstra order of distance — recompute by
+				// increasing distance to be safe).
+				ordered := orderByDist(dij, reached)
+				e0 := g.Edge(ev.Edge)
+				for _, u := range ordered {
+					if u == e0.A || u == e0.B {
+						factor[u] = 1 // seed: mass arrives along the source edge
+						continue
+					}
+					pe := dij.ParentEdge(u)
+					p := otherEnd(g, pe, u)
+					split := float64(degree[p] - 1)
+					if split <= 0 {
+						factor[u] = 0 // mass cannot pass a dead end
+						continue
+					}
+					factor[u] = factor[p] / split
+				}
+				// Direct same-edge contribution.
+				for li := edgeOff[ev.Edge]; li < edgeOff[ev.Edge+1]; li++ {
+					d := math.Abs(lixels[li].Center() - ev.Offset)
+					if d <= b {
+						local[li] += opt.Kernel.Eval(d)
+					}
+				}
+				// Entries into every edge incident to a reached node.
+				for _, u := range ordered {
+					split := float64(degree[u] - 1)
+					if split <= 0 {
+						continue
+					}
+					enter := factor[u] / split
+					if enter == 0 {
+						continue
+					}
+					du := dij.Dist(u)
+					pe := dij.ParentEdge(u)
+					g.Neighbors(u, func(_, ei int32, _ float64) {
+						if ei == pe {
+							return // backtracking along the arrival edge
+						}
+						eu := g.Edge(ei)
+						for li := edgeOff[ei]; li < edgeOff[ei+1]; li++ {
+							off := lixels[li].Center()
+							if eu.B == u {
+								off = eu.Length - off
+							}
+							d := du + off
+							if d <= b {
+								local[li] += enter * opt.Kernel.Eval(d)
+							}
+						}
+					})
+				}
+			}
+			mu.Lock()
+			for i, v := range local {
+				s.Values[i] += v
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return s, nil
+}
+
+func degreeOf(g *network.Graph, u int32) int {
+	d := 0
+	g.Neighbors(u, func(int32, int32, float64) { d++ })
+	return d
+}
+
+func otherEnd(g *network.Graph, ei, u int32) int32 {
+	e := g.Edge(ei)
+	if e.A == u {
+		return e.B
+	}
+	return e.A
+}
+
+// orderByDist returns the reached nodes sorted by settled distance so
+// parents are processed before children.
+func orderByDist(dij *network.Dijkstra, reached []int32) []int32 {
+	out := append([]int32(nil), reached...)
+	// Insertion sort: frontiers are small (bounded search).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && dij.Dist(out[j]) < dij.Dist(out[j-1]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

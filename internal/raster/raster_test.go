@@ -1,0 +1,141 @@
+package raster
+
+import (
+	"bytes"
+	"image/png"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"geostat/internal/geom"
+)
+
+func spec() geom.PixelGrid {
+	return geom.NewPixelGrid(geom.BBox{MinX: 0, MinY: 0, MaxX: 10, MaxY: 5}, 10, 5)
+}
+
+func TestGridAccessors(t *testing.T) {
+	g := NewGrid(spec())
+	if len(g.Values) != 50 {
+		t.Fatalf("len = %d", len(g.Values))
+	}
+	g.Set(3, 2, 7)
+	if g.At(3, 2) != 7 {
+		t.Errorf("At = %v", g.At(3, 2))
+	}
+	g.Add(3, 2, 1.5)
+	if g.At(3, 2) != 8.5 {
+		t.Errorf("Add = %v", g.At(3, 2))
+	}
+	if g.Sum() != 8.5 {
+		t.Errorf("Sum = %v", g.Sum())
+	}
+	lo, hi := g.MinMax()
+	if lo != 0 || hi != 8.5 {
+		t.Errorf("MinMax = %v, %v", lo, hi)
+	}
+	ix, iy, v := g.ArgMax()
+	if ix != 3 || iy != 2 || v != 8.5 {
+		t.Errorf("ArgMax = %d, %d, %v", ix, iy, v)
+	}
+}
+
+func TestDiffs(t *testing.T) {
+	a, b := NewGrid(spec()), NewGrid(spec())
+	a.Set(1, 1, 10)
+	b.Set(1, 1, 9)
+	b.Set(2, 2, 1)
+	d, err := a.MaxAbsDiff(b)
+	if err != nil || d != 1 {
+		t.Errorf("MaxAbsDiff = %v, %v", d, err)
+	}
+	rd, err := a.MaxRelDiff(b, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At (2,2): |0-1|/1 = 1 dominates.
+	if math.Abs(rd-1) > 1e-12 {
+		t.Errorf("MaxRelDiff = %v", rd)
+	}
+	other := NewGrid(geom.NewPixelGrid(geom.BBox{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, 2, 2))
+	if _, err := a.MaxAbsDiff(other); err == nil {
+		t.Error("size mismatch not reported")
+	}
+	if _, err := a.MaxRelDiff(other, 0); err == nil {
+		t.Error("size mismatch not reported")
+	}
+}
+
+func TestRamps(t *testing.T) {
+	for _, tt := range []float64{-1, 0, 0.25, 0.5, 0.99, 1, 2, math.NaN()} {
+		c := HeatRamp(tt)
+		if c.A != 0xff {
+			t.Errorf("HeatRamp(%v) alpha = %d", tt, c.A)
+		}
+		g := GrayRamp(tt)
+		if g.R != g.G || g.G != g.B {
+			t.Errorf("GrayRamp(%v) not gray", tt)
+		}
+	}
+	// Low end blue-ish, high end red-ish.
+	lo, hi := HeatRamp(0), HeatRamp(1)
+	if lo.B < lo.R || hi.R < hi.B {
+		t.Errorf("ramp endpoints wrong: %v, %v", lo, hi)
+	}
+}
+
+func TestImageOrientation(t *testing.T) {
+	g := NewGrid(spec())
+	g.Set(0, 4, 100) // top-left in map coordinates (max y)
+	img := g.Image(GrayRamp)
+	if img.Bounds().Dx() != 10 || img.Bounds().Dy() != 5 {
+		t.Fatalf("image size %v", img.Bounds())
+	}
+	// North-up: the high value (max iy) must be at image row 0.
+	c := img.RGBAAt(0, 0)
+	if c.R != 0 { // darkest
+		t.Errorf("top-left pixel = %v, want black", c)
+	}
+}
+
+func TestWritePNG(t *testing.T) {
+	g := NewGrid(spec())
+	g.Set(5, 2, 1)
+	var buf bytes.Buffer
+	if err := g.WritePNG(&buf, HeatRamp); err != nil {
+		t.Fatal(err)
+	}
+	img, err := png.Decode(&buf)
+	if err != nil {
+		t.Fatalf("decoding produced PNG: %v", err)
+	}
+	if img.Bounds().Dx() != 10 {
+		t.Errorf("decoded width %d", img.Bounds().Dx())
+	}
+	path := filepath.Join(t.TempDir(), "out.png")
+	if err := g.WritePNGFile(path, HeatRamp); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestASCII(t *testing.T) {
+	g := NewGrid(spec())
+	g.Set(9, 0, 5) // bottom-right
+	art := g.ASCII()
+	lines := strings.Split(strings.TrimRight(art, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if lines[4][9] != '@' {
+		t.Errorf("hotspot char = %q, want '@'", lines[4][9])
+	}
+	if lines[0][0] != ' ' {
+		t.Errorf("cold char = %q, want space", lines[0][0])
+	}
+	// Constant surface must not panic or divide by zero.
+	flat := NewGrid(spec())
+	if s := flat.ASCII(); !strings.Contains(s, " ") {
+		t.Error("flat ASCII unexpected")
+	}
+}

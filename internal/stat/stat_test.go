@@ -1,0 +1,84 @@
+package stat
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNormalCDF(t *testing.T) {
+	cases := []struct{ z, want float64 }{
+		{0, 0.5},
+		{1.959963985, 0.975},
+		{-1.959963985, 0.025},
+		{3, 0.9986501},
+		{-6, 9.865876e-10},
+	}
+	for _, c := range cases {
+		if got := NormalCDF(c.z); math.Abs(got-c.want) > 1e-6 {
+			t.Errorf("NormalCDF(%v) = %v, want %v", c.z, got, c.want)
+		}
+	}
+	for _, z := range []float64{-3, -1, 0, 0.5, 2, 5} {
+		if s := NormalCDF(z) + NormalSurvival(z); math.Abs(s-1) > 1e-12 {
+			t.Errorf("CDF+survival at %v = %v", z, s)
+		}
+	}
+}
+
+// Reference values from R's pchisq(x, df, lower.tail=FALSE).
+func TestChiSquareSurvival(t *testing.T) {
+	cases := []struct {
+		df   int
+		x    float64
+		want float64
+	}{
+		{1, 3.841459, 0.05},
+		{2, 5.991465, 0.05},
+		{5, 11.0705, 0.05},
+		{10, 18.30704, 0.05},
+		{10, 2, 0.9963402},
+		{100, 124.3421, 0.05},
+		{3, 0.1, 0.9918374}, // 1 − P(1.5, 0.05), hand-verified by series expansion
+		{1, 50, 1.537460e-12},
+	}
+	for _, c := range cases {
+		got := ChiSquareSurvival(c.df, c.x)
+		if math.Abs(got-c.want)/c.want > 1e-5 {
+			t.Errorf("ChiSquareSurvival(%d, %v) = %v, want %v", c.df, c.x, got, c.want)
+		}
+	}
+}
+
+func TestChiSquareEdgeCases(t *testing.T) {
+	if got := ChiSquareSurvival(5, 0); got != 1 {
+		t.Errorf("survival at 0 = %v", got)
+	}
+	if got := ChiSquareSurvival(5, -1); got != 1 {
+		t.Errorf("survival at negative = %v", got)
+	}
+	if !math.IsNaN(ChiSquareSurvival(0, 1)) {
+		t.Error("df=0 should be NaN")
+	}
+	if !math.IsNaN(ChiSquareSurvival(2, math.NaN())) {
+		t.Error("NaN x should be NaN")
+	}
+	// Monotone decreasing in x.
+	prev := 1.0
+	for x := 0.5; x < 40; x += 0.5 {
+		got := ChiSquareSurvival(7, x)
+		if got > prev+1e-12 {
+			t.Fatalf("not monotone at x=%v", x)
+		}
+		prev = got
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	mean, std := MeanStd([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if mean != 5 || std != 2 {
+		t.Errorf("MeanStd = %v, %v (want 5, 2)", mean, std)
+	}
+	if m, s := MeanStd(nil); m != 0 || s != 0 {
+		t.Errorf("empty MeanStd = %v, %v", m, s)
+	}
+}

@@ -1,0 +1,138 @@
+// Package weights builds the sparse spatial weight matrices that the
+// autocorrelation statistics (Moran's I, Getis-Ord G — Table 1 of the
+// paper) are defined over: k-nearest-neighbour and distance-band
+// neighbourhoods, optionally row-standardised.
+package weights
+
+import (
+	"fmt"
+
+	"geostat/internal/geom"
+	gridindex "geostat/internal/index/grid"
+	"geostat/internal/index/kdtree"
+)
+
+// Matrix is a sparse spatial weight matrix in CSR layout. Self-weights are
+// always zero (w_ii = 0), per the statistics' definitions.
+type Matrix struct {
+	N   int
+	off []int32
+	col []int32
+	w   []float64
+}
+
+// KNN returns the binary k-nearest-neighbour weight matrix: w_ij = 1 if j
+// is one of i's k nearest points (asymmetric in general).
+func KNN(pts []geom.Point, k int) (*Matrix, error) {
+	n := len(pts)
+	if k < 1 {
+		return nil, fmt.Errorf("weights: k must be >= 1, got %d", k)
+	}
+	if k >= n {
+		return nil, fmt.Errorf("weights: k=%d must be < n=%d", k, n)
+	}
+	tree := kdtree.New(pts)
+	m := &Matrix{
+		N:   n,
+		off: make([]int32, n+1),
+		col: make([]int32, 0, n*k),
+		w:   make([]float64, 0, n*k),
+	}
+	var scratch []int
+	for i, p := range pts {
+		// k+1 nearest includes the point itself (distance 0); drop i.
+		idx, _ := tree.KNearest(p, k+1, scratch)
+		scratch = idx
+		added := 0
+		for _, j := range idx {
+			if j == i || added == k {
+				continue
+			}
+			m.col = append(m.col, int32(j))
+			m.w = append(m.w, 1)
+			added++
+		}
+		m.off[i+1] = int32(len(m.col))
+	}
+	return m, nil
+}
+
+// DistanceBand returns the binary distance-band weight matrix:
+// w_ij = 1 if 0 < dist(i, j) <= radius (symmetric).
+func DistanceBand(pts []geom.Point, radius float64) (*Matrix, error) {
+	n := len(pts)
+	if !(radius > 0) {
+		return nil, fmt.Errorf("weights: radius must be positive, got %g", radius)
+	}
+	idx := gridindex.New(pts, radius)
+	m := &Matrix{N: n, off: make([]int32, n+1)}
+	var buf []int
+	for i, p := range pts {
+		buf = idx.RangeQuery(p, radius, buf[:0])
+		for _, j := range buf {
+			if j == i {
+				continue
+			}
+			m.col = append(m.col, int32(j))
+			m.w = append(m.w, 1)
+		}
+		m.off[i+1] = int32(len(m.col))
+	}
+	return m, nil
+}
+
+// RowStandardize scales each row to sum to 1 (rows with no neighbours stay
+// zero) and returns m for chaining.
+func (m *Matrix) RowStandardize() *Matrix {
+	for i := 0; i < m.N; i++ {
+		lo, hi := m.off[i], m.off[i+1]
+		sum := 0.0
+		for _, v := range m.w[lo:hi] {
+			sum += v
+		}
+		if sum == 0 {
+			continue
+		}
+		for k := lo; k < hi; k++ {
+			m.w[k] /= sum
+		}
+	}
+	return m
+}
+
+// ForEachNeighbor calls fn(j, w_ij) for every nonzero weight in row i.
+func (m *Matrix) ForEachNeighbor(i int, fn func(j int, w float64)) {
+	for k := m.off[i]; k < m.off[i+1]; k++ {
+		fn(int(m.col[k]), m.w[k])
+	}
+}
+
+// Degree returns the number of neighbours of i.
+func (m *Matrix) Degree(i int) int { return int(m.off[i+1] - m.off[i]) }
+
+// S0 returns Σ_ij w_ij, the total weight.
+func (m *Matrix) S0() float64 {
+	s := 0.0
+	for _, v := range m.w {
+		s += v
+	}
+	return s
+}
+
+// RowSum returns Σ_j w_ij for row i.
+func (m *Matrix) RowSum(i int) float64 {
+	s := 0.0
+	for k := m.off[i]; k < m.off[i+1]; k++ {
+		s += m.w[k]
+	}
+	return s
+}
+
+// RowSumSquares returns Σ_j w_ij² for row i.
+func (m *Matrix) RowSumSquares(i int) float64 {
+	s := 0.0
+	for k := m.off[i]; k < m.off[i+1]; k++ {
+		s += m.w[k] * m.w[k]
+	}
+	return s
+}

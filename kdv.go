@@ -1,0 +1,162 @@
+package geostat
+
+import (
+	"fmt"
+	"math/rand"
+
+	"geostat/internal/kde"
+)
+
+// KDVMethod selects the KDV algorithm (§2.2's acceleration families).
+type KDVMethod int
+
+const (
+	// KDVAuto picks the fastest exact method for the kernel: sweep line for
+	// polynomial kernels, grid cutoff for other finite-support kernels,
+	// naive otherwise.
+	KDVAuto KDVMethod = iota
+	// KDVNaive is the exact O(XYn) baseline.
+	KDVNaive
+	// KDVGridCutoff is exact for finite-support kernels via a bucket index.
+	KDVGridCutoff
+	// KDVSweepLine is the exact O(Y(X+n)) computational-sharing algorithm
+	// (SLAM family) for kernels polynomial in squared distance.
+	KDVSweepLine
+	// KDVBoundApprox is the (1±ε) function-approximation algorithm
+	// (QUAD/KARL family); works for every kernel, including Gaussian.
+	KDVBoundApprox
+	// KDVSampled is the Hoeffding-sampling approximation.
+	KDVSampled
+)
+
+// String returns the method name.
+func (m KDVMethod) String() string {
+	switch m {
+	case KDVAuto:
+		return "auto"
+	case KDVNaive:
+		return "naive"
+	case KDVGridCutoff:
+		return "grid-cutoff"
+	case KDVSweepLine:
+		return "sweep-line"
+	case KDVBoundApprox:
+		return "bound-approx"
+	case KDVSampled:
+		return "sampled"
+	}
+	return fmt.Sprintf("KDVMethod(%d)", int(m))
+}
+
+// KDVOptions configures KDV (Definition 1 of the paper).
+type KDVOptions struct {
+	// Kernel is K and its bandwidth b.
+	Kernel Kernel
+	// Grid is the output raster.
+	Grid PixelGrid
+	// Method selects the algorithm; KDVAuto by default.
+	Method KDVMethod
+	// Normalize scales the surface into a probability density.
+	Normalize bool
+	// Workers parallelises raster rows; 0/1 serial, <0 GOMAXPROCS.
+	Workers int
+
+	// Epsilon is the relative error guarantee for KDVBoundApprox
+	// (Equation 6) and the fractional additive error for KDVSampled.
+	Epsilon float64
+	// Delta is KDVSampled's failure probability.
+	Delta float64
+	// Rand drives KDVSampled; required for that method.
+	Rand *rand.Rand
+	// Weights optionally weights each event (severity, case counts).
+	// Supported by the exact methods; the approximate methods reject it.
+	Weights []float64
+}
+
+// KDV computes a kernel density surface over opt.Grid.
+func KDV(pts []Point, opt KDVOptions) (*Heatmap, error) {
+	kopt := kde.Options{
+		Kernel:    opt.Kernel,
+		Grid:      opt.Grid,
+		Normalize: opt.Normalize,
+		Workers:   opt.Workers,
+		Weights:   opt.Weights,
+	}
+	switch opt.Method {
+	case KDVAuto:
+		return kde.Exact(pts, kopt)
+	case KDVNaive:
+		return kde.Naive(pts, kopt)
+	case KDVGridCutoff:
+		return kde.GridCutoff(pts, kopt)
+	case KDVSweepLine:
+		return kde.SweepLine(pts, kopt)
+	case KDVBoundApprox:
+		return kde.BoundApprox(pts, kopt, opt.Epsilon)
+	case KDVSampled:
+		if opt.Rand == nil {
+			return nil, fmt.Errorf("geostat: KDVSampled requires KDVOptions.Rand")
+		}
+		return kde.Sampled(pts, kopt, opt.Rand, opt.Epsilon, opt.Delta)
+	}
+	return nil, fmt.Errorf("geostat: unknown KDV method %d", int(opt.Method))
+}
+
+// SweepLineSupports reports whether the sweep-line method handles the
+// kernel type (uniform, Epanechnikov, quartic, triweight).
+func SweepLineSupports(t KernelType) bool { return kde.SweepSupported(t) }
+
+// KDVSampleBound returns the Hoeffding subset size KDVSampled would use for
+// the given raster size and (eps, delta) guarantee.
+func KDVSampleBound(numPixels int, eps, delta float64) (int, error) {
+	return kde.SampleBound(numPixels, eps, delta)
+}
+
+// KDVMultiBandwidth computes exact KDV surfaces for several bandwidths of
+// one polynomial kernel in a single pass (the SAFE bandwidth-exploration
+// sharing of §2.2): each extra bandwidth costs O(1) per pixel instead of a
+// full support scan. Bandwidths must be strictly increasing.
+func KDVMultiBandwidth(pts []Point, grid PixelGrid, typ KernelType, bandwidths []float64, workers int) ([]*Heatmap, error) {
+	return kde.MultiBandwidth(pts, grid, typ, bandwidths, workers)
+}
+
+// KDVAdaptive computes a sample-point adaptive KDV: every point carries its
+// own bandwidth (finite-support kernels only).
+func KDVAdaptive(pts []Point, bandwidths []float64, typ KernelType, grid PixelGrid, workers int) (*Heatmap, error) {
+	return kde.Adaptive(pts, bandwidths, typ, grid, workers)
+}
+
+// AdaptiveBandwidths derives per-point bandwidths from the k-th
+// nearest-neighbour distance (scaled, floored) — the standard pilot for
+// KDVAdaptive.
+func AdaptiveBandwidths(pts []Point, k int, scale, minBandwidth float64) ([]float64, error) {
+	return kde.AdaptiveBandwidths(pts, k, scale, minBandwidth)
+}
+
+// SilvermanBandwidth returns the 2-D normal-reference pilot bandwidth
+// σ̂·n^{−1/6}.
+func SilvermanBandwidth(pts []Point) (float64, error) { return kde.SilvermanBandwidth(pts) }
+
+// SelectBandwidthCV picks the candidate bandwidth with the best held-out
+// log-likelihood over random folds (finite-support kernels).
+func SelectBandwidthCV(pts []Point, typ KernelType, candidates []float64, folds int, rng *rand.Rand) (float64, error) {
+	return kde.SelectBandwidthCV(pts, typ, candidates, folds, rng)
+}
+
+// KDVStream maintains a KDV surface under event insertions/removals (live
+// hotspot maps over streaming data).
+type KDVStream = kde.Stream
+
+// NewKDVStream returns an empty streaming KDV surface (finite-support
+// kernels).
+func NewKDVStream(k Kernel, grid PixelGrid) (*KDVStream, error) { return kde.NewStream(k, grid) }
+
+// KDVWindowStream drives a KDVStream over a time-ordered event log with a
+// sliding window.
+type KDVWindowStream = kde.WindowStream
+
+// NewKDVWindowStream sorts the events by time and returns a sliding-window
+// driver of the given width.
+func NewKDVWindowStream(k Kernel, grid PixelGrid, pts []Point, times []float64, width float64) (*KDVWindowStream, error) {
+	return kde.NewWindowStream(k, grid, pts, times, width)
+}

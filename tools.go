@@ -1,0 +1,203 @@
+package geostat
+
+import (
+	"math/rand"
+
+	"geostat/internal/cluster"
+	"geostat/internal/getisord"
+	"geostat/internal/idw"
+	"geostat/internal/kriging"
+	"geostat/internal/moran"
+	"geostat/internal/stkdv"
+	"geostat/internal/weights"
+)
+
+// ---- STKDV (spatiotemporal KDV, §2.2) ----
+
+// STKDVOptions configures spatiotemporal KDV.
+type STKDVOptions = stkdv.Options
+
+// STKDVCube is an STKDV result: one density grid per time slice.
+type STKDVCube = stkdv.Cube
+
+// STKDV computes spatiotemporal kernel density with the shared (SWS-style)
+// algorithm: each event's spatial footprint is computed once and spread
+// across its temporal support.
+func STKDV(d *Dataset, opt STKDVOptions) (*STKDVCube, error) { return stkdv.Shared(d, opt) }
+
+// STKDVNaive computes spatiotemporal kernel density with the O(XYTn)
+// baseline (works for any kernels).
+func STKDVNaive(d *Dataset, opt STKDVOptions) (*STKDVCube, error) { return stkdv.Naive(d, opt) }
+
+// ---- IDW (Table 1) ----
+
+// IDWOptions configures inverse distance weighting.
+type IDWOptions = idw.Options
+
+// IDW interpolates with every sample per pixel — the O(XYn) baseline.
+func IDW(d *Dataset, opt IDWOptions) (*Heatmap, error) { return idw.Naive(d, opt) }
+
+// IDWKNN interpolates from the k nearest samples per pixel.
+func IDWKNN(d *Dataset, opt IDWOptions, k int) (*Heatmap, error) { return idw.KNN(d, opt, k) }
+
+// IDWRadius interpolates from the samples within a cutoff radius.
+func IDWRadius(d *Dataset, opt IDWOptions, radius float64) (*Heatmap, error) {
+	return idw.Radius(d, opt, radius)
+}
+
+// IDWCVResult is a leave-one-out cross-validation of IDW.
+type IDWCVResult = idw.CVResult
+
+// IDWLOOCV cross-validates kNN-IDW (tune power and k without ground
+// truth).
+func IDWLOOCV(d *Dataset, power float64, k int) (*IDWCVResult, error) {
+	return idw.LOOCV(d, power, k)
+}
+
+// ---- Kriging (Table 1) ----
+
+// VariogramModel selects the kriging variogram model.
+type VariogramModel = kriging.Model
+
+// Variogram models.
+const (
+	SphericalModel   = kriging.Spherical
+	ExponentialModel = kriging.Exponential
+	GaussianVModel   = kriging.GaussianModel
+)
+
+// Variogram is a fitted variogram γ(h).
+type Variogram = kriging.Variogram
+
+// VariogramBin is one lag bin of an empirical semivariogram.
+type VariogramBin = kriging.EmpiricalBin
+
+// KrigingOptions configures ordinary kriging.
+type KrigingOptions = kriging.Options
+
+// EmpiricalVariogram computes the binned empirical semivariogram of d's
+// values up to maxLag.
+func EmpiricalVariogram(d *Dataset, maxLag float64, bins int) ([]VariogramBin, error) {
+	return kriging.Empirical(d, maxLag, bins)
+}
+
+// FitVariogram fits a model to empirical bins by weighted least squares.
+func FitVariogram(bins []VariogramBin, model VariogramModel) (Variogram, error) {
+	return kriging.Fit(bins, model)
+}
+
+// Krige performs ordinary kriging of d's values onto opt.Grid.
+func Krige(d *Dataset, opt KrigingOptions) (*Heatmap, error) { return kriging.Interpolate(d, opt) }
+
+// KrigingCVResult is a leave-one-out cross-validation of kriging.
+type KrigingCVResult = kriging.CVResult
+
+// KrigeLOOCV cross-validates ordinary kriging (compare variogram models or
+// neighbourhood sizes without ground truth).
+func KrigeLOOCV(d *Dataset, v Variogram, neighbors int) (*KrigingCVResult, error) {
+	return kriging.LOOCV(d, v, neighbors)
+}
+
+// ---- Spatial weights + autocorrelation (Table 1) ----
+
+// SpatialWeights is a sparse spatial weight matrix.
+type SpatialWeights = weights.Matrix
+
+// KNNWeights returns binary k-nearest-neighbour weights.
+func KNNWeights(pts []Point, k int) (*SpatialWeights, error) { return weights.KNN(pts, k) }
+
+// DistanceBandWeights returns binary weights for 0 < dist <= radius.
+func DistanceBandWeights(pts []Point, radius float64) (*SpatialWeights, error) {
+	return weights.DistanceBand(pts, radius)
+}
+
+// MoranResult is a global Moran's I with its permutation test.
+type MoranResult = moran.Result
+
+// LocalMoranResult is one site's LISA statistic.
+type LocalMoranResult = moran.LocalResult
+
+// MoranI computes global Moran's I with an optional permutation test.
+func MoranI(values []float64, w *SpatialWeights, perms int, rng *rand.Rand) (*MoranResult, error) {
+	return moran.Global(values, w, perms, rng)
+}
+
+// LocalMoran computes local Moran's I (LISA) for every site.
+func LocalMoran(values []float64, w *SpatialWeights, perms int, rng *rand.Rand) ([]LocalMoranResult, error) {
+	return moran.Local(values, w, perms, rng)
+}
+
+// GearyResult is a global Geary's C with its permutation test.
+type GearyResult = moran.GearyResult
+
+// GearyC computes Geary's contiguity ratio (E[C]=1; C<1 positive
+// autocorrelation, C>1 negative), the local-difference complement to
+// Moran's I.
+func GearyC(values []float64, w *SpatialWeights, perms int, rng *rand.Rand) (*GearyResult, error) {
+	return moran.Geary(values, w, perms, rng)
+}
+
+// MoranQuadrant is a Moran-scatterplot quadrant (HH/LL/HL/LH).
+type MoranQuadrant = moran.Quadrant
+
+// Moran scatterplot quadrants.
+const (
+	QuadrantHH = moran.HH
+	QuadrantLL = moran.LL
+	QuadrantHL = moran.HL
+	QuadrantLH = moran.LH
+)
+
+// MoranQuadrants classifies every site on the Moran scatterplot — combined
+// with LocalMoran z-scores this is the LISA cluster map.
+func MoranQuadrants(values []float64, w *SpatialWeights) ([]MoranQuadrant, error) {
+	return moran.Quadrants(values, w)
+}
+
+// CorrelogramPoint is Moran's I at one distance-band radius.
+type CorrelogramPoint = moran.CorrelogramPoint
+
+// MoranCorrelogram computes Moran's I across increasing distance bands —
+// how autocorrelation decays with scale.
+func MoranCorrelogram(pts []Point, values []float64, radii []float64, perms int, rng *rand.Rand) ([]CorrelogramPoint, error) {
+	return moran.Correlogram(pts, values, radii, perms, rng)
+}
+
+// GeneralGResult is a global Getis-Ord General G with its permutation test.
+type GeneralGResult = getisord.GeneralGResult
+
+// GeneralG computes Getis-Ord General G with an optional permutation test.
+func GeneralG(values []float64, w *SpatialWeights, perms int, rng *rand.Rand) (*GeneralGResult, error) {
+	return getisord.GeneralG(values, w, perms, rng)
+}
+
+// LocalGStar computes per-site Gi* hot/cold-spot z-scores.
+func LocalGStar(values []float64, w *SpatialWeights) ([]float64, error) {
+	return getisord.LocalGStar(values, w)
+}
+
+// ---- Clustering ----
+
+// DBSCANNoise is the label of points in no DBSCAN cluster.
+const DBSCANNoise = cluster.Noise
+
+// DBSCAN clusters pts with grid-index-accelerated DBSCAN.
+func DBSCAN(pts []Point, eps float64, minPts int) ([]int, error) {
+	return cluster.DBSCAN(pts, eps, minPts)
+}
+
+// DBSCANNaive clusters pts with the O(n²) baseline.
+func DBSCANNaive(pts []Point, eps float64, minPts int) ([]int, error) {
+	return cluster.DBSCANNaive(pts, eps, minPts)
+}
+
+// NumClusters returns the number of distinct non-noise DBSCAN labels.
+func NumClusters(labels []int) int { return cluster.NumClusters(labels) }
+
+// KMeansResult holds a k-means clustering.
+type KMeansResult = cluster.KMeansResult
+
+// KMeans runs Lloyd's algorithm with k-means++ seeding.
+func KMeans(pts []Point, k, maxIters int, rng *rand.Rand) (*KMeansResult, error) {
+	return cluster.KMeans(pts, k, maxIters, rng)
+}
