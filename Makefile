@@ -1,0 +1,26 @@
+GO ?= go
+
+# Packages whose concurrency is exercised under the race detector: the
+# parallel engine itself plus every package migrated onto it.
+RACE_PKGS = ./internal/parallel ./internal/moran ./internal/getisord \
+            ./internal/kfunc ./internal/weights ./internal/kriging \
+            ./internal/nkdv ./internal/stkdv ./internal/kde ./internal/idw .
+
+.PHONY: check vet build test race bench
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+bench:
+	$(GO) test -run NONE -bench . -benchmem .

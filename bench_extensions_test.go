@@ -143,7 +143,7 @@ func BenchmarkKnox(b *testing.B) {
 		b.Run(fmt.Sprintf("perms=%d", perms), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := KnoxTest(d.Points, d.Times, 4, 8, perms, r); err != nil {
+				if _, err := KnoxTest(d.Points, d.Times, 4, 8, perms, 1, r); err != nil {
 					b.Fatal(err)
 				}
 			}

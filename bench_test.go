@@ -16,6 +16,7 @@ package geostat
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 )
 
@@ -464,6 +465,76 @@ func BenchmarkKFunctionIndexes(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				fn(pts, s)
+			}
+		})
+	}
+}
+
+// Tentpole: the unified parallel engine at Workers ∈ {1, GOMAXPROCS}.
+// Results are bit-identical across worker counts (see determinism_test.go);
+// these measure the speedup side of that contract.
+
+// Moran's I with a 999-permutation test over ≥20k sites.
+func BenchmarkMoranParallel(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	d := UniformCSR(rng, 20000, benchBox)
+	WithField(rng, d, func(p Point) float64 { return p.X }, 1)
+	w, err := KNNWeights(d.Points, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opt := MoranOptions{Perms: 999, Seed: 11, Workers: workers}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := MoranIOpt(d.Values, w, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// K-function plot: 99 CSR envelope simulations fanned out across workers.
+func BenchmarkKPlotParallel(b *testing.B) {
+	pts := benchPoints(4000)
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opt := KPlotOptions{
+				Thresholds:  []float64{2, 4, 6, 8, 10},
+				Simulations: 99,
+				Window:      benchBox,
+				Workers:     workers,
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := KFunctionPlot(pts, opt, rand.New(rand.NewSource(7))); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Weight-matrix construction over 50k sites.
+func BenchmarkWeightsParallel(b *testing.B) {
+	pts := benchPoints(50000)
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("knn/workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := KNNWeightsWorkers(pts, 8, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("band/workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := DistanceBandWeightsWorkers(pts, 2, workers); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}

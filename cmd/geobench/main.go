@@ -8,6 +8,7 @@
 //	geobench -exp F2,C1          # run selected experiments
 //	geobench -quick              # ~10x smaller datasets (smoke run)
 //	geobench -dir out/           # also write PNG/CSV artifacts
+//	geobench -workers 4          # bound parallelism (default: every core)
 //	geobench -list               # list experiment ids
 package main
 
@@ -23,11 +24,12 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "comma-separated experiment ids (default: all)")
-		quick = flag.Bool("quick", false, "shrink dataset sizes ~10x")
-		dir   = flag.String("dir", "", "directory for generated PNG/CSV artifacts")
-		seed  = flag.Int64("seed", 42, "seed for all generators and simulations")
-		list  = flag.Bool("list", false, "list experiments and exit")
+		exp     = flag.String("exp", "", "comma-separated experiment ids (default: all)")
+		quick   = flag.Bool("quick", false, "shrink dataset sizes ~10x")
+		dir     = flag.String("dir", "", "directory for generated PNG/CSV artifacts")
+		seed    = flag.Int64("seed", 42, "seed for all generators and simulations")
+		workers = flag.Int("workers", 0, "parallelism for every parallel-capable call (0: every core, 1: serial)")
+		list    = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
 
@@ -55,7 +57,7 @@ func main() {
 	failed := 0
 	for _, r := range selected {
 		fmt.Printf("=== %s: %s ===\n", r.ID, r.Title)
-		cfg := &experiments.Config{Out: os.Stdout, Dir: *dir, Seed: *seed, Quick: *quick}
+		cfg := &experiments.Config{Out: os.Stdout, Dir: *dir, Seed: *seed, Quick: *quick, Workers: *workers}
 		start := time.Now()
 		if err := r.Run(cfg); err != nil {
 			fmt.Fprintf(os.Stderr, "%s FAILED: %v\n", r.ID, err)

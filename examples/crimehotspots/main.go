@@ -139,7 +139,7 @@ func main() {
 			X: c.X + rng.NormFloat64()*5, Y: c.Y + rng.NormFloat64()*5,
 		})
 	}
-	cross, err := geostat.CrossKFunctionPlot(incidents.Points, venues, []float64{2, 5, 10}, 19, rng)
+	cross, err := geostat.CrossKFunctionPlot(incidents.Points, venues, []float64{2, 5, 10}, 19, -1, rng)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -64,7 +64,7 @@ func TestCrossKAndKnoxFacade(t *testing.T) {
 	if curve[2] != CrossKFunction(crimes, bars, 9) {
 		t.Error("cross curve disagrees with single threshold")
 	}
-	plot, err := CrossKFunctionPlot(crimes, bars, []float64{1, 3, 9}, 9, r)
+	plot, err := CrossKFunctionPlot(crimes, bars, []float64{1, 3, 9}, 9, 1, r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +76,7 @@ func TestCrossKAndKnoxFacade(t *testing.T) {
 		{Center: Point{X: 30, Y: 30}, Sigma: 5, TimeMean: 25, TimeSigma: 6, Weight: 1},
 		{Center: Point{X: 70, Y: 70}, Sigma: 5, TimeMean: 75, TimeSigma: 6, Weight: 1},
 	}, 0.2)
-	knox, err := KnoxTest(d.Points, d.Times, 5, 10, 99, r)
+	knox, err := KnoxTest(d.Points, d.Times, 5, 10, 99, 1, r)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -90,7 +90,7 @@ func RunA2(cfg *Config) error {
 	}
 	for _, b := range []float64{2, 12} {
 		fixed, err := geostat.KDV(pts, geostat.KDVOptions{
-			Kernel: geostat.MustKernel(geostat.Quartic, b), Grid: grid, Workers: -1,
+			Kernel: geostat.MustKernel(geostat.Quartic, b), Grid: grid, Workers: cfg.workers(),
 		})
 		if err != nil {
 			return err

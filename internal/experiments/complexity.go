@@ -290,7 +290,7 @@ func RunC8(cfg *Config) error {
 	tb := newTable("neighbours k", "time")
 	for _, k := range []int{8, 16, 32} {
 		t := timeIt(func() {
-			if _, err := geostat.Krige(d, geostat.KrigingOptions{Grid: grid, Variogram: v, Neighbors: k, Workers: -1}); err != nil {
+			if _, err := geostat.Krige(d, geostat.KrigingOptions{Grid: grid, Variogram: v, Neighbors: k, Workers: cfg.workers()}); err != nil {
 				panic(err)
 			}
 		})
@@ -299,7 +299,7 @@ func RunC8(cfg *Config) error {
 	tb.write(cfg.Out)
 
 	fmt.Fprintln(cfg.Out, "\nMoran's I / General G (kNN weights k=8):")
-	w, err := geostat.KNNWeights(d.Points, 8)
+	w, err := geostat.KNNWeightsWorkers(d.Points, 8, cfg.workers())
 	if err != nil {
 		return err
 	}
@@ -308,12 +308,14 @@ func RunC8(cfg *Config) error {
 	tb = newTable("perms", "Moran's I", "General G")
 	for _, perms := range []int{99, 999} {
 		tMoran := timeIt(func() {
-			if _, err := geostat.MoranI(d.Values, w, perms, rng); err != nil {
+			opt := geostat.MoranOptions{Perms: perms, Seed: rng.Int63(), Workers: cfg.workers()}
+			if _, err := geostat.MoranIOpt(d.Values, w, opt); err != nil {
 				panic(err)
 			}
 		})
 		tG := timeIt(func() {
-			if _, err := geostat.GeneralG(pos, w, perms, rng); err != nil {
+			opt := geostat.GetisOrdOptions{Perms: perms, Seed: rng.Int63(), Workers: cfg.workers()}
+			if _, err := geostat.GeneralGOpt(pos, w, opt); err != nil {
 				panic(err)
 			}
 		})

@@ -25,9 +25,20 @@ type Config struct {
 	Seed int64
 	// Quick shrinks dataset sizes ~10× for smoke runs.
 	Quick bool
+	// Workers bounds the parallelism of every parallel-capable call;
+	// 0 means every core (the default), otherwise passed through as-is.
+	Workers int
 }
 
 func (c *Config) rng() *rand.Rand { return rand.New(rand.NewSource(c.Seed)) }
+
+// workers maps the zero-value Config to "every core".
+func (c *Config) workers() int {
+	if c.Workers == 0 {
+		return -1
+	}
+	return c.Workers
+}
 
 // scale shrinks n in quick mode.
 func (c *Config) scale(n int) int {

@@ -161,7 +161,7 @@ func RunF1(cfg *Config) error {
 	hm, err := geostat.KDV(d.Points, geostat.KDVOptions{
 		Kernel:  geostat.MustKernel(geostat.Quartic, 6),
 		Grid:    grid,
-		Workers: -1,
+		Workers: cfg.workers(),
 	})
 	if err != nil {
 		return err
@@ -200,7 +200,7 @@ func RunF2(cfg *Config) error {
 			Thresholds:  thresholds,
 			Simulations: 39,
 			Window:      studyBox,
-			Workers:     -1,
+			Workers:     cfg.workers(),
 		}, rng)
 		if err != nil {
 			return err
@@ -312,7 +312,7 @@ func RunF4(cfg *Config) error {
 		TimeKernel:  geostat.MustKernel(geostat.Epanechnikov, 8),
 		Grid:        geostat.NewPixelGrid(studyBox, 128, 128),
 		Times:       []float64{15, 45},
-		Workers:     -1,
+		Workers:     cfg.workers(),
 	}
 	cube, err := geostat.STKDV(d, opt)
 	if err != nil {
@@ -356,7 +356,7 @@ func RunF5(cfg *Config) error {
 	hm, err := geostat.KDV(back.Points, geostat.KDVOptions{
 		Kernel:  geostat.MustKernel(geostat.Quartic, 6),
 		Grid:    geostat.NewPixelGrid(geostat.NewBBox(back.Points), 256, 256),
-		Workers: -1,
+		Workers: cfg.workers(),
 	})
 	if err != nil {
 		return err

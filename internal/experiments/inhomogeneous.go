@@ -17,7 +17,7 @@ import (
 func RunA4(cfg *Config) error {
 	rng := cfg.rng()
 	thresholds := []float64{2, 4, 6}
-	opt := geostat.KPlotOptions{Thresholds: thresholds, Simulations: 39, Window: studyBox, Workers: -1}
+	opt := geostat.KPlotOptions{Thresholds: thresholds, Simulations: 39, Window: studyBox, Workers: cfg.workers()}
 	spec := geostat.NewPixelGrid(studyBox, 64, 64)
 
 	// Dataset 1: inhomogeneous Poisson (intensity bump, no interaction).
@@ -43,7 +43,7 @@ func RunA4(cfg *Config) error {
 			return "", "", err
 		}
 		fit, err := geostat.KDV(pts, geostat.KDVOptions{
-			Kernel: geostat.MustKernel(geostat.Quartic, 12), Grid: spec, Workers: -1,
+			Kernel: geostat.MustKernel(geostat.Quartic, 12), Grid: spec, Workers: cfg.workers(),
 		})
 		if err != nil {
 			return "", "", err

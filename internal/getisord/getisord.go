@@ -9,8 +9,23 @@ import (
 	"math"
 	"math/rand"
 
+	"geostat/internal/parallel"
 	"geostat/internal/weights"
 )
+
+// Options configures the General G permutation test. Permutation p
+// shuffles its own copy of the values with an RNG derived
+// deterministically from (Seed, p), so results are bit-identical for
+// every Workers value.
+type Options struct {
+	// Perms is the number of permutations; 0 skips the test.
+	Perms int
+	// Seed drives the permutation RNGs.
+	Seed int64
+	// Workers fans permutations out across goroutines (0/1 serial, <0
+	// GOMAXPROCS).
+	Workers int
+}
 
 // GeneralGResult is the global General G with its permutation test.
 type GeneralGResult struct {
@@ -29,7 +44,22 @@ type GeneralGResult struct {
 //
 // Values must be non-negative (the statistic is defined for positive
 // attributes). perms > 0 adds a permutation test driven by rng.
+// Equivalent to GeneralGOpt with a seed drawn from rng and every core.
 func GeneralG(values []float64, w *weights.Matrix, perms int, rng *rand.Rand) (*GeneralGResult, error) {
+	if perms > 0 && rng == nil {
+		return nil, fmt.Errorf("getisord: permutation test requires a rng")
+	}
+	var seed int64
+	if rng != nil {
+		seed = rng.Int63()
+	}
+	return GeneralGOpt(values, w, Options{Perms: perms, Seed: seed, Workers: -1})
+}
+
+// GeneralGOpt computes General G with an explicit permutation-test
+// configuration; permutations fan out across opt.Workers with results
+// bit-identical for every worker count.
+func GeneralGOpt(values []float64, w *weights.Matrix, opt Options) (*GeneralGResult, error) {
 	n := len(values)
 	if n != w.N {
 		return nil, fmt.Errorf("getisord: %d values but weight matrix over %d sites", n, w.N)
@@ -41,9 +71,6 @@ func GeneralG(values []float64, w *weights.Matrix, perms int, rng *rand.Rand) (*
 		if v < 0 {
 			return nil, fmt.Errorf("getisord: General G requires non-negative values (index %d is %g)", i, v)
 		}
-	}
-	if perms > 0 && rng == nil {
-		return nil, fmt.Errorf("getisord: permutation test requires a rng")
 	}
 	// Denominator Σ_{i≠j} x_i x_j = (Σx)² − Σx² is permutation-invariant.
 	sum, sum2 := 0.0, 0.0
@@ -59,17 +86,19 @@ func GeneralG(values []float64, w *weights.Matrix, perms int, rng *rand.Rand) (*
 	res := &GeneralGResult{
 		G:        obs,
 		Expected: w.S0() / (float64(n) * float64(n-1)),
-		Perms:    perms,
+		Perms:    opt.Perms,
 	}
-	if perms <= 0 {
+	if opt.Perms <= 0 {
 		return res, nil
 	}
-	perm := append([]float64(nil), values...)
-	samples := make([]float64, perms)
-	for p := range samples {
-		rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
-		samples[p] = gNumerator(perm, w) / den
-	}
+	samples := make([]float64, opt.Perms)
+	parallel.MonteCarloScratch(opt.Perms, opt.Workers, opt.Seed,
+		func() []float64 { return make([]float64, n) },
+		func(rng *rand.Rand, perm []float64, p int) {
+			copy(perm, values)
+			rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+			samples[p] = gNumerator(perm, w) / den
+		})
 	mean, std := meanStd(samples)
 	res.PermMean, res.PermStd = mean, std
 	if std > 0 {
@@ -81,7 +110,7 @@ func GeneralG(values []float64, w *weights.Matrix, perms int, rng *rand.Rand) (*
 			extreme++
 		}
 	}
-	res.P = float64(extreme+1) / float64(perms+1)
+	res.P = float64(extreme+1) / float64(opt.Perms+1)
 	return res, nil
 }
 

@@ -16,14 +16,12 @@ package idw
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"geostat/internal/dataset"
 	"geostat/internal/geom"
 	gridindex "geostat/internal/index/grid"
 	"geostat/internal/index/kdtree"
+	"geostat/internal/parallel"
 	"geostat/internal/raster"
 )
 
@@ -52,17 +50,6 @@ func (o *Options) validate(d *dataset.Dataset) error {
 		return fmt.Errorf("idw: empty dataset")
 	}
 	return nil
-}
-
-func (o *Options) workers() int {
-	switch {
-	case o.Workers < 0:
-		return runtime.GOMAXPROCS(0)
-	case o.Workers == 0:
-		return 1
-	default:
-		return o.Workers
-	}
 }
 
 // epsCoincident is the squared distance below which a pixel is treated as
@@ -190,28 +177,8 @@ func weight(d2, power float64) float64 {
 func runRows(opt *Options, rowFn func(iy int, row []float64)) *raster.Grid {
 	out := raster.NewGrid(opt.Grid)
 	nx, ny := opt.Grid.NX, opt.Grid.NY
-	workers := opt.workers()
-	if workers <= 1 {
-		for iy := 0; iy < ny; iy++ {
-			rowFn(iy, out.Values[iy*nx:(iy+1)*nx])
-		}
-		return out
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				iy := int(next.Add(1)) - 1
-				if iy >= ny {
-					return
-				}
-				rowFn(iy, out.Values[iy*nx:(iy+1)*nx])
-			}
-		}()
-	}
-	wg.Wait()
+	parallel.For(ny, opt.Workers, func(iy int) {
+		rowFn(iy, out.Values[iy*nx:(iy+1)*nx])
+	})
 	return out
 }

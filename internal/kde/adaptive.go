@@ -3,11 +3,11 @@ package kde
 import (
 	"fmt"
 	"math"
-	"sync"
 
 	"geostat/internal/geom"
 	"geostat/internal/index/kdtree"
 	"geostat/internal/kernel"
+	"geostat/internal/parallel"
 	"geostat/internal/raster"
 )
 
@@ -41,36 +41,20 @@ func Adaptive(pts []geom.Point, bandwidths []float64, typ kernel.Type, grid geom
 		kernels[i] = k
 	}
 	out := raster.NewGrid(grid)
-	nw := normWorkersLocal(workers)
-	if nw <= 1 {
-		scatter(pts, kernels, grid, out.Values, 0, len(pts))
+	if parallel.Workers(workers) <= 1 {
+		for i := range pts {
+			scatterOne(pts, kernels, grid, out.Values, i)
+		}
 		return out, nil
 	}
-	// Shard events; each worker scatters into a private grid, merged after.
-	var wg sync.WaitGroup
-	partials := make([][]float64, nw)
-	chunk := (len(pts) + nw - 1) / nw
-	for w := 0; w < nw; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(pts) {
-			hi = len(pts)
-		}
-		if lo >= hi {
-			break
-		}
-		partials[w] = make([]float64, len(out.Values))
-		wg.Add(1)
-		go func(buf []float64, lo, hi int) {
-			defer wg.Done()
-			scatter(pts, kernels, grid, buf, lo, hi)
-		}(partials[w], lo, hi)
-	}
-	wg.Wait()
+	// Each worker scatters into a private grid (footprints overlap, so
+	// direct writes would race); partials are merged after. Dynamic
+	// chunking rebalances the skew between wide sparse-region kernels and
+	// narrow hotspot ones.
+	partials := parallel.ForScratch(len(pts), workers,
+		func() []float64 { return make([]float64, len(out.Values)) },
+		func(buf []float64, i int) { scatterOne(pts, kernels, grid, buf, i) })
 	for _, p := range partials {
-		if p == nil {
-			continue
-		}
 		for i, v := range p {
 			out.Values[i] += v
 		}
@@ -78,22 +62,21 @@ func Adaptive(pts []geom.Point, bandwidths []float64, typ kernel.Type, grid geom
 	return out, nil
 }
 
-func scatter(pts []geom.Point, kernels []kernel.Kernel, grid geom.PixelGrid, values []float64, lo, hi int) {
-	for i := lo; i < hi; i++ {
-		p := pts[i]
-		k := kernels[i]
-		b := k.Bandwidth()
-		colLo, colHi := grid.ColRange(p.X, b)
-		rowLo, rowHi := grid.RowRange(p.Y, b)
-		for iy := rowLo; iy < rowHi; iy++ {
-			dy := grid.CenterY(iy) - p.Y
-			dy2 := dy * dy
-			base := iy * grid.NX
-			for ix := colLo; ix < colHi; ix++ {
-				dx := grid.CenterX(ix) - p.X
-				if v := k.Eval2(dx*dx + dy2); v != 0 {
-					values[base+ix] += v
-				}
+// scatterOne adds point i's kernel footprint onto a value grid.
+func scatterOne(pts []geom.Point, kernels []kernel.Kernel, grid geom.PixelGrid, values []float64, i int) {
+	p := pts[i]
+	k := kernels[i]
+	b := k.Bandwidth()
+	colLo, colHi := grid.ColRange(p.X, b)
+	rowLo, rowHi := grid.RowRange(p.Y, b)
+	for iy := rowLo; iy < rowHi; iy++ {
+		dy := grid.CenterY(iy) - p.Y
+		dy2 := dy * dy
+		base := iy * grid.NX
+		for ix := colLo; ix < colHi; ix++ {
+			dx := grid.CenterX(ix) - p.X
+			if v := k.Eval2(dx*dx + dy2); v != 0 {
+				values[base+ix] += v
 			}
 		}
 	}
@@ -125,9 +108,4 @@ func AdaptiveBandwidths(pts []geom.Point, k int, scale, minBandwidth float64) ([
 		out[i] = b
 	}
 	return out, nil
-}
-
-func normWorkersLocal(w int) int {
-	o := Options{Workers: w}
-	return o.workers()
 }

@@ -25,12 +25,10 @@ package kde
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"geostat/internal/geom"
 	"geostat/internal/kernel"
+	"geostat/internal/parallel"
 	"geostat/internal/raster"
 )
 
@@ -51,17 +49,6 @@ type Options struct {
 	// (Naive, GridCutoff, SweepLine); the approximate methods reject it
 	// (their guarantees are stated for unweighted sums). Nil means all 1.
 	Weights []float64
-}
-
-func (o *Options) workers() int {
-	switch {
-	case o.Workers < 0:
-		return runtime.GOMAXPROCS(0)
-	case o.Workers == 0:
-		return 1
-	default:
-		return o.Workers
-	}
 }
 
 // scale returns the multiplier applied to raw kernel sums. With weights,
@@ -121,34 +108,15 @@ type rowComputer interface {
 }
 
 // run evaluates every row of opt.Grid through rc, applying the
-// normalisation scale, serially or with opt.Workers goroutines.
+// normalisation scale, serially or with opt.Workers goroutines
+// (dynamically scheduled through internal/parallel).
 func run(rc rowComputer, opt *Options, n int) *raster.Grid {
 	out := raster.NewGrid(opt.Grid)
 	scale := opt.scale(n)
 	nx, ny := opt.Grid.NX, opt.Grid.NY
-	workers := opt.workers()
-	if workers <= 1 {
-		for iy := 0; iy < ny; iy++ {
-			rc.computeRow(iy, out.Values[iy*nx:(iy+1)*nx])
-		}
-	} else {
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for {
-					iy := int(next.Add(1)) - 1
-					if iy >= ny {
-						return
-					}
-					rc.computeRow(iy, out.Values[iy*nx:(iy+1)*nx])
-				}
-			}()
-		}
-		wg.Wait()
-	}
+	parallel.For(ny, opt.Workers, func(iy int) {
+		rc.computeRow(iy, out.Values[iy*nx:(iy+1)*nx])
+	})
 	if scale != 1 {
 		for i := range out.Values {
 			out.Values[i] *= scale

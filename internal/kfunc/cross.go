@@ -5,9 +5,11 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"geostat/internal/geom"
 	gridindex "geostat/internal/index/grid"
+	"geostat/internal/parallel"
 )
 
 // Cross-type and space-time interaction extensions of the K-function
@@ -64,7 +66,12 @@ func CrossCurve(a, b []geom.Point, thresholds []float64) ([]int, error) {
 // reassignments of the type labels across the pooled points. Exceeding the
 // envelope means the two types attract each other beyond what their pooled
 // spatial pattern explains.
-func CrossPlot(a, b []geom.Point, thresholds []float64, sims int, rng *rand.Rand) (*Plot, error) {
+//
+// Simulations fan out across workers (0/1 serial, <0 GOMAXPROCS); each
+// relabelling shuffles its own copy of the pool with an RNG derived from
+// rng's next value, so the envelopes are bit-identical for every worker
+// count.
+func CrossPlot(a, b []geom.Point, thresholds []float64, sims, workers int, rng *rand.Rand) (*Plot, error) {
 	if sims < 1 {
 		return nil, fmt.Errorf("kfunc: need at least 1 simulation, got %d", sims)
 	}
@@ -75,33 +82,31 @@ func CrossPlot(a, b []geom.Point, thresholds []float64, sims int, rng *rand.Rand
 	if err != nil {
 		return nil, err
 	}
-	d := len(thresholds)
-	p := &Plot{
-		S:   append([]float64(nil), thresholds...),
-		K:   make([]float64, d),
-		Lo:  make([]float64, d),
-		Hi:  make([]float64, d),
-		Sim: sims,
-	}
-	for i, c := range obs {
-		p.K[i] = float64(c)
-		p.Lo[i] = math.Inf(1)
-		p.Hi[i] = math.Inf(-1)
-	}
+	p := newPlot(thresholds, obs, sims)
 	pool := make([]geom.Point, 0, len(a)+len(b))
 	pool = append(pool, a...)
 	pool = append(pool, b...)
-	for l := 0; l < sims; l++ {
-		rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
-		counts, err := CrossCurve(pool[:len(a)], pool[len(a):], thresholds)
-		if err != nil {
-			return nil, err
-		}
-		for i, c := range counts {
-			v := float64(c)
-			p.Lo[i] = math.Min(p.Lo[i], v)
-			p.Hi[i] = math.Max(p.Hi[i], v)
-		}
+	seed := rng.Int63()
+	var mu sync.Mutex
+	var firstErr error
+	parallel.MonteCarloScratch(sims, workers, seed,
+		func() []geom.Point { return make([]geom.Point, len(pool)) },
+		func(rng *rand.Rand, buf []geom.Point, l int) {
+			copy(buf, pool)
+			rng.Shuffle(len(buf), func(i, j int) { buf[i], buf[j] = buf[j], buf[i] })
+			counts, err := CrossCurve(buf[:len(a)], buf[len(a):], thresholds)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			p.mergeEnvelope(counts)
+		})
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	return p, nil
 }
@@ -121,7 +126,11 @@ type KnoxResult struct {
 // of the times over the fixed locations — the classical space-time
 // interaction screen (Equation 8's K(s,t) at a single threshold pair, with
 // the correct conditional null).
-func Knox(pts []geom.Point, times []float64, s, t float64, perms int, rng *rand.Rand) (*KnoxResult, error) {
+//
+// Permutations fan out across workers (0/1 serial, <0 GOMAXPROCS); each
+// permutation shuffles its own copy of the times with an RNG derived from
+// rng's next value, so the result is bit-identical for every worker count.
+func Knox(pts []geom.Point, times []float64, s, t float64, perms, workers int, rng *rand.Rand) (*KnoxResult, error) {
 	n := len(pts)
 	if len(times) != n {
 		return nil, fmt.Errorf("kfunc: %d points but %d times", n, len(times))
@@ -157,12 +166,14 @@ func Knox(pts []geom.Point, times []float64, s, t float64, perms int, rng *rand.
 		return c
 	}
 	obs := countClose(times)
-	perm := append([]float64(nil), times...)
 	samples := make([]float64, perms)
-	for p := range samples {
-		rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
-		samples[p] = float64(countClose(perm))
-	}
+	parallel.MonteCarloScratch(perms, workers, rng.Int63(),
+		func() []float64 { return make([]float64, n) },
+		func(rng *rand.Rand, perm []float64, p int) {
+			copy(perm, times)
+			rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+			samples[p] = float64(countClose(perm))
+		})
 	mean, std := permMeanStd(samples)
 	res := &KnoxResult{Statistic: obs, PermMean: mean, PermStd: std, Perms: perms}
 	if std > 0 {

@@ -70,7 +70,7 @@ func TestCrossPlotDetectsAttraction(t *testing.T) {
 		}
 	}
 	thresholds := []float64{2, 4, 8}
-	plot, err := CrossPlot(crimes, bars, thresholds, 19, r)
+	plot, err := CrossPlot(crimes, bars, thresholds, 19, 1, r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +81,7 @@ func TestCrossPlotDetectsAttraction(t *testing.T) {
 	// Independent types: mostly random.
 	indepA := dataset.UniformCSR(r, 400, box).Points
 	indepB := dataset.UniformCSR(r, 30, box).Points
-	plot, err = CrossPlot(indepA, indepB, thresholds, 19, r)
+	plot, err = CrossPlot(indepA, indepB, thresholds, 19, 1, r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,10 +99,10 @@ func TestCrossPlotDetectsAttraction(t *testing.T) {
 func TestCrossPlotValidation(t *testing.T) {
 	r := rand.New(rand.NewSource(3))
 	a := dataset.UniformCSR(r, 10, box).Points
-	if _, err := CrossPlot(a, a, []float64{1}, 0, r); err == nil {
+	if _, err := CrossPlot(a, a, []float64{1}, 0, 1, r); err == nil {
 		t.Error("0 sims accepted")
 	}
-	if _, err := CrossPlot(nil, a, []float64{1}, 5, r); err == nil {
+	if _, err := CrossPlot(nil, a, []float64{1}, 5, 1, r); err == nil {
 		t.Error("empty type accepted")
 	}
 }
@@ -115,7 +115,7 @@ func TestKnoxDetectsInteraction(t *testing.T) {
 		{Center: geom.Point{X: 25, Y: 25}, Sigma: 5, TimeMean: 20, TimeSigma: 6, Weight: 1},
 		{Center: geom.Point{X: 75, Y: 75}, Sigma: 5, TimeMean: 80, TimeSigma: 6, Weight: 1},
 	}, 0.2)
-	res, err := Knox(d.Points, d.Times, 5, 10, 99, r)
+	res, err := Knox(d.Points, d.Times, 5, 10, 99, 1, r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +129,7 @@ func TestKnoxDetectsInteraction(t *testing.T) {
 	// Destroy the interaction by shuffling times.
 	shuffled := append([]float64(nil), d.Times...)
 	r.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
-	res, err = Knox(d.Points, shuffled, 5, 10, 99, r)
+	res, err = Knox(d.Points, shuffled, 5, 10, 99, 1, r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,19 +142,19 @@ func TestKnoxValidation(t *testing.T) {
 	r := rand.New(rand.NewSource(5))
 	pts := []geom.Point{{X: 1, Y: 1}, {X: 2, Y: 2}, {X: 3, Y: 3}}
 	times := []float64{1, 2, 3}
-	if _, err := Knox(pts, times[:2], 1, 1, 9, r); err == nil {
+	if _, err := Knox(pts, times[:2], 1, 1, 9, 1, r); err == nil {
 		t.Error("length mismatch accepted")
 	}
-	if _, err := Knox(pts[:2], times[:2], 1, 1, 9, r); err == nil {
+	if _, err := Knox(pts[:2], times[:2], 1, 1, 9, 1, r); err == nil {
 		t.Error("2 events accepted")
 	}
-	if _, err := Knox(pts, times, 1, 1, 0, r); err == nil {
+	if _, err := Knox(pts, times, 1, 1, 0, 1, r); err == nil {
 		t.Error("0 perms accepted")
 	}
-	if _, err := Knox(pts, times, 1, 1, 9, nil); err == nil {
+	if _, err := Knox(pts, times, 1, 1, 9, 1, nil); err == nil {
 		t.Error("nil rng accepted")
 	}
-	if res, err := Knox(pts, times, 5, 5, 9, r); err != nil || res.Statistic != 3 {
+	if res, err := Knox(pts, times, 5, 5, 9, 1, r); err != nil || res.Statistic != 3 {
 		t.Errorf("tiny Knox: %+v, %v", res, err)
 	}
 }

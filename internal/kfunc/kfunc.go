@@ -24,16 +24,14 @@ package kfunc
 import (
 	"fmt"
 	"math"
-	"runtime"
 	"sort"
-	"sync"
-	"sync/atomic"
 
 	"geostat/internal/geom"
 	"geostat/internal/index/balltree"
 	gridindex "geostat/internal/index/grid"
 	"geostat/internal/index/kdtree"
 	"geostat/internal/index/rtree"
+	"geostat/internal/parallel"
 )
 
 // Naive computes K_P(s) (ordered pairs, i≠j) by the O(n²) double loop —
@@ -110,38 +108,17 @@ func Curve(pts []geom.Point, thresholds []float64, workers int) ([]int, error) {
 	sMax := thresholds[d-1]
 	idx := gridindex.New(pts, sMax)
 
-	nw := normWorkers(workers)
+	// Per-worker histogram scratch, merged after (integer sums, so the
+	// merge order cannot change the result).
 	hist := make([]int64, d)
-	if nw <= 1 {
-		countInto(pts, idx, thresholds, 0, len(pts), hist)
-	} else {
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		partials := make([][]int64, nw)
-		const chunk = 256
-		for w := 0; w < nw; w++ {
-			partials[w] = make([]int64, d)
-			wg.Add(1)
-			go func(local []int64) {
-				defer wg.Done()
-				for {
-					lo := int(next.Add(chunk)) - chunk
-					if lo >= len(pts) {
-						return
-					}
-					hi := lo + chunk
-					if hi > len(pts) {
-						hi = len(pts)
-					}
-					countInto(pts, idx, thresholds, lo, hi, local)
-				}
-			}(partials[w])
-		}
-		wg.Wait()
-		for _, p := range partials {
-			for i, v := range p {
-				hist[i] += v
-			}
+	partials := parallel.ForScratch(len(pts), workers,
+		func() []int64 { return make([]int64, d) },
+		func(local []int64, i int) {
+			countInto(pts, idx, thresholds, i, i+1, local)
+		})
+	for _, p := range partials {
+		for i, v := range p {
+			hist[i] += v
 		}
 	}
 	// Cumulative: hist[d] currently holds pairs with dist in the d-th bin
@@ -251,15 +228,4 @@ func checkThresholds(ts []float64) error {
 		prev = t
 	}
 	return nil
-}
-
-func normWorkers(w int) int {
-	switch {
-	case w < 0:
-		return runtime.GOMAXPROCS(0)
-	case w == 0:
-		return 1
-	default:
-		return w
-	}
 }

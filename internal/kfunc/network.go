@@ -6,9 +6,9 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
-	"sync/atomic"
 
 	"geostat/internal/network"
+	"geostat/internal/parallel"
 )
 
 // Network K-function (§2.3 of the paper, Okabe & Yamada [74]): Equation 2
@@ -39,9 +39,19 @@ func NetworkNaive(g *network.Graph, events []network.Position, s float64) int {
 	return count
 }
 
+// netCurveScratch is the per-worker state of a parallel NetworkCurve: one
+// Dijkstra engine, a local histogram, and the dedup set of visited edges.
+type netCurveScratch struct {
+	dij      *network.Dijkstra
+	hist     []int64
+	seenEdge map[int32]bool
+}
+
 // NetworkCurve computes the network K-function at every threshold
-// (ascending) with one bounded Dijkstra per event. Workers shards events
-// across goroutines, each with its own Dijkstra engine.
+// (ascending) with one bounded Dijkstra per event. Workers fans events out
+// across goroutines (0/1 serial, <0 GOMAXPROCS), each with its own
+// Dijkstra engine; dynamic chunking rebalances the skew between events in
+// dense and sparse network regions.
 func NetworkCurve(g *network.Graph, events []network.Position, thresholds []float64, workers int) ([]int, error) {
 	if err := checkThresholds(thresholds); err != nil {
 		return nil, err
@@ -60,62 +70,49 @@ func NetworkCurve(g *network.Graph, events []network.Position, thresholds []floa
 		byEdge[ev.Edge] = append(byEdge[ev.Edge], int32(i))
 	}
 
-	nw := normWorkers(workers)
+	partials := parallel.ForScratch(len(events), workers,
+		func() *netCurveScratch {
+			return &netCurveScratch{
+				dij:      network.NewDijkstra(g),
+				hist:     make([]int64, d),
+				seenEdge: make(map[int32]bool),
+			}
+		},
+		func(s *netCurveScratch, i int) {
+			src := events[i]
+			s.dij.FromPosition(src, sMax)
+			// Candidate edges: those incident to a reached node, plus the
+			// source's own edge (reachable along itself).
+			clear(s.seenEdge)
+			consider := func(ei int32) {
+				if s.seenEdge[ei] {
+					return
+				}
+				s.seenEdge[ei] = true
+				for _, j := range byEdge[ei] {
+					if int(j) == i {
+						continue
+					}
+					dist := s.dij.PositionDist(events[j], src, true)
+					if dist <= sMax {
+						bin := sort.SearchFloat64s(thresholds, dist)
+						if bin < d {
+							s.hist[bin]++
+						}
+					}
+				}
+			}
+			consider(src.Edge)
+			for _, u := range s.dij.Reached() {
+				g.Neighbors(u, func(_, ei int32, _ float64) { consider(ei) })
+			}
+		})
 	hist := make([]int64, d)
-	var mu sync.Mutex
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	if nw > len(events) {
-		nw = len(events)
+	for _, p := range partials {
+		for i, v := range p.hist {
+			hist[i] += v
+		}
 	}
-	for w := 0; w < nw; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			dij := network.NewDijkstra(g)
-			local := make([]int64, d)
-			seenEdge := make(map[int32]bool)
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(events) {
-					break
-				}
-				src := events[i]
-				dij.FromPosition(src, sMax)
-				// Candidate edges: those incident to a reached node, plus the
-				// source's own edge (reachable along itself).
-				clear(seenEdge)
-				consider := func(ei int32) {
-					if seenEdge[ei] {
-						return
-					}
-					seenEdge[ei] = true
-					for _, j := range byEdge[ei] {
-						if int(j) == i {
-							continue
-						}
-						dist := dij.PositionDist(events[j], src, true)
-						if dist <= sMax {
-							bin := sort.SearchFloat64s(thresholds, dist)
-							if bin < d {
-								local[bin]++
-							}
-						}
-					}
-				}
-				consider(src.Edge)
-				for _, u := range dij.Reached() {
-					g.Neighbors(u, func(_, ei int32, _ float64) { consider(ei) })
-				}
-			}
-			mu.Lock()
-			for i, v := range local {
-				hist[i] += v
-			}
-			mu.Unlock()
-		}()
-	}
-	wg.Wait()
 	running := int64(0)
 	for i := range hist {
 		running += hist[i]
@@ -127,6 +124,10 @@ func NetworkCurve(g *network.Graph, events []network.Position, thresholds []floa
 // NetworkPlot computes a network K-function plot: the observed curve plus
 // min/max envelopes over sims datasets of equal size placed uniformly at
 // random on the network by length (the network CSR null model).
+//
+// The simulations fan out across workers with per-simulation RNGs derived
+// from rng's next value, so the envelopes are bit-identical for every
+// worker count.
 func NetworkPlot(g *network.Graph, events []network.Position, thresholds []float64, sims, workers int, rng *rand.Rand) (*Plot, error) {
 	if sims < 1 {
 		return nil, fmt.Errorf("kfunc: need at least 1 simulation, got %d", sims)
@@ -135,32 +136,26 @@ func NetworkPlot(g *network.Graph, events []network.Position, thresholds []float
 	if err != nil {
 		return nil, err
 	}
-	d := len(thresholds)
-	p := &Plot{
-		S:   append([]float64(nil), thresholds...),
-		K:   make([]float64, d),
-		Lo:  make([]float64, d),
-		Hi:  make([]float64, d),
-		Sim: sims,
-	}
-	for i, c := range obs {
-		p.K[i] = float64(c)
-	}
-	for i := range p.Lo {
-		p.Lo[i] = math.Inf(1)
-		p.Hi[i] = math.Inf(-1)
-	}
-	for l := 0; l < sims; l++ {
+	p := newPlot(thresholds, obs, sims)
+	seed := rng.Int63()
+	inner := innerWorkers(workers, sims)
+	var mu sync.Mutex
+	var firstErr error
+	parallel.MonteCarlo(sims, workers, seed, func(rng *rand.Rand, l int) {
 		sim := network.RandomPositions(rng, g, len(events))
-		counts, err := NetworkCurve(g, sim, thresholds, workers)
+		counts, err := NetworkCurve(g, sim, thresholds, inner)
+		mu.Lock()
+		defer mu.Unlock()
 		if err != nil {
-			return nil, err
+			if firstErr == nil {
+				firstErr = err
+			}
+			return
 		}
-		for i, c := range counts {
-			v := float64(c)
-			p.Lo[i] = math.Min(p.Lo[i], v)
-			p.Hi[i] = math.Max(p.Hi[i], v)
-		}
+		p.mergeEnvelope(counts)
+	})
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	return p, nil
 }

@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"geostat/internal/dataset"
 	"geostat/internal/geom"
+	"geostat/internal/parallel"
 )
 
 // Regime classifies a dataset's behaviour at one threshold relative to the
@@ -65,8 +67,52 @@ type PlotOptions struct {
 	// Window is the region CSR simulations draw from. A zero box means the
 	// data's bounding box.
 	Window geom.BBox
-	// Workers parallelises both the observed curve and each simulation.
+	// Workers parallelises the observed curve AND fans the envelope
+	// simulations out across goroutines (0/1 serial, <0 GOMAXPROCS). The
+	// envelopes are bit-identical for every worker count: simulation l
+	// draws from an RNG seeded deterministically from (seed, l).
 	Workers int
+}
+
+// newPlot allocates a Plot holding the observed counts with empty
+// envelopes.
+func newPlot(thresholds []float64, obs []int, sims int) *Plot {
+	d := len(thresholds)
+	p := &Plot{
+		S:   append([]float64(nil), thresholds...),
+		K:   make([]float64, d),
+		Lo:  make([]float64, d),
+		Hi:  make([]float64, d),
+		Sim: sims,
+	}
+	for i, c := range obs {
+		p.K[i] = float64(c)
+		p.Lo[i] = math.Inf(1)
+		p.Hi[i] = math.Inf(-1)
+	}
+	return p
+}
+
+// mergeEnvelope folds one simulation's counts into the pointwise min/max
+// envelope. Min/max are order-insensitive, so concurrent merges (under the
+// caller's lock) stay bit-identical for every worker count.
+func (p *Plot) mergeEnvelope(counts []int) {
+	for i, c := range counts {
+		v := float64(c)
+		p.Lo[i] = math.Min(p.Lo[i], v)
+		p.Hi[i] = math.Max(p.Hi[i], v)
+	}
+}
+
+// innerWorkers decides the parallelism of one simulation's curve: when the
+// simulation fan-out itself is parallel, each simulation runs serially
+// (the fan-out already saturates the cores); a serial fan-out passes the
+// full worker budget down.
+func innerWorkers(workers, sims int) int {
+	if sims > 1 && parallel.Workers(workers) > 1 {
+		return 1
+	}
+	return workers
 }
 
 // MakePlotWithNull computes a K-function plot whose envelope comes from a
@@ -75,6 +121,10 @@ type PlotOptions struct {
 // beyond CSR — e.g. pass a SampleFromIntensity closure for the
 // inhomogeneous null ("same first-order intensity, no interaction"), or a
 // random-labelling null for marked patterns.
+//
+// simulate is invoked SERIALLY (it may close over shared state such as a
+// rand.Rand); only each simulated dataset's curve uses opt.Workers. For a
+// fully parallel envelope use MakePlotSeeded with an rng-taking simulator.
 func MakePlotWithNull(pts []geom.Point, opt PlotOptions, simulate func() []geom.Point) (*Plot, error) {
 	if opt.Simulations < 1 {
 		return nil, fmt.Errorf("kfunc: need at least 1 simulation, got %d", opt.Simulations)
@@ -82,41 +132,64 @@ func MakePlotWithNull(pts []geom.Point, opt PlotOptions, simulate func() []geom.
 	if err := checkThresholds(opt.Thresholds); err != nil {
 		return nil, err
 	}
-	d := len(opt.Thresholds)
-	p := &Plot{
-		S:   append([]float64(nil), opt.Thresholds...),
-		K:   make([]float64, d),
-		Lo:  make([]float64, d),
-		Hi:  make([]float64, d),
-		Sim: opt.Simulations,
-	}
 	obs, err := Curve(pts, opt.Thresholds, opt.Workers)
 	if err != nil {
 		return nil, err
 	}
-	for i, c := range obs {
-		p.K[i] = float64(c)
-		p.Lo[i] = math.Inf(1)
-		p.Hi[i] = math.Inf(-1)
-	}
+	p := newPlot(opt.Thresholds, obs, opt.Simulations)
 	for l := 0; l < opt.Simulations; l++ {
 		counts, err := Curve(simulate(), opt.Thresholds, opt.Workers)
 		if err != nil {
 			return nil, err
 		}
-		for i, c := range counts {
-			v := float64(c)
-			p.Lo[i] = math.Min(p.Lo[i], v)
-			p.Hi[i] = math.Max(p.Hi[i], v)
+		p.mergeEnvelope(counts)
+	}
+	return p, nil
+}
+
+// MakePlotSeeded computes a K-function plot whose envelope simulations fan
+// out across opt.Workers goroutines. simulate(rng, l) must generate the
+// l-th null dataset from rng alone (it is called concurrently); rng is
+// seeded deterministically from (seed, l), so the envelopes are
+// bit-identical for every worker count.
+func MakePlotSeeded(pts []geom.Point, opt PlotOptions, seed int64, simulate func(rng *rand.Rand, l int) []geom.Point) (*Plot, error) {
+	if opt.Simulations < 1 {
+		return nil, fmt.Errorf("kfunc: need at least 1 simulation, got %d", opt.Simulations)
+	}
+	if err := checkThresholds(opt.Thresholds); err != nil {
+		return nil, err
+	}
+	obs, err := Curve(pts, opt.Thresholds, opt.Workers)
+	if err != nil {
+		return nil, err
+	}
+	p := newPlot(opt.Thresholds, obs, opt.Simulations)
+	inner := innerWorkers(opt.Workers, opt.Simulations)
+	var mu sync.Mutex
+	var firstErr error
+	parallel.MonteCarlo(opt.Simulations, opt.Workers, seed, func(rng *rand.Rand, l int) {
+		counts, err := Curve(simulate(rng, l), opt.Thresholds, inner)
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			return
 		}
+		p.mergeEnvelope(counts)
+	})
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	return p, nil
 }
 
 // MakePlot computes a K-function plot for pts: the observed curve plus
 // min/max envelopes over opt.Simulations CSR datasets of the same size
-// (Definition 3). rng drives the simulations; pass a seeded source for
-// reproducibility.
+// (Definition 3). rng seeds the simulations; pass a seeded source for
+// reproducibility. Simulations fan out across opt.Workers with
+// bit-identical results for every worker count.
 func MakePlot(pts []geom.Point, opt PlotOptions, rng *rand.Rand) (*Plot, error) {
 	window := opt.Window
 	if window.IsEmpty() || window.Area() == 0 {
@@ -126,7 +199,7 @@ func MakePlot(pts []geom.Point, opt PlotOptions, rng *rand.Rand) (*Plot, error) 
 		}
 	}
 	n := len(pts)
-	return MakePlotWithNull(pts, opt, func() []geom.Point {
+	return MakePlotSeeded(pts, opt, rng.Int63(), func(rng *rand.Rand, _ int) []geom.Point {
 		return dataset.UniformCSR(rng, n, window).Points
 	})
 }

@@ -6,11 +6,11 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
-	"sync/atomic"
 
 	"geostat/internal/dataset"
 	"geostat/internal/geom"
 	gridindex "geostat/internal/index/grid"
+	"geostat/internal/parallel"
 )
 
 // Spatiotemporal K-function (Equation 8 of the paper): pairs are counted
@@ -81,42 +81,13 @@ func STSurface(pts []geom.Point, times []float64, sThresholds, tThresholds []flo
 		})
 	}
 
-	nw := normWorkers(workers)
-	if nw <= 1 {
-		for i := range pts {
-			binPair(hist, i)
+	partials := parallel.ForScratch(len(pts), workers,
+		func() []int64 { return make([]int64, len(hist)) },
+		func(local []int64, i int) { binPair(local, i) })
+	for _, p := range partials {
+		for i, v := range p {
+			hist[i] += v
 		}
-	} else {
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		var mu sync.Mutex
-		const chunk = 256
-		for w := 0; w < nw; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				local := make([]int64, len(hist))
-				for {
-					lo := int(next.Add(chunk)) - chunk
-					if lo >= len(pts) {
-						break
-					}
-					hi := lo + chunk
-					if hi > len(pts) {
-						hi = len(pts)
-					}
-					for i := lo; i < hi; i++ {
-						binPair(local, i)
-					}
-				}
-				mu.Lock()
-				for i, v := range local {
-					hist[i] += v
-				}
-				mu.Unlock()
-			}()
-		}
-		wg.Wait()
 	}
 
 	// 2-D cumulative over bins (excluding the overflow row/col).
@@ -170,6 +141,10 @@ func (p *STPlot) RegimeAt(a, b int) Regime {
 // MakeSTPlot computes the observed K(s,t) surface and min/max envelopes
 // over sims random datasets: CSR in the window crossed with uniform times
 // over the data's time range (the space-time null model: no interaction).
+//
+// The simulations fan out across workers with per-simulation RNGs derived
+// from rng's next value, so the envelopes are bit-identical for every
+// worker count.
 func MakeSTPlot(d *dataset.Dataset, sThresholds, tThresholds []float64, sims, workers int, rng *rand.Rand) (*STPlot, error) {
 	if !d.HasTimes() {
 		return nil, fmt.Errorf("kfunc: dataset has no event times")
@@ -197,21 +172,33 @@ func MakeSTPlot(d *dataset.Dataset, sThresholds, tThresholds []float64, sims, wo
 		p.Hi[i] = math.Inf(-1)
 	}
 	n := d.N()
-	for l := 0; l < sims; l++ {
+	seed := rng.Int63()
+	inner := innerWorkers(workers, sims)
+	var mu sync.Mutex
+	var firstErr error
+	parallel.MonteCarlo(sims, workers, seed, func(rng *rand.Rand, l int) {
 		sim := dataset.UniformCSR(rng, n, window)
 		sim.Times = make([]float64, n)
 		for i := range sim.Times {
 			sim.Times[i] = t0 + rng.Float64()*(t1-t0)
 		}
-		counts, err := STSurface(sim.Points, sim.Times, sThresholds, tThresholds, workers)
+		counts, err := STSurface(sim.Points, sim.Times, sThresholds, tThresholds, inner)
+		mu.Lock()
+		defer mu.Unlock()
 		if err != nil {
-			return nil, err
+			if firstErr == nil {
+				firstErr = err
+			}
+			return
 		}
 		for i, c := range counts {
 			v := float64(c)
 			p.Lo[i] = math.Min(p.Lo[i], v)
 			p.Hi[i] = math.Max(p.Hi[i], v)
 		}
+	})
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	return p, nil
 }

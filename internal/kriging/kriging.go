@@ -3,14 +3,13 @@ package kriging
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 	"sync/atomic"
 
 	"geostat/internal/dataset"
 	"geostat/internal/geom"
 	"geostat/internal/index/kdtree"
 	"geostat/internal/linalg"
+	"geostat/internal/parallel"
 	"geostat/internal/raster"
 )
 
@@ -27,17 +26,6 @@ type Options struct {
 	Neighbors int
 	// Workers parallelises rows; 0/1 serial, <0 GOMAXPROCS.
 	Workers int
-}
-
-func (o *Options) workers() int {
-	switch {
-	case o.Workers < 0:
-		return runtime.GOMAXPROCS(0)
-	case o.Workers == 0:
-		return 1
-	default:
-		return o.Workers
-	}
 }
 
 // Interpolate performs ordinary kriging of d's values onto the grid. For
@@ -72,45 +60,24 @@ func Interpolate(d *dataset.Dataset, opt Options) (*raster.Grid, error) {
 	out := raster.NewGrid(opt.Grid)
 	ny, nx := opt.Grid.NY, opt.Grid.NX
 
-	workers := opt.workers()
-	var next atomic.Int64
-	var wg sync.WaitGroup
+	// Each worker reuses one solveState (factorisation matrix + RHS) across
+	// all of its rows; dynamic chunking through internal/parallel.
 	var firstErr atomic.Value
-	rowJob := func(st *solveState, iy int) {
-		qy := opt.Grid.CenterY(iy)
-		row := out.Values[iy*nx : (iy+1)*nx]
-		for ix := range row {
-			q := geom.Point{X: opt.Grid.CenterX(ix), Y: qy}
-			v, err := st.estimate(d, tree, q, k, opt.Variogram)
-			if err != nil {
-				firstErr.CompareAndSwap(nil, err)
-				return
-			}
-			row[ix] = v
-		}
-	}
-	if workers <= 1 {
-		st := newSolveState(k)
-		for iy := 0; iy < ny; iy++ {
-			rowJob(st, iy)
-		}
-	} else {
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				st := newSolveState(k)
-				for {
-					iy := int(next.Add(1)) - 1
-					if iy >= ny {
-						return
-					}
-					rowJob(st, iy)
+	parallel.ForScratch(ny, opt.Workers,
+		func() *solveState { return newSolveState(k) },
+		func(st *solveState, iy int) {
+			qy := opt.Grid.CenterY(iy)
+			row := out.Values[iy*nx : (iy+1)*nx]
+			for ix := range row {
+				q := geom.Point{X: opt.Grid.CenterX(ix), Y: qy}
+				v, err := st.estimate(d, tree, q, k, opt.Variogram)
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
 				}
-			}()
-		}
-		wg.Wait()
-	}
+				row[ix] = v
+			}
+		})
 	if err, _ := firstErr.Load().(error); err != nil {
 		return nil, err
 	}

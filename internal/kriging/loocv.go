@@ -3,9 +3,11 @@ package kriging
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"geostat/internal/dataset"
 	"geostat/internal/index/kdtree"
+	"geostat/internal/parallel"
 )
 
 // CVResult summarises a leave-one-out cross-validation of an interpolator:
@@ -19,8 +21,24 @@ type CVResult struct {
 // LOOCV cross-validates ordinary kriging with the given variogram and
 // neighbourhood size: sample i is estimated from its k nearest other
 // samples. The headline use is comparing variogram models or neighbourhood
-// sizes without ground truth.
+// sizes without ground truth. Equivalent to LOOCVWorkers with every core.
 func LOOCV(d *dataset.Dataset, v Variogram, neighbors int) (*CVResult, error) {
+	return LOOCVWorkers(d, v, neighbors, -1)
+}
+
+// cvScratch is the per-worker state of a parallel LOOCV: one kriging solve
+// state plus reusable neighbourhood buffers.
+type cvScratch struct {
+	st      *solveState
+	scratch []int
+	idxBuf  []int
+	d2Buf   []float64
+}
+
+// LOOCVWorkers is LOOCV with an explicit parallelism degree (0/1 serial,
+// <0 GOMAXPROCS). Residuals are written per sample index, so the result is
+// bit-identical for every worker count.
+func LOOCVWorkers(d *dataset.Dataset, v Variogram, neighbors, workers int) (*CVResult, error) {
 	if !d.HasValues() {
 		return nil, fmt.Errorf("kriging: dataset has no values")
 	}
@@ -36,32 +54,44 @@ func LOOCV(d *dataset.Dataset, v Variogram, neighbors int) (*CVResult, error) {
 		k = n - 1
 	}
 	tree := kdtree.New(d.Points)
-	st := newSolveState(k)
 	res := &CVResult{Residuals: make([]float64, n)}
-	idxBuf := make([]int, 0, k+1)
-	d2Buf := make([]float64, 0, k+1)
-	for i, p := range d.Points {
-		// k+1 nearest includes the sample itself; withhold it. Duplicate
-		// sites keep their twin (that is the honest LOOCV answer there).
-		idx, d2 := tree.KNearest(p, k+1, nil)
-		idxBuf = idxBuf[:0]
-		d2Buf = d2Buf[:0]
-		for j, id := range idx {
-			if id == i {
-				continue
+	var firstErr atomic.Value
+	parallel.ForScratch(n, workers,
+		func() *cvScratch {
+			return &cvScratch{
+				st:     newSolveState(k),
+				idxBuf: make([]int, 0, k+1),
+				d2Buf:  make([]float64, 0, k+1),
 			}
-			idxBuf = append(idxBuf, id)
-			d2Buf = append(d2Buf, d2[j])
-		}
-		if len(idxBuf) > k {
-			idxBuf = idxBuf[:k]
-			d2Buf = d2Buf[:k]
-		}
-		pred, err := st.estimateFrom(d, p, idxBuf, d2Buf, v)
-		if err != nil {
-			return nil, fmt.Errorf("kriging: LOOCV at sample %d: %w", i, err)
-		}
-		res.Residuals[i] = pred - d.Values[i]
+		},
+		func(s *cvScratch, i int) {
+			p := d.Points[i]
+			// k+1 nearest includes the sample itself; withhold it. Duplicate
+			// sites keep their twin (that is the honest LOOCV answer there).
+			idx, d2 := tree.KNearest(p, k+1, s.scratch)
+			s.scratch = idx
+			s.idxBuf = s.idxBuf[:0]
+			s.d2Buf = s.d2Buf[:0]
+			for j, id := range idx {
+				if id == i {
+					continue
+				}
+				s.idxBuf = append(s.idxBuf, id)
+				s.d2Buf = append(s.d2Buf, d2[j])
+			}
+			if len(s.idxBuf) > k {
+				s.idxBuf = s.idxBuf[:k]
+				s.d2Buf = s.d2Buf[:k]
+			}
+			pred, err := s.st.estimateFrom(d, p, s.idxBuf, s.d2Buf, v)
+			if err != nil {
+				firstErr.CompareAndSwap(nil, fmt.Errorf("kriging: LOOCV at sample %d: %w", i, err))
+				return
+			}
+			res.Residuals[i] = pred - d.Values[i]
+		})
+	if err, _ := firstErr.Load().(error); err != nil {
+		return nil, err
 	}
 	finishCV(res)
 	return res, nil

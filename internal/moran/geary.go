@@ -2,7 +2,6 @@ package moran
 
 import (
 	"fmt"
-	"math"
 	"math/rand"
 
 	"geostat/internal/geom"
@@ -28,17 +27,29 @@ type GearyResult struct {
 //
 //	C = (n−1)·Σ_ij w_ij·(x_i − x_j)² / (2·S0·Σ_i (x_i − x̄)²)
 //
-// with an optional permutation test (perms > 0, rng required).
+// with an optional permutation test (perms > 0, rng required). Equivalent
+// to GearyOpt with a seed drawn from rng and every core.
 func Geary(values []float64, w *weights.Matrix, perms int, rng *rand.Rand) (*GearyResult, error) {
+	if perms > 0 && rng == nil {
+		return nil, fmt.Errorf("moran: permutation test requires a rng")
+	}
+	var seed int64
+	if rng != nil {
+		seed = rng.Int63()
+	}
+	return GearyOpt(values, w, Options{Perms: perms, Seed: seed, Workers: -1})
+}
+
+// GearyOpt computes Geary's C with an explicit permutation-test
+// configuration; permutations fan out across opt.Workers with results
+// bit-identical for every worker count.
+func GearyOpt(values []float64, w *weights.Matrix, opt Options) (*GearyResult, error) {
 	n := len(values)
 	if n != w.N {
 		return nil, fmt.Errorf("moran: %d values but weight matrix over %d sites", n, w.N)
 	}
 	if n < 3 {
 		return nil, fmt.Errorf("moran: need at least 3 sites, got %d", n)
-	}
-	if perms > 0 && rng == nil {
-		return nil, fmt.Errorf("moran: permutation test requires a rng")
 	}
 	s0 := w.S0()
 	if s0 == 0 {
@@ -48,28 +59,15 @@ func Geary(values []float64, w *weights.Matrix, perms int, rng *rand.Rand) (*Gea
 	if !ok {
 		return nil, fmt.Errorf("moran: constant values (zero variance)")
 	}
-	res := &GearyResult{C: obs, Expected: 1, Perms: perms}
-	if perms <= 0 {
+	res := &GearyResult{C: obs, Expected: 1, Perms: opt.Perms}
+	if opt.Perms <= 0 {
 		return res, nil
 	}
-	perm := append([]float64(nil), values...)
-	samples := make([]float64, perms)
-	for p := range samples {
-		rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
-		samples[p], _ = gearyStatistic(perm, w, s0)
-	}
-	mean, std := meanStd(samples)
-	res.PermMean, res.PermStd = mean, std
-	if std > 0 {
-		res.Z = (obs - mean) / std
-	}
-	extreme := 0
-	for _, s := range samples {
-		if math.Abs(s-mean) >= math.Abs(obs-mean) {
-			extreme++
-		}
-	}
-	res.P = float64(extreme+1) / float64(perms+1)
+	samples := permuteSamples(values, opt, func(perm []float64) float64 {
+		s, _ := gearyStatistic(perm, w, s0)
+		return s
+	})
+	res.PermMean, res.PermStd, res.Z, res.P = permSummary(obs, samples)
 	return res, nil
 }
 

@@ -8,8 +8,22 @@ import (
 	"math"
 	"math/rand"
 
+	"geostat/internal/parallel"
 	"geostat/internal/weights"
 )
+
+// Options configures a permutation test. Permutation p shuffles its own
+// copy of the values with an RNG derived deterministically from (Seed, p),
+// so results are bit-identical for every Workers value.
+type Options struct {
+	// Perms is the number of permutations; 0 skips the test.
+	Perms int
+	// Seed drives the permutation RNGs.
+	Seed int64
+	// Workers fans permutations out across goroutines (0/1 serial, <0
+	// GOMAXPROCS).
+	Workers int
+}
 
 // Result is a global Moran's I with its permutation test.
 type Result struct {
@@ -27,17 +41,29 @@ type Result struct {
 //	I = (n/S0) · Σ_ij w_ij·(z_i − z̄)(z_j − z̄) / Σ_i (z_i − z̄)²
 //
 // perms > 0 adds a permutation test driven by rng (values are shuffled,
-// geometry fixed).
+// geometry fixed). Equivalent to GlobalOpt with a seed drawn from rng and
+// every core.
 func Global(values []float64, w *weights.Matrix, perms int, rng *rand.Rand) (*Result, error) {
+	if perms > 0 && rng == nil {
+		return nil, fmt.Errorf("moran: permutation test requires a rng")
+	}
+	var seed int64
+	if rng != nil {
+		seed = rng.Int63()
+	}
+	return GlobalOpt(values, w, Options{Perms: perms, Seed: seed, Workers: -1})
+}
+
+// GlobalOpt computes Moran's I with an explicit permutation-test
+// configuration; permutations fan out across opt.Workers with results
+// bit-identical for every worker count.
+func GlobalOpt(values []float64, w *weights.Matrix, opt Options) (*Result, error) {
 	n := len(values)
 	if n != w.N {
 		return nil, fmt.Errorf("moran: %d values but weight matrix over %d sites", n, w.N)
 	}
 	if n < 3 {
 		return nil, fmt.Errorf("moran: need at least 3 sites, got %d", n)
-	}
-	if perms > 0 && rng == nil {
-		return nil, fmt.Errorf("moran: permutation test requires a rng")
 	}
 	s0 := w.S0()
 	if s0 == 0 {
@@ -50,21 +76,42 @@ func Global(values []float64, w *weights.Matrix, perms int, rng *rand.Rand) (*Re
 	res := &Result{
 		I:        obs,
 		Expected: -1 / float64(n-1),
-		Perms:    perms,
+		Perms:    opt.Perms,
 	}
-	if perms <= 0 {
+	if opt.Perms <= 0 {
 		return res, nil
 	}
-	perm := append([]float64(nil), values...)
-	samples := make([]float64, perms)
-	for p := range samples {
-		rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
-		samples[p], _ = statistic(perm, w, s0)
-	}
-	mean, std := meanStd(samples)
-	res.PermMean, res.PermStd = mean, std
+	samples := permuteSamples(values, opt, func(perm []float64) float64 {
+		s, _ := statistic(perm, w, s0)
+		return s
+	})
+	res.PermMean, res.PermStd, res.Z, res.P = permSummary(obs, samples)
+	return res, nil
+}
+
+// permuteSamples evaluates stat on opt.Perms random permutations of
+// values, fanning out across opt.Workers. Each permutation copies values
+// into a per-worker buffer and shuffles it with its own derived RNG — no
+// cross-permutation state, so any worker count gives the same samples.
+func permuteSamples(values []float64, opt Options, stat func(perm []float64) float64) []float64 {
+	n := len(values)
+	samples := make([]float64, opt.Perms)
+	parallel.MonteCarloScratch(opt.Perms, opt.Workers, opt.Seed,
+		func() []float64 { return make([]float64, n) },
+		func(rng *rand.Rand, perm []float64, p int) {
+			copy(perm, values)
+			rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+			samples[p] = stat(perm)
+		})
+	return samples
+}
+
+// permSummary reduces a permutation distribution to its mean/std, the
+// observed z-score, and the two-sided pseudo p-value (r+1)/(perms+1).
+func permSummary(obs float64, samples []float64) (mean, std, z, p float64) {
+	mean, std = meanStd(samples)
 	if std > 0 {
-		res.Z = (obs - mean) / std
+		z = (obs - mean) / std
 	}
 	extreme := 0
 	for _, s := range samples {
@@ -72,8 +119,8 @@ func Global(values []float64, w *weights.Matrix, perms int, rng *rand.Rand) (*Re
 			extreme++
 		}
 	}
-	res.P = float64(extreme+1) / float64(perms+1)
-	return res, nil
+	p = float64(extreme+1) / float64(len(samples)+1)
+	return mean, std, z, p
 }
 
 // statistic computes I; ok=false when the values have zero variance.
@@ -109,17 +156,30 @@ type LocalResult struct {
 //	I_i = (z_i/m2) · Σ_j w_ij·z_j,   m2 = Σ_k z_k²/n
 //
 // with conditional-permutation z-scores (value i fixed, others shuffled)
-// when perms > 0.
+// when perms > 0. Equivalent to LocalOpt with a seed drawn from rng and
+// every core.
 func Local(values []float64, w *weights.Matrix, perms int, rng *rand.Rand) ([]LocalResult, error) {
+	if perms > 0 && rng == nil {
+		return nil, fmt.Errorf("moran: permutation test requires a rng")
+	}
+	var seed int64
+	if rng != nil {
+		seed = rng.Int63()
+	}
+	return LocalOpt(values, w, Options{Perms: perms, Seed: seed, Workers: -1})
+}
+
+// LocalOpt computes local Moran's I with an explicit permutation-test
+// configuration; sites fan out across opt.Workers, each drawing its
+// conditional permutations from an RNG derived from (opt.Seed, site), so
+// the z-scores are bit-identical for every worker count.
+func LocalOpt(values []float64, w *weights.Matrix, opt Options) ([]LocalResult, error) {
 	n := len(values)
 	if n != w.N {
 		return nil, fmt.Errorf("moran: %d values but weight matrix over %d sites", n, w.N)
 	}
 	if n < 3 {
 		return nil, fmt.Errorf("moran: need at least 3 sites, got %d", n)
-	}
-	if perms > 0 && rng == nil {
-		return nil, fmt.Errorf("moran: permutation test requires a rng")
 	}
 	mean := 0.0
 	for _, v := range values {
@@ -145,35 +205,37 @@ func Local(values []float64, w *weights.Matrix, perms int, rng *rand.Rand) ([]Lo
 	for i := 0; i < n; i++ {
 		out[i].I = z[i] / m2 * lag(i, z)
 	}
-	if perms <= 0 {
+	if opt.Perms <= 0 {
 		return out, nil
 	}
 	// Conditional permutation: for each site, shuffle the other z values
 	// among its neighbours. Sampling neighbour values uniformly from
-	// z \ {z_i} is equivalent and cheaper.
-	for i := 0; i < n; i++ {
-		deg := w.Degree(i)
-		if deg == 0 {
-			continue
-		}
-		samples := make([]float64, perms)
-		for p := range samples {
-			s := 0.0
-			w.ForEachNeighbor(i, func(_ int, wij float64) {
-				// Draw a random other site.
-				j := rng.Intn(n - 1)
-				if j >= i {
-					j++
-				}
-				s += wij * z[j]
-			})
-			samples[p] = z[i] / m2 * s
-		}
-		mean, std := meanStd(samples)
-		if std > 0 {
-			out[i].Z = (out[i].I - mean) / std
-		}
-	}
+	// z \ {z_i} is equivalent and cheaper. Sites fan out across workers;
+	// each site's draws come from its own (Seed, i)-derived RNG and only
+	// out[i] is written, so any worker count gives the same z-scores.
+	parallel.MonteCarloScratch(n, opt.Workers, opt.Seed,
+		func() []float64 { return make([]float64, opt.Perms) },
+		func(rng *rand.Rand, samples []float64, i int) {
+			if w.Degree(i) == 0 {
+				return
+			}
+			for p := range samples {
+				s := 0.0
+				w.ForEachNeighbor(i, func(_ int, wij float64) {
+					// Draw a random other site.
+					j := rng.Intn(n - 1)
+					if j >= i {
+						j++
+					}
+					s += wij * z[j]
+				})
+				samples[p] = z[i] / m2 * s
+			}
+			mean, std := meanStd(samples)
+			if std > 0 {
+				out[i].Z = (out[i].I - mean) / std
+			}
+		})
 	return out, nil
 }
 

@@ -2,10 +2,9 @@ package nkdv
 
 import (
 	"math"
-	"sync"
-	"sync/atomic"
 
 	"geostat/internal/network"
+	"geostat/internal/parallel"
 )
 
 // ForwardESD computes NKDV with Okabe's equal-split discontinuous kernel
@@ -37,93 +36,84 @@ func ForwardESD(g *network.Graph, events []network.Position, opt Options) (*Surf
 		degree[u] = degreeOf(g, u)
 	}
 
-	nw := normWorkers(opt.Workers)
-	if nw > len(events) {
-		nw = max(1, len(events))
+	type esdScratch struct {
+		*fwdScratch
+		factor []float64
 	}
-	var mu sync.Mutex
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < nw; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			dij := network.NewDijkstra(g)
-			local := make([]float64, len(lixels))
-			factor := make([]float64, g.NumNodes())
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(events) {
-					break
+	partials := parallel.ForScratch(len(events), opt.Workers,
+		func() *esdScratch {
+			return &esdScratch{
+				fwdScratch: newFwdScratch(g, len(lixels)),
+				factor:     make([]float64, g.NumNodes()),
+			}
+		},
+		func(sc *esdScratch, i int) {
+			dij, local, factor := sc.dij, sc.values, sc.factor
+			ev := events[i]
+			dij.FromPosition(ev, b)
+			reached := dij.Reached()
+			// treeFactor per reached node, computed in settling order
+			// (Reached appends on first touch, but parents settle before
+			// children in Dijkstra order of distance — recompute by
+			// increasing distance to be safe).
+			ordered := orderByDist(dij, reached)
+			e0 := g.Edge(ev.Edge)
+			for _, u := range ordered {
+				if u == e0.A || u == e0.B {
+					factor[u] = 1 // seed: mass arrives along the source edge
+					continue
 				}
-				ev := events[i]
-				dij.FromPosition(ev, b)
-				reached := dij.Reached()
-				// treeFactor per reached node, computed in settling order
-				// (Reached appends on first touch, but parents settle before
-				// children in Dijkstra order of distance — recompute by
-				// increasing distance to be safe).
-				ordered := orderByDist(dij, reached)
-				e0 := g.Edge(ev.Edge)
-				for _, u := range ordered {
-					if u == e0.A || u == e0.B {
-						factor[u] = 1 // seed: mass arrives along the source edge
-						continue
-					}
-					pe := dij.ParentEdge(u)
-					p := otherEnd(g, pe, u)
-					split := float64(degree[p] - 1)
-					if split <= 0 {
-						factor[u] = 0 // mass cannot pass a dead end
-						continue
-					}
-					factor[u] = factor[p] / split
+				pe := dij.ParentEdge(u)
+				p := otherEnd(g, pe, u)
+				split := float64(degree[p] - 1)
+				if split <= 0 {
+					factor[u] = 0 // mass cannot pass a dead end
+					continue
 				}
-				// Direct same-edge contribution.
-				for li := edgeOff[ev.Edge]; li < edgeOff[ev.Edge+1]; li++ {
-					d := math.Abs(lixels[li].Center() - ev.Offset)
-					if d <= b {
-						local[li] += opt.Kernel.Eval(d)
-					}
-				}
-				// Entries into every edge incident to a reached node.
-				for _, u := range ordered {
-					split := float64(degree[u] - 1)
-					if split <= 0 {
-						continue
-					}
-					enter := factor[u] / split
-					if enter == 0 {
-						continue
-					}
-					du := dij.Dist(u)
-					pe := dij.ParentEdge(u)
-					g.Neighbors(u, func(_, ei int32, _ float64) {
-						if ei == pe {
-							return // backtracking along the arrival edge
-						}
-						eu := g.Edge(ei)
-						for li := edgeOff[ei]; li < edgeOff[ei+1]; li++ {
-							off := lixels[li].Center()
-							if eu.B == u {
-								off = eu.Length - off
-							}
-							d := du + off
-							if d <= b {
-								local[li] += enter * opt.Kernel.Eval(d)
-							}
-						}
-					})
+				factor[u] = factor[p] / split
+			}
+			// Direct same-edge contribution.
+			for li := edgeOff[ev.Edge]; li < edgeOff[ev.Edge+1]; li++ {
+				d := math.Abs(lixels[li].Center() - ev.Offset)
+				if d <= b {
+					local[li] += opt.Kernel.Eval(d)
 				}
 			}
-			mu.Lock()
-			for i, v := range local {
-				s.Values[i] += v
+			// Entries into every edge incident to a reached node.
+			for _, u := range ordered {
+				split := float64(degree[u] - 1)
+				if split <= 0 {
+					continue
+				}
+				enter := factor[u] / split
+				if enter == 0 {
+					continue
+				}
+				du := dij.Dist(u)
+				pe := dij.ParentEdge(u)
+				g.Neighbors(u, func(_, ei int32, _ float64) {
+					if ei == pe {
+						return // backtracking along the arrival edge
+					}
+					eu := g.Edge(ei)
+					for li := edgeOff[ei]; li < edgeOff[ei+1]; li++ {
+						off := lixels[li].Center()
+						if eu.B == u {
+							off = eu.Length - off
+						}
+						d := du + off
+						if d <= b {
+							local[li] += enter * opt.Kernel.Eval(d)
+						}
+					}
+				})
 			}
-			mu.Unlock()
-		}()
+		})
+	for _, sc := range partials {
+		for i, v := range sc.values {
+			s.Values[i] += v
+		}
 	}
-	wg.Wait()
 	return s, nil
 }
 

@@ -21,12 +21,10 @@ package nkdv
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"geostat/internal/kernel"
 	"geostat/internal/network"
+	"geostat/internal/parallel"
 )
 
 // Options configures an NKDV computation.
@@ -98,33 +96,56 @@ func Naive(g *network.Graph, events []network.Position, opt Options) (*Surface, 
 	// Group events by edge for distance evaluation from a lixel's search.
 	byEdge := groupByEdge(events)
 
-	parallelFor(len(lixels), opt.Workers, func(dij *network.Dijkstra, li int) {
-		center := lixels[li].Position()
-		dij.FromPosition(center, b)
-		sum := 0.0
-		// Every edge with a reached endpoint may hold in-range events; the
-		// lixel's own edge always qualifies.
-		seen := map[int32]bool{center.Edge: true}
-		accumulate := func(ei int32) {
-			for _, ev := range byEdge[ei] {
-				d := dij.PositionDist(ev, center, true)
-				if d <= b {
-					sum += opt.Kernel.Eval(d)
+	// Each lixel writes only its own value, so workers share nothing but
+	// their Dijkstra engine; dynamic chunking rebalances the skew between
+	// lixels in dense and sparse network regions.
+	parallel.ForScratch(len(lixels), opt.Workers,
+		func() *network.Dijkstra { return network.NewDijkstra(g) },
+		func(dij *network.Dijkstra, li int) {
+			center := lixels[li].Position()
+			dij.FromPosition(center, b)
+			sum := 0.0
+			// Every edge with a reached endpoint may hold in-range events; the
+			// lixel's own edge always qualifies.
+			seen := map[int32]bool{center.Edge: true}
+			accumulate := func(ei int32) {
+				for _, ev := range byEdge[ei] {
+					d := dij.PositionDist(ev, center, true)
+					if d <= b {
+						sum += opt.Kernel.Eval(d)
+					}
 				}
 			}
-		}
-		accumulate(center.Edge)
-		for _, u := range dij.Reached() {
-			g.Neighbors(u, func(_, ei int32, _ float64) {
-				if !seen[ei] {
-					seen[ei] = true
-					accumulate(ei)
-				}
-			})
-		}
-		s.Values[li] = sum
-	}, g)
+			accumulate(center.Edge)
+			for _, u := range dij.Reached() {
+				g.Neighbors(u, func(_, ei int32, _ float64) {
+					if !seen[ei] {
+						seen[ei] = true
+						accumulate(ei)
+					}
+				})
+			}
+			s.Values[li] = sum
+		})
 	return s, nil
+}
+
+// fwdScratch is the per-worker state of the event-expansion algorithms:
+// one Dijkstra engine, a private copy of the lixel values (footprints
+// overlap, so direct writes would race), and the dedup set of spread
+// edges.
+type fwdScratch struct {
+	dij    *network.Dijkstra
+	values []float64
+	seen   map[int32]bool
+}
+
+func newFwdScratch(g *network.Graph, nLixels int) *fwdScratch {
+	return &fwdScratch{
+		dij:    network.NewDijkstra(g),
+		values: make([]float64, nLixels),
+		seen:   make(map[int32]bool),
+	}
 }
 
 // Forward computes NKDV with one bounded Dijkstra per event, adding the
@@ -137,53 +158,34 @@ func Forward(g *network.Graph, events []network.Position, opt Options) (*Surface
 	s := &Surface{Lixels: lixels, EdgeOff: edgeOff, Values: make([]float64, len(lixels))}
 	b := opt.Kernel.Bandwidth()
 
-	nw := normWorkers(opt.Workers)
-	var mu sync.Mutex
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	if nw > len(events) {
-		nw = max(1, len(events))
-	}
-	for w := 0; w < nw; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			dij := network.NewDijkstra(g)
-			local := make([]float64, len(lixels))
-			seen := make(map[int32]bool)
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(events) {
-					break
+	partials := parallel.ForScratch(len(events), opt.Workers,
+		func() *fwdScratch { return newFwdScratch(g, len(lixels)) },
+		func(sc *fwdScratch, i int) {
+			ev := events[i]
+			sc.dij.FromPosition(ev, b)
+			clear(sc.seen)
+			spread := func(ei int32) {
+				if sc.seen[ei] {
+					return
 				}
-				ev := events[i]
-				dij.FromPosition(ev, b)
-				clear(seen)
-				spread := func(ei int32) {
-					if seen[ei] {
-						return
-					}
-					seen[ei] = true
-					for li := edgeOff[ei]; li < edgeOff[ei+1]; li++ {
-						d := dij.PositionDist(lixels[li].Position(), ev, true)
-						if d <= b {
-							local[li] += opt.Kernel.Eval(d)
-						}
+				sc.seen[ei] = true
+				for li := edgeOff[ei]; li < edgeOff[ei+1]; li++ {
+					d := sc.dij.PositionDist(lixels[li].Position(), ev, true)
+					if d <= b {
+						sc.values[li] += opt.Kernel.Eval(d)
 					}
 				}
-				spread(ev.Edge)
-				for _, u := range dij.Reached() {
-					g.Neighbors(u, func(_, ei int32, _ float64) { spread(ei) })
-				}
 			}
-			mu.Lock()
-			for i, v := range local {
-				s.Values[i] += v
+			spread(ev.Edge)
+			for _, u := range sc.dij.Reached() {
+				g.Neighbors(u, func(_, ei int32, _ float64) { spread(ei) })
 			}
-			mu.Unlock()
-		}()
+		})
+	for _, sc := range partials {
+		for i, v := range sc.values {
+			s.Values[i] += v
+		}
 	}
-	wg.Wait()
 	return s, nil
 }
 
@@ -193,55 +195,4 @@ func groupByEdge(events []network.Position) map[int32][]network.Position {
 		m[ev.Edge] = append(m[ev.Edge], ev)
 	}
 	return m
-}
-
-// parallelFor runs fn(i) for i in [0, n) across workers, giving each worker
-// its own Dijkstra engine.
-func parallelFor(n, workers int, fn func(dij *network.Dijkstra, i int), g *network.Graph) {
-	nw := normWorkers(workers)
-	if nw > n {
-		nw = max(1, n)
-	}
-	if nw <= 1 {
-		dij := network.NewDijkstra(g)
-		for i := 0; i < n; i++ {
-			fn(dij, i)
-		}
-		return
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < nw; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			dij := network.NewDijkstra(g)
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				fn(dij, i)
-			}
-		}()
-	}
-	wg.Wait()
-}
-
-func normWorkers(w int) int {
-	switch {
-	case w < 0:
-		return runtime.GOMAXPROCS(0)
-	case w == 0:
-		return 1
-	default:
-		return w
-	}
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -1,0 +1,193 @@
+// Package parallel is the repository's single goroutine execution engine
+// (the parallel/hardware family of §2.2–§2.3 of the paper, realised for
+// multicore CPUs).
+//
+// Every analytics package schedules its data-parallel loops through this
+// package instead of hand-rolling WaitGroup shims. The engine provides:
+//
+//   - For / ForRange: chunked DYNAMIC scheduling. Workers pull the next
+//     chunk from an atomic counter, so skewed iteration costs (e.g. bounded
+//     Dijkstras with wildly different ball sizes in NKDV) rebalance instead
+//     of leaving statically-sharded workers idle.
+//   - ForScratch: a generic variant that hands each worker a lazily-built
+//     reusable scratch value (Dijkstra engines, permutation buffers, local
+//     histograms), killing per-iteration allocation. The created scratches
+//     are returned so callers can merge partial results.
+//   - TaskSeed / MonteCarlo / MonteCarloScratch: deterministic Monte-Carlo
+//     fan-out. Task i draws from a rand.Rand seeded by a splitmix64 mix of
+//     (seed, i), so permutation tests and envelope simulations are
+//     bit-identical for EVERY worker count — parallelism never changes a
+//     p-value.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalises a worker-count option: w < 0 means GOMAXPROCS, 0 means
+// serial (1), any other value is used as-is.
+func Workers(w int) int {
+	switch {
+	case w < 0:
+		return runtime.GOMAXPROCS(0)
+	case w == 0:
+		return 1
+	default:
+		return w
+	}
+}
+
+// chunkSize picks the dynamic-scheduling grain: small enough that skewed
+// iterations rebalance (targeting ≥ ~32 chunks per worker), large enough to
+// amortise the atomic fetch over cheap iterations.
+func chunkSize(n, workers int) int {
+	c := n / (workers * 32)
+	if c < 1 {
+		return 1
+	}
+	if c > 256 {
+		return 256
+	}
+	return c
+}
+
+// For runs fn(i) for every i in [0, n) across the given number of workers
+// (see Workers for the convention) with chunked dynamic scheduling. It
+// returns once every iteration has completed. Iterations must be
+// independent; fn is called concurrently from multiple goroutines.
+func For(n, workers int, fn func(i int)) {
+	nw := Workers(workers)
+	if nw > n {
+		nw = n
+	}
+	if nw <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	chunk := chunkSize(n, nw)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(next.Add(int64(chunk))) - chunk
+				if lo >= n {
+					return
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					fn(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForRange is For with the chunk boundaries exposed: fn(lo, hi) processes
+// the half-open range [lo, hi). Use it for tight per-element loops (pixel
+// fills, histogram scans) where a closure call per element would dominate.
+func ForRange(n, workers int, fn func(lo, hi int)) {
+	nw := Workers(workers)
+	if nw > n {
+		nw = n
+	}
+	if nw <= 1 {
+		if n > 0 {
+			fn(0, n)
+		}
+		return
+	}
+	chunk := chunkSize(n, nw)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(next.Add(int64(chunk))) - chunk
+				if lo >= n {
+					return
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				fn(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForScratch runs fn(scratch, i) for every i in [0, n) with dynamic
+// scheduling, handing each worker a lazily-built scratch value S created by
+// newScratch on the worker's first iteration. It returns the scratches that
+// were actually created (at most min(workers, n), fewer if some workers
+// never won a chunk) so callers can merge per-worker partial results. The
+// order of the returned scratches is unspecified — merges must be
+// order-insensitive (integer sums, min/max) when bit-reproducibility across
+// worker counts is required.
+func ForScratch[S any](n, workers int, newScratch func() S, fn func(s S, i int)) []S {
+	nw := Workers(workers)
+	if nw > n {
+		nw = n
+	}
+	if nw <= 1 {
+		if n == 0 {
+			return nil
+		}
+		s := newScratch()
+		for i := 0; i < n; i++ {
+			fn(s, i)
+		}
+		return []S{s}
+	}
+	chunk := chunkSize(n, nw)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	scratches := make([]S, 0, nw)
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var s S
+			created := false
+			for {
+				lo := int(next.Add(int64(chunk))) - chunk
+				if lo >= n {
+					break
+				}
+				if !created {
+					s = newScratch()
+					created = true
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					fn(s, i)
+				}
+			}
+			if created {
+				mu.Lock()
+				scratches = append(scratches, s)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return scratches
+}

@@ -1,0 +1,64 @@
+package parallel
+
+import "math/rand"
+
+// TaskSeed derives the RNG seed of Monte-Carlo task i from a base seed via
+// a splitmix64 mix. Adjacent task indices map to statistically independent
+// streams, and the mapping depends only on (seed, i) — never on which
+// worker runs the task — which is what makes parallel permutation tests
+// bit-identical across worker counts.
+func TaskSeed(seed int64, i int) int64 {
+	z := uint64(seed) + (uint64(i)+1)*0x9E3779B97F4A7C15
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}
+
+// TaskRand returns a fresh rand.Rand for Monte-Carlo task i of the given
+// base seed. Prefer MonteCarlo/MonteCarloScratch in loops — they reuse one
+// generator per worker instead of allocating one per task.
+func TaskRand(seed int64, i int) *rand.Rand {
+	return rand.New(rand.NewSource(TaskSeed(seed, i)))
+}
+
+// MonteCarlo runs fn(rng, i) for every task i in [0, n), where rng is
+// deterministically seeded from (seed, i). Results indexed by i (sample
+// slots, envelope min/max merges, integer histograms) are bit-identical
+// for every worker count. Each worker reuses a single generator, re-seeded
+// per task, so the fan-out does not allocate per iteration.
+func MonteCarlo(n, workers int, seed int64, fn func(rng *rand.Rand, i int)) {
+	ForScratch(n, workers,
+		func() *rand.Rand { return rand.New(rand.NewSource(1)) },
+		func(rng *rand.Rand, i int) {
+			rng.Seed(TaskSeed(seed, i))
+			fn(rng, i)
+		})
+}
+
+// mcScratch pairs the per-worker generator with a caller scratch value.
+type mcScratch[S any] struct {
+	rng *rand.Rand
+	s   S
+}
+
+// MonteCarloScratch is MonteCarlo with an additional per-worker scratch
+// value (permutation buffers, Dijkstra engines, local histograms) built
+// lazily by newScratch. The scratches created are returned for merging.
+func MonteCarloScratch[S any](n, workers int, seed int64, newScratch func() S, fn func(rng *rand.Rand, s S, i int)) []S {
+	ms := ForScratch(n, workers,
+		func() *mcScratch[S] {
+			return &mcScratch[S]{rng: rand.New(rand.NewSource(1)), s: newScratch()}
+		},
+		func(m *mcScratch[S], i int) {
+			m.rng.Seed(TaskSeed(seed, i))
+			fn(m.rng, m.s, i)
+		})
+	out := make([]S, len(ms))
+	for i, m := range ms {
+		out[i] = m.s
+	}
+	return out
+}

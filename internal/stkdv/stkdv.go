@@ -18,14 +18,12 @@ package stkdv
 import (
 	"fmt"
 	"math"
-	"runtime"
 	"sort"
-	"sync"
-	"sync/atomic"
 
 	"geostat/internal/dataset"
 	"geostat/internal/geom"
 	"geostat/internal/kernel"
+	"geostat/internal/parallel"
 	"geostat/internal/raster"
 )
 
@@ -62,17 +60,6 @@ func (o *Options) validate() error {
 		prev = t
 	}
 	return nil
-}
-
-func (o *Options) workers() int {
-	switch {
-	case o.Workers < 0:
-		return runtime.GOMAXPROCS(0)
-	case o.Workers == 0:
-		return 1
-	default:
-		return o.Workers
-	}
 }
 
 // Cube is an STKDV result: one density grid per time slice.
@@ -127,10 +114,8 @@ func Naive(d *dataset.Dataset, opt Options) (*Cube, error) {
 	cube := newCube(&opt)
 	g := opt.Grid
 	jobs := len(opt.Times) * g.NY
-	workers := opt.workers()
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	runJob := func(j int) {
+	// Each (slice, row) job writes a disjoint row of the cube.
+	parallel.For(jobs, opt.Workers, func(j int) {
 		si, iy := j/g.NY, j%g.NY
 		ts := opt.Times[si]
 		qy := g.CenterY(iy)
@@ -147,27 +132,7 @@ func Naive(d *dataset.Dataset, opt Options) (*Cube, error) {
 			}
 			row[ix] = sum
 		}
-	}
-	if workers <= 1 {
-		for j := 0; j < jobs; j++ {
-			runJob(j)
-		}
-		return cube, nil
-	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				j := int(next.Add(1)) - 1
-				if j >= jobs {
-					return
-				}
-				runJob(j)
-			}
-		}()
-	}
-	wg.Wait()
+	})
 	return cube, nil
 }
 
@@ -254,7 +219,6 @@ func Shared(d *dataset.Dataset, opt Options) (*Cube, error) {
 	// slice are independent once `running` is advanced, so parallelise the
 	// pixel loop.
 	running := make([]float64, nCoef*nxy)
-	workers := opt.workers()
 	for si := 0; si < T; si++ {
 		dslice := diff[si]
 		for k := range running {
@@ -262,7 +226,7 @@ func Shared(d *dataset.Dataset, opt Options) (*Cube, error) {
 		}
 		ts := times[si]
 		out := cube.Values[si]
-		evalChunk := func(lo, hi int) {
+		parallel.ForRange(nxy, opt.Workers, func(lo, hi int) {
 			for px := lo; px < hi; px++ {
 				v := 0.0
 				tPow := 1.0
@@ -275,25 +239,7 @@ func Shared(d *dataset.Dataset, opt Options) (*Cube, error) {
 				}
 				out[px] = v
 			}
-		}
-		if workers <= 1 {
-			evalChunk(0, nxy)
-			continue
-		}
-		var wg sync.WaitGroup
-		chunk := (nxy + workers - 1) / workers
-		for lo := 0; lo < nxy; lo += chunk {
-			hi := lo + chunk
-			if hi > nxy {
-				hi = nxy
-			}
-			wg.Add(1)
-			go func(lo, hi int) {
-				defer wg.Done()
-				evalChunk(lo, hi)
-			}(lo, hi)
-		}
-		wg.Wait()
+		})
 	}
 	return cube, nil
 }

@@ -10,6 +10,7 @@ import (
 	"geostat/internal/geom"
 	gridindex "geostat/internal/index/grid"
 	"geostat/internal/index/kdtree"
+	"geostat/internal/parallel"
 )
 
 // Matrix is a sparse spatial weight matrix in CSR layout. Self-weights are
@@ -22,8 +23,17 @@ type Matrix struct {
 }
 
 // KNN returns the binary k-nearest-neighbour weight matrix: w_ij = 1 if j
-// is one of i's k nearest points (asymmetric in general).
+// is one of i's k nearest points (asymmetric in general). Equivalent to
+// KNNWorkers with every core.
 func KNN(pts []geom.Point, k int) (*Matrix, error) {
+	return KNNWorkers(pts, k, -1)
+}
+
+// KNNWorkers is KNN with an explicit parallelism degree (0/1 serial, <0
+// GOMAXPROCS). Rows are computed independently (the kd-tree is read-only
+// once built) and assembled in site order, so the matrix is bit-identical
+// for every worker count.
+func KNNWorkers(pts []geom.Point, k, workers int) (*Matrix, error) {
 	n := len(pts)
 	if k < 1 {
 		return nil, fmt.Errorf("weights: k must be >= 1, got %d", k)
@@ -32,53 +42,81 @@ func KNN(pts []geom.Point, k int) (*Matrix, error) {
 		return nil, fmt.Errorf("weights: k=%d must be < n=%d", k, n)
 	}
 	tree := kdtree.New(pts)
-	m := &Matrix{
-		N:   n,
-		off: make([]int32, n+1),
-		col: make([]int32, 0, n*k),
-		w:   make([]float64, 0, n*k),
-	}
-	var scratch []int
-	for i, p := range pts {
-		// k+1 nearest includes the point itself (distance 0); drop i.
-		idx, _ := tree.KNearest(p, k+1, scratch)
-		scratch = idx
-		added := 0
-		for _, j := range idx {
-			if j == i || added == k {
-				continue
+	rows := make([][]int32, n)
+	type knnScratch struct{ buf []int }
+	parallel.ForScratch(n, workers,
+		func() *knnScratch { return &knnScratch{} },
+		func(s *knnScratch, i int) {
+			// k+1 nearest includes the point itself (distance 0); drop i.
+			idx, _ := tree.KNearest(pts[i], k+1, s.buf)
+			s.buf = idx
+			row := make([]int32, 0, k)
+			for _, j := range idx {
+				if j == i || len(row) == k {
+					continue
+				}
+				row = append(row, int32(j))
 			}
-			m.col = append(m.col, int32(j))
-			m.w = append(m.w, 1)
-			added++
-		}
-		m.off[i+1] = int32(len(m.col))
-	}
-	return m, nil
+			rows[i] = row
+		})
+	return fromRows(n, rows), nil
 }
 
 // DistanceBand returns the binary distance-band weight matrix:
-// w_ij = 1 if 0 < dist(i, j) <= radius (symmetric).
+// w_ij = 1 if 0 < dist(i, j) <= radius (symmetric). Equivalent to
+// DistanceBandWorkers with every core.
 func DistanceBand(pts []geom.Point, radius float64) (*Matrix, error) {
+	return DistanceBandWorkers(pts, radius, -1)
+}
+
+// DistanceBandWorkers is DistanceBand with an explicit parallelism degree
+// (0/1 serial, <0 GOMAXPROCS). Rows are computed independently over a
+// read-only grid index and assembled in site order, so the matrix is
+// bit-identical for every worker count.
+func DistanceBandWorkers(pts []geom.Point, radius float64, workers int) (*Matrix, error) {
 	n := len(pts)
 	if !(radius > 0) {
 		return nil, fmt.Errorf("weights: radius must be positive, got %g", radius)
 	}
 	idx := gridindex.New(pts, radius)
-	m := &Matrix{N: n, off: make([]int32, n+1)}
-	var buf []int
-	for i, p := range pts {
-		buf = idx.RangeQuery(p, radius, buf[:0])
-		for _, j := range buf {
-			if j == i {
-				continue
+	rows := make([][]int32, n)
+	type bandScratch struct{ buf []int }
+	parallel.ForScratch(n, workers,
+		func() *bandScratch { return &bandScratch{} },
+		func(s *bandScratch, i int) {
+			s.buf = idx.RangeQuery(pts[i], radius, s.buf[:0])
+			row := make([]int32, 0, len(s.buf))
+			for _, j := range s.buf {
+				if j != i {
+					row = append(row, int32(j))
+				}
 			}
-			m.col = append(m.col, int32(j))
-			m.w = append(m.w, 1)
-		}
+			rows[i] = row
+		})
+	return fromRows(n, rows), nil
+}
+
+// fromRows assembles per-site neighbour lists into the CSR layout with
+// unit weights.
+func fromRows(n int, rows [][]int32) *Matrix {
+	total := 0
+	for _, r := range rows {
+		total += len(r)
+	}
+	m := &Matrix{
+		N:   n,
+		off: make([]int32, n+1),
+		col: make([]int32, 0, total),
+		w:   make([]float64, total),
+	}
+	for i, r := range rows {
+		m.col = append(m.col, r...)
 		m.off[i+1] = int32(len(m.col))
 	}
-	return m, nil
+	for i := range m.w {
+		m.w[i] = 1
+	}
+	return m
 }
 
 // RowStandardize scales each row to sum to 1 (rows with no neighbours stay

@@ -89,8 +89,10 @@ func CrossKFunctionCurve(a, b []Point, thresholds []float64) ([]int, error) {
 
 // CrossKFunctionPlot computes the bivariate K-function plot under the
 // random-labelling null (type labels shuffled over the pooled points).
-func CrossKFunctionPlot(a, b []Point, thresholds []float64, sims int, rng *rand.Rand) (*KPlot, error) {
-	return kfunc.CrossPlot(a, b, thresholds, sims, rng)
+// workers fans the relabellings out across goroutines (0/1 serial, <0
+// GOMAXPROCS) with envelopes bit-identical for every worker count.
+func CrossKFunctionPlot(a, b []Point, thresholds []float64, sims, workers int, rng *rand.Rand) (*KPlot, error) {
+	return kfunc.CrossPlot(a, b, thresholds, sims, workers, rng)
 }
 
 // KnoxResult is the Knox space-time interaction test.
@@ -99,8 +101,10 @@ type KnoxResult = kfunc.KnoxResult
 // KnoxTest counts event pairs simultaneously close in space (≤ s) and time
 // (≤ t) and tests the count against random time permutations — the classic
 // closed-form screen that Equation 8's K(s,t) surface generalises.
-func KnoxTest(pts []Point, times []float64, s, t float64, perms int, rng *rand.Rand) (*KnoxResult, error) {
-	return kfunc.Knox(pts, times, s, t, perms, rng)
+// workers fans the permutations out (0/1 serial, <0 GOMAXPROCS) with the
+// result bit-identical for every worker count.
+func KnoxTest(pts []Point, times []float64, s, t float64, perms, workers int, rng *rand.Rand) (*KnoxResult, error) {
+	return kfunc.Knox(pts, times, s, t, perms, workers, rng)
 }
 
 // QuadratResult is a chi-square quadrat test of complete spatial

@@ -98,6 +98,13 @@ func KrigeLOOCV(d *Dataset, v Variogram, neighbors int) (*KrigingCVResult, error
 	return kriging.LOOCV(d, v, neighbors)
 }
 
+// KrigeLOOCVWorkers is KrigeLOOCV with an explicit parallelism degree
+// (0/1 serial, <0 GOMAXPROCS); residuals are bit-identical for every
+// worker count.
+func KrigeLOOCVWorkers(d *Dataset, v Variogram, neighbors, workers int) (*KrigingCVResult, error) {
+	return kriging.LOOCVWorkers(d, v, neighbors, workers)
+}
+
 // ---- Spatial weights + autocorrelation (Table 1) ----
 
 // SpatialWeights is a sparse spatial weight matrix.
@@ -106,10 +113,31 @@ type SpatialWeights = weights.Matrix
 // KNNWeights returns binary k-nearest-neighbour weights.
 func KNNWeights(pts []Point, k int) (*SpatialWeights, error) { return weights.KNN(pts, k) }
 
+// KNNWeightsWorkers is KNNWeights with an explicit parallelism degree
+// (0/1 serial, <0 GOMAXPROCS); the matrix is bit-identical for every
+// worker count.
+func KNNWeightsWorkers(pts []Point, k, workers int) (*SpatialWeights, error) {
+	return weights.KNNWorkers(pts, k, workers)
+}
+
 // DistanceBandWeights returns binary weights for 0 < dist <= radius.
 func DistanceBandWeights(pts []Point, radius float64) (*SpatialWeights, error) {
 	return weights.DistanceBand(pts, radius)
 }
+
+// DistanceBandWeightsWorkers is DistanceBandWeights with an explicit
+// parallelism degree (0/1 serial, <0 GOMAXPROCS); the matrix is
+// bit-identical for every worker count.
+func DistanceBandWeightsWorkers(pts []Point, radius float64, workers int) (*SpatialWeights, error) {
+	return weights.DistanceBandWorkers(pts, radius, workers)
+}
+
+// MoranOptions configures a Moran/Geary permutation test: Perms
+// permutations from the deterministic Seed, fanned out across Workers.
+type MoranOptions = moran.Options
+
+// GetisOrdOptions configures the General G permutation test.
+type GetisOrdOptions = getisord.Options
 
 // MoranResult is a global Moran's I with its permutation test.
 type MoranResult = moran.Result
@@ -122,9 +150,21 @@ func MoranI(values []float64, w *SpatialWeights, perms int, rng *rand.Rand) (*Mo
 	return moran.Global(values, w, perms, rng)
 }
 
+// MoranIOpt computes global Moran's I with an explicit permutation-test
+// configuration (deterministic seed, worker-count-invariant results).
+func MoranIOpt(values []float64, w *SpatialWeights, opt MoranOptions) (*MoranResult, error) {
+	return moran.GlobalOpt(values, w, opt)
+}
+
 // LocalMoran computes local Moran's I (LISA) for every site.
 func LocalMoran(values []float64, w *SpatialWeights, perms int, rng *rand.Rand) ([]LocalMoranResult, error) {
 	return moran.Local(values, w, perms, rng)
+}
+
+// LocalMoranOpt computes local Moran's I with an explicit permutation-test
+// configuration (deterministic seed, worker-count-invariant z-scores).
+func LocalMoranOpt(values []float64, w *SpatialWeights, opt MoranOptions) ([]LocalMoranResult, error) {
+	return moran.LocalOpt(values, w, opt)
 }
 
 // GearyResult is a global Geary's C with its permutation test.
@@ -135,6 +175,12 @@ type GearyResult = moran.GearyResult
 // Moran's I.
 func GearyC(values []float64, w *SpatialWeights, perms int, rng *rand.Rand) (*GearyResult, error) {
 	return moran.Geary(values, w, perms, rng)
+}
+
+// GearyCOpt computes Geary's C with an explicit permutation-test
+// configuration (deterministic seed, worker-count-invariant results).
+func GearyCOpt(values []float64, w *SpatialWeights, opt MoranOptions) (*GearyResult, error) {
+	return moran.GearyOpt(values, w, opt)
 }
 
 // MoranQuadrant is a Moran-scatterplot quadrant (HH/LL/HL/LH).
@@ -169,6 +215,12 @@ type GeneralGResult = getisord.GeneralGResult
 // GeneralG computes Getis-Ord General G with an optional permutation test.
 func GeneralG(values []float64, w *SpatialWeights, perms int, rng *rand.Rand) (*GeneralGResult, error) {
 	return getisord.GeneralG(values, w, perms, rng)
+}
+
+// GeneralGOpt computes General G with an explicit permutation-test
+// configuration (deterministic seed, worker-count-invariant results).
+func GeneralGOpt(values []float64, w *SpatialWeights, opt GetisOrdOptions) (*GeneralGResult, error) {
+	return getisord.GeneralGOpt(values, w, opt)
 }
 
 // LocalGStar computes per-site Gi* hot/cold-spot z-scores.
