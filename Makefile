@@ -1,14 +1,12 @@
 GO ?= go
 
-# Packages whose concurrency is exercised under the race detector: the
-# parallel engine itself plus every package migrated onto it.
-RACE_PKGS = ./internal/parallel ./internal/moran ./internal/getisord \
-            ./internal/kfunc ./internal/weights ./internal/kriging \
-            ./internal/nkdv ./internal/stkdv ./internal/kde ./internal/idw .
+# Everything runs under the race detector: the parallel engine owns all
+# goroutines, so any package may fan out.
+RACE_PKGS = ./...
 
-.PHONY: check vet build test race bench
+.PHONY: check vet build test race lint fuzz-smoke bench
 
-check: vet build test race
+check: vet build test race lint
 
 vet:
 	$(GO) vet ./...
@@ -21,6 +19,19 @@ test:
 
 race:
 	$(GO) test -race $(RACE_PKGS)
+
+# geolint: the project-specific analyzers (see internal/lint). Exits
+# non-zero on any diagnostic; suppress individual findings with
+# //lint:allow <analyzer> <reason>.
+lint:
+	$(GO) run ./cmd/geolint ./...
+
+# Short fuzz runs of every parser, seeded from the committed corpora
+# under */testdata/fuzz. ~10s per target.
+fuzz-smoke:
+	$(GO) test ./internal/geojson -run '^$$' -fuzz FuzzParse -fuzztime 10s
+	$(GO) test ./internal/dataset -run '^$$' -fuzz FuzzReadCSV -fuzztime 10s
+	$(GO) test ./internal/network -run '^$$' -fuzz FuzzReadEdgeCSV -fuzztime 10s
 
 bench:
 	$(GO) test -run NONE -bench . -benchmem .

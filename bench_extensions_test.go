@@ -103,7 +103,7 @@ func BenchmarkKDVStream(b *testing.B) {
 // A3: plain vs equal-split network kernels.
 func BenchmarkNKDVEqualSplit(b *testing.B) {
 	g := GridNetwork(10, 10, 10, Point{})
-	events := RandomNetworkEvents(rand.New(rand.NewSource(1)), g, 800)
+	events := RandomNetworkEvents(g, 800, 1)
 	opt := NKDVOptions{Kernel: MustKernel(Epanechnikov, 15), LixelLength: 1}
 	b.Run("plain", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
@@ -195,7 +195,7 @@ func BenchmarkBandwidthSelection(b *testing.B) {
 	b.Run("cv-3-candidates", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, err := SelectBandwidthCV(pts, Quartic, []float64{3, 6, 12}, 4, rand.New(rand.NewSource(5))); err != nil {
+			if _, err := SelectBandwidthCV(pts, Quartic, []float64{3, 6, 12}, 4, 5); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -109,7 +109,7 @@ func BenchmarkKDVSample(b *testing.B) {
 		b.Run(fmt.Sprintf("sampled/n=%d", n), func(b *testing.B) {
 			opt := KDVOptions{
 				Kernel: k, Grid: grid, Method: KDVSampled,
-				Epsilon: 0.05, Delta: 0.01, Rand: rand.New(rand.NewSource(9)),
+				Epsilon: 0.05, Delta: 0.01, Seed: 9,
 			}
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -211,7 +211,7 @@ func BenchmarkKFunctionPlot(b *testing.B) {
 // F3: network KDV, baseline vs event-expansion.
 func BenchmarkNKDV(b *testing.B) {
 	g := GridNetwork(10, 10, 10, Point{})
-	events := ClusteredNetworkEvents(rand.New(rand.NewSource(3)), g, 1000, 4, 6)
+	events := ClusteredNetworkEvents(g, 1000, 4, 6, 3)
 	opt := NKDVOptions{Kernel: MustKernel(Quartic, 15), LixelLength: 2}
 	b.Run("naive-per-lixel", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
@@ -233,7 +233,7 @@ func BenchmarkNKDV(b *testing.B) {
 // C6: network K-function, per-pair baseline vs shared bounded Dijkstra.
 func BenchmarkNetworkKFunction(b *testing.B) {
 	g := GridNetwork(15, 15, 10, Point{})
-	events := RandomNetworkEvents(rand.New(rand.NewSource(4)), g, 800)
+	events := RandomNetworkEvents(g, 800, 4)
 	thresholds := []float64{5, 10, 20, 40}
 	b.Run("naive", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
@@ -397,7 +397,7 @@ func BenchmarkGetisOrd(b *testing.B) {
 	}
 	b.Run("generalG-perms99", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := GeneralG(d.Values, w, 99, rng); err != nil {
+			if _, err := GeneralG(d.Values, w, 99, 7); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -17,7 +17,6 @@ import (
 	"flag"
 	"fmt"
 	"math"
-	"math/rand"
 	"os"
 
 	"geostat"
@@ -46,7 +45,7 @@ func main() {
 }
 
 func run(kind, out string, n, centers, waves int, seed int64, w, h, sigma, noise, minDist, tEnd float64) error {
-	rng := rand.New(rand.NewSource(seed))
+	rng := geostat.NewRand(seed)
 	box := geostat.BBox{MinX: 0, MinY: 0, MaxX: w, MaxY: h}
 	var d *geostat.Dataset
 	switch kind {

@@ -1,0 +1,102 @@
+// Command geolint is the repository's multichecker: it typechecks the
+// module with the standard library only and applies geolint's custom
+// determinism/concurrency analyzers plus the curated general passes (see
+// internal/lint). It exits 1 if any diagnostic survives //lint:allow
+// filtering, making it suitable for `make lint` and CI.
+//
+// Usage:
+//
+//	geolint [-only name[,name]] [-list] [packages]
+//
+// The package arguments are accepted for interface parity with go vet
+// ("./..." is typical) but the whole module is always checked: the
+// invariants are module-wide, and partial runs invite partial truths.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"geostat/internal/lint"
+	"geostat/internal/lint/analysis"
+	"geostat/internal/lint/load"
+)
+
+func main() {
+	var (
+		only    = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+		list    = flag.Bool("list", false, "list analyzers and exit")
+		dirFlag = flag.String("C", ".", "directory inside the module to lint")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := lint.Analyzers()
+	if *only != "" {
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := lint.Lookup(strings.TrimSpace(name))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "geolint: unknown analyzer %q (use -list)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	root, err := load.FindModuleRoot(*dirFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "geolint: %v\n", err)
+		os.Exit(2)
+	}
+	loader, err := load.NewLoader(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "geolint: %v\n", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.Module()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "geolint: %v\n", err)
+		os.Exit(2)
+	}
+
+	exit := 0
+	for _, pkg := range pkgs {
+		if len(pkg.Errors) > 0 {
+			for _, e := range pkg.Errors {
+				fmt.Fprintf(os.Stderr, "geolint: %s: type error: %v\n", pkg.Path, e)
+			}
+			exit = 2
+			continue
+		}
+		diags, err := lint.Run(loader, pkg, analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "geolint: %v\n", err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			printDiag(loader, root, d)
+			if exit == 0 {
+				exit = 1
+			}
+		}
+	}
+	os.Exit(exit)
+}
+
+func printDiag(loader *load.Loader, root string, d analysis.Diagnostic) {
+	pos := loader.Fset.Position(d.Pos)
+	name := pos.Filename
+	if rel, ok := strings.CutPrefix(name, root+string(os.PathSeparator)); ok {
+		name = rel
+	}
+	fmt.Printf("%s:%d:%d: [%s] %s\n", name, pos.Line, pos.Column, d.Analyzer, d.Message)
+}

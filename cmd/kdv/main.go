@@ -13,7 +13,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 	"time"
 
@@ -58,7 +57,7 @@ func run(in, out, kernelArg, methodArg string, bandwidth, epsilon float64, width
 	if bandwidth == 0 {
 		// Silverman's normal-reference rule; fall back to 5% of the longer
 		// side for degenerate data.
-		if b, err := geostat.SilvermanBandwidth(d.Points); err == nil {
+		if b, serr := geostat.SilvermanBandwidth(d.Points); serr == nil {
 			bandwidth = b
 		} else {
 			side := box.Width()
@@ -88,7 +87,7 @@ func run(in, out, kernelArg, methodArg string, bandwidth, epsilon float64, width
 		Workers: workers,
 		Epsilon: epsilon,
 		Delta:   0.01,
-		Rand:    rand.New(rand.NewSource(1)),
+		Seed:    1,
 	}
 	start := time.Now()
 	hm, err := geostat.KDV(d.Points, opt)

@@ -67,7 +67,7 @@ func run(in, csvOut string, sMax, tMax float64, steps, tSteps, sims, workers int
 	for i := range thresholds {
 		thresholds[i] = sMax * float64(i+1) / float64(steps)
 	}
-	rng := rand.New(rand.NewSource(seed))
+	rng := geostat.NewRand(seed)
 	start := time.Now()
 
 	if temporal {
@@ -75,11 +75,11 @@ func run(in, csvOut string, sMax, tMax float64, steps, tSteps, sims, workers int
 	}
 
 	// Closed-form CSR screens before the Monte-Carlo plot.
-	if q, err := geostat.QuadratTest(d.Points, box, 5, 5); err == nil {
+	if q, qerr := geostat.QuadratTest(d.Points, box, 5, 5); qerr == nil {
 		fmt.Printf("quadrat test (5x5): chi2=%.1f df=%d p=%.4f VMR=%.2f -> %s\n",
 			q.ChiSquare, q.DF, q.P, q.VMR, q.Regime(0.05))
 	}
-	if ce, err := geostat.ClarkEvans(d.Points, box); err == nil {
+	if ce, ceerr := geostat.ClarkEvans(d.Points, box); ceerr == nil {
 		fmt.Printf("Clark-Evans: R=%.3f z=%.1f p=%.4f -> %s\n", ce.R, ce.Z, ce.P, ce.Regime(0.05))
 	}
 

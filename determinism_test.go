@@ -144,8 +144,7 @@ func TestSTKPlotWorkerInvariance(t *testing.T) {
 
 func TestNetworkKPlotWorkerInvariance(t *testing.T) {
 	g := GridNetwork(6, 6, 10, Point{})
-	r := rand.New(rand.NewSource(detSeed))
-	events := RandomNetworkEvents(r, g, 60)
+	events := RandomNetworkEvents(g, 60, detSeed)
 	run := func(workers int) *KPlot {
 		p, err := NetworkKFunctionPlot(g, events, []float64{5, 12, 25}, 9, workers,
 			rand.New(rand.NewSource(detSeed)))

@@ -65,9 +65,8 @@ func ExampleMoranI() {
 
 // Network density: events snapped to roads, density per 10 m of street.
 func ExampleNKDV() {
-	rng := rand.New(rand.NewSource(9))
 	roads := geostat.GridNetwork(5, 5, 100, geostat.Point{})
-	accidents := geostat.ClusteredNetworkEvents(rng, roads, 500, 1, 30)
+	accidents := geostat.ClusteredNetworkEvents(roads, 500, 1, 30, 9)
 
 	surf, err := geostat.NKDV(roads, accidents, geostat.NKDVOptions{
 		Kernel:      geostat.MustKernel(geostat.Quartic, 120),

@@ -9,13 +9,12 @@ import (
 	"fmt"
 	"log"
 	"math"
-	"math/rand"
 
 	"geostat"
 )
 
 func main() {
-	rng := rand.New(rand.NewSource(5))
+	rng := geostat.NewRand(5)
 	region := geostat.BBox{MinX: 0, MinY: 0, MaxX: 80, MaxY: 60}
 
 	// True pollution field: two emission plumes over a baseline.
@@ -38,7 +37,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	gg, err := geostat.GeneralG(sensors.Values, w, 199, rng)
+	gg, err := geostat.GeneralG(sensors.Values, w, 199, 5)
 	if err != nil {
 		log.Fatal(err)
 	}

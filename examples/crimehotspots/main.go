@@ -8,13 +8,12 @@ package main
 import (
 	"fmt"
 	"log"
-	"math/rand"
 
 	"geostat"
 )
 
 func main() {
-	rng := rand.New(rand.NewSource(2023))
+	rng := geostat.NewRand(2023)
 	city := geostat.BBox{MinX: 0, MinY: 0, MaxX: 200, MaxY: 150}
 
 	// 50,000 incidents: three hotspot districts of different intensity over
@@ -63,8 +62,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := heat.WritePNGFile("crime_heatmap.png", geostat.HeatRamp); err != nil {
-		log.Fatal(err)
+	if werr := heat.WritePNGFile("crime_heatmap.png", geostat.HeatRamp); werr != nil {
+		log.Fatal(werr)
 	}
 	fmt.Println("wrote crime_heatmap.png")
 

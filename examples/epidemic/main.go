@@ -8,13 +8,12 @@ package main
 import (
 	"fmt"
 	"log"
-	"math/rand"
 
 	"geostat"
 )
 
 func main() {
-	rng := rand.New(rand.NewSource(19))
+	rng := geostat.NewRand(19)
 	region := geostat.BBox{MinX: 0, MinY: 0, MaxX: 120, MaxY: 90}
 
 	// 30,000 cases over 120 days: wave 1 in the west around day 30, wave 2
@@ -43,8 +42,8 @@ func main() {
 		ix, iy, peak := slice.ArgMax()
 		c := opt.Grid.Center(ix, iy)
 		name := fmt.Sprintf("epidemic_day%03.0f.png", day)
-		if err := slice.WritePNGFile(name, geostat.HeatRamp); err != nil {
-			log.Fatal(err)
+		if werr := slice.WritePNGFile(name, geostat.HeatRamp); werr != nil {
+			log.Fatal(werr)
 		}
 		fmt.Printf("  day %3.0f: outbreak center (%.0f, %.0f), intensity %6.0f -> %s\n",
 			day, c.X, c.Y, peak, name)

@@ -6,13 +6,12 @@ package main
 import (
 	"fmt"
 	"log"
-	"math/rand"
 
 	"geostat"
 )
 
 func main() {
-	rng := rand.New(rand.NewSource(7))
+	rng := geostat.NewRand(7)
 	region := geostat.BBox{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}
 
 	// 10,000 events with one planted hotspot plus background noise.
@@ -30,8 +29,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := heat.WritePNGFile("quickstart_heatmap.png", geostat.HeatRamp); err != nil {
-		log.Fatal(err)
+	if werr := heat.WritePNGFile("quickstart_heatmap.png", geostat.HeatRamp); werr != nil {
+		log.Fatal(werr)
 	}
 	ix, iy, peak := heat.ArgMax()
 	hot := heat.Spec.Center(ix, iy)

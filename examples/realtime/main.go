@@ -9,13 +9,12 @@ package main
 import (
 	"fmt"
 	"log"
-	"math/rand"
 
 	"geostat"
 )
 
 func main() {
-	rng := rand.New(rand.NewSource(99))
+	rng := geostat.NewRand(99)
 	region := geostat.BBox{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}
 
 	// A week of events (time unit: hours): the hotspot migrates across town

@@ -8,13 +8,12 @@ package main
 import (
 	"fmt"
 	"log"
-	"math/rand"
 
 	"geostat"
 )
 
 func main() {
-	rng := rand.New(rand.NewSource(88))
+	rng := geostat.NewRand(88)
 
 	// A 12x9 Manhattan street grid, 100 m between intersections.
 	roads := geostat.GridNetwork(12, 9, 100, geostat.Point{})
@@ -22,7 +21,7 @@ func main() {
 		roads.NumNodes(), roads.NumEdges(), roads.TotalLength()/1000)
 
 	// 4,000 accidents concentrated around 4 dangerous corridors.
-	accidents := geostat.ClusteredNetworkEvents(rng, roads, 4000, 4, 60)
+	accidents := geostat.ClusteredNetworkEvents(roads, 4000, 4, 60, 88)
 
 	// Network KDV on 10 m lixels: one bounded Dijkstra per accident.
 	surf, err := geostat.NKDV(roads, accidents, geostat.NKDVOptions{

@@ -2,7 +2,6 @@ package geostat
 
 import (
 	"math"
-	"math/rand"
 	"testing"
 )
 
@@ -59,7 +58,7 @@ func TestBandwidthSelectionFacade(t *testing.T) {
 	if b <= 0 || b > 50 {
 		t.Errorf("Silverman = %v", b)
 	}
-	best, err := SelectBandwidthCV(d.Points, Quartic, []float64{b / 4, b, b * 4}, 4, rand.New(rand.NewSource(1)))
+	best, err := SelectBandwidthCV(d.Points, Quartic, []float64{b / 4, b, b * 4}, 4, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,8 +93,7 @@ func TestCSRTestsFacade(t *testing.T) {
 
 func TestEqualSplitNKDVFacade(t *testing.T) {
 	g := GridNetwork(6, 6, 10, Point{})
-	rng := rand.New(rand.NewSource(44))
-	events := RandomNetworkEvents(rng, g, 100)
+	events := RandomNetworkEvents(g, 100, 44)
 	opt := NKDVOptions{Kernel: MustKernel(Epanechnikov, 8), LixelLength: 1}
 	esd, err := NKDVEqualSplit(g, events, opt)
 	if err != nil {

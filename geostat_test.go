@@ -58,10 +58,7 @@ func TestKDVMethodsAgree(t *testing.T) {
 	}
 	opt.Method = KDVSampled
 	opt.Epsilon, opt.Delta = 0.05, 0.05
-	if _, err := KDV(d.Points, opt); err == nil {
-		t.Error("KDVSampled without Rand accepted")
-	}
-	opt.Rand = rand.New(rand.NewSource(2))
+	opt.Seed = 2
 	if _, err := KDV(d.Points, opt); err != nil {
 		t.Fatal(err)
 	}
@@ -141,8 +138,7 @@ func TestKFunctionFacade(t *testing.T) {
 
 func TestNetworkFacade(t *testing.T) {
 	g := GridNetwork(6, 6, 10, Point{})
-	rng := rand.New(rand.NewSource(5))
-	events := ClusteredNetworkEvents(rng, g, 150, 2, 4)
+	events := ClusteredNetworkEvents(g, 150, 2, 4, 5)
 	opt := NKDVOptions{Kernel: MustKernel(Epanechnikov, 10), LixelLength: 3}
 	fast, err := NKDV(g, events, opt)
 	if err != nil {
@@ -163,7 +159,7 @@ func TestNetworkFacade(t *testing.T) {
 	if curve[1] != NetworkKFunction(g, events, 10) {
 		t.Error("network curve vs single disagree")
 	}
-	plot, err := NetworkKFunctionPlot(g, events, th, 9, 0, rng)
+	plot, err := NetworkKFunctionPlot(g, events, th, 9, 0, NewRand(5))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +172,7 @@ func TestNetworkFacade(t *testing.T) {
 		t.Errorf("snap distance %v", dist)
 	}
 	_ = pos
-	if RandomNetworkEvents(rng, g, 10)[0].Edge < 0 {
+	if RandomNetworkEvents(g, 10, 6)[0].Edge < 0 {
 		t.Error("random event bad edge")
 	}
 	if RingRadialNetwork(2, 6, 5, Point{}).NumNodes() != 13 {
@@ -291,7 +287,7 @@ func TestAutocorrelationFacade(t *testing.T) {
 	for i, v := range d.Values {
 		pos[i] = v + 10
 	}
-	gg, err := GeneralG(pos, wb, 99, r)
+	gg, err := GeneralG(pos, wb, 99, 11)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -144,7 +144,7 @@ func RunA3(cfg *Config) error {
 		// Interior events only so no mass leaves the network.
 		var events []geostat.NetworkPosition
 		for len(events) < cfg.scale(300) {
-			pos := geostat.RandomNetworkEvents(rng, tc.g, 1)[0]
+			pos := geostat.RandomNetworkEventsRand(rng, tc.g, 1)[0]
 			p := tc.g.PointAt(pos.Edge, pos.Offset)
 			if p.Dist(geostat.Point{X: 35, Y: 35}) < 25 {
 				events = append(events, pos)

@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand"
 	"runtime"
 	"time"
 
@@ -165,7 +164,7 @@ func RunC4(cfg *Config) error {
 				var err error
 				approx, err = geostat.KDV(pts, geostat.KDVOptions{
 					Kernel: k, Grid: grid, Method: geostat.KDVSampled,
-					Epsilon: eps, Delta: 0.01, Rand: rand.New(rand.NewSource(cfg.Seed + int64(n))),
+					Epsilon: eps, Delta: 0.01, Seed: cfg.Seed + int64(n),
 				})
 				if err != nil {
 					panic(err)
@@ -232,7 +231,7 @@ func RunC6(cfg *Config) error {
 		sizes = []int{100, 200}
 	}
 	for _, n := range sizes {
-		events := geostat.RandomNetworkEvents(rng, g, n)
+		events := geostat.RandomNetworkEventsRand(rng, g, n)
 		var naive int
 		tNaive := medianOf3(func() { naive = geostat.NetworkKFunction(g, events, 40) })
 		var curve []int
@@ -290,8 +289,8 @@ func RunC8(cfg *Config) error {
 	tb := newTable("neighbours k", "time")
 	for _, k := range []int{8, 16, 32} {
 		t := timeIt(func() {
-			if _, err := geostat.Krige(d, geostat.KrigingOptions{Grid: grid, Variogram: v, Neighbors: k, Workers: cfg.workers()}); err != nil {
-				panic(err)
+			if _, kerr := geostat.Krige(d, geostat.KrigingOptions{Grid: grid, Variogram: v, Neighbors: k, Workers: cfg.workers()}); kerr != nil {
+				panic(kerr)
 			}
 		})
 		tb.add(k, t)

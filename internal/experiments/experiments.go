@@ -13,6 +13,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"geostat/internal/parallel"
 )
 
 // Config controls experiment scale and outputs.
@@ -30,7 +32,7 @@ type Config struct {
 	Workers int
 }
 
-func (c *Config) rng() *rand.Rand { return rand.New(rand.NewSource(c.Seed)) }
+func (c *Config) rng() *rand.Rand { return parallel.NewRand(c.Seed) }
 
 // workers maps the zero-value Config to "every core".
 func (c *Config) workers() int {

@@ -31,7 +31,7 @@ func RunT1(cfg *Config) error {
 	geostat.WithField(rng, d, func(p geostat.Point) float64 { return p.X + p.Y + 200 }, 1)
 	grid := geostat.NewPixelGrid(studyBox, 16, 16)
 	g := geostat.GridNetwork(4, 4, 10, geostat.Point{})
-	events := geostat.RandomNetworkEvents(rng, g, 50)
+	events := geostat.RandomNetworkEventsRand(rng, g, 50)
 
 	// Self-checks keyed by the inventory's tool names (internal/core is the
 	// single source of truth for the taxonomy itself).
@@ -95,8 +95,8 @@ func RunT1(cfg *Config) error {
 			if err != nil {
 				return err
 			}
-			if _, err := geostat.GeneralG(d.Values, w, 19, rng); err != nil {
-				return err
+			if _, gerr := geostat.GeneralG(d.Values, w, 19, cfg.Seed); gerr != nil {
+				return gerr
 			}
 			_, err = geostat.LocalGStar(d.Values, w)
 			return err
@@ -136,6 +136,8 @@ func RunT1(cfg *Config) error {
 
 // RunT2 prints Table 2: each kernel's spot values and which accelerated
 // KDV paths support it.
+//
+//lint:allow workersopt pure table printing; nothing to parallelise
 func RunT2(cfg *Config) error {
 	const b = 2.0
 	tb := newTable("kernel", "K(0)", "K(b/2)", "K(b)", "finite support", "sweep-line", "grid-cutoff", "bound-approx")
@@ -267,7 +269,7 @@ func RunF3(cfg *Config) error {
 
 	tb := newTable("lixel length", "lixels", "F(q1) network", "F(q2) network")
 	for _, ll := range []float64{4, 2, 1, 0.5} {
-		surf, err := geostat.NKDV(g, events, geostat.NKDVOptions{Kernel: k, LixelLength: ll})
+		surf, err := geostat.NKDV(g, events, geostat.NKDVOptions{Kernel: k, LixelLength: ll, Workers: cfg.workers()})
 		if err != nil {
 			return err
 		}

@@ -49,9 +49,9 @@ func RunA4(cfg *Config) error {
 			return "", "", err
 		}
 		p2, err := geostat.KFunctionPlotWithNull(pts, opt, func() []geostat.Point {
-			sim, err := geostat.SampleFromIntensity(rng, spec, fit.Values, len(pts))
-			if err != nil {
-				panic(err)
+			sim, serr := geostat.SampleFromIntensity(rng, spec, fit.Values, len(pts))
+			if serr != nil {
+				panic(serr)
 			}
 			return sim.Points
 		})

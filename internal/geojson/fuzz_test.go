@@ -1,0 +1,43 @@
+package geojson
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParse checks that any input Parse accepts re-encodes stably:
+// Write(Parse(x)) must itself parse, and encoding is a fixpoint after
+// one pass. Inputs Parse rejects are ignored — the property under test
+// is "no accepted document misbehaves", plus the implicit "Parse never
+// panics on arbitrary bytes".
+func FuzzParse(f *testing.F) {
+	f.Add([]byte(`{"type":"FeatureCollection","features":[]}`))
+	f.Add([]byte(`{"type":"FeatureCollection","features":[` +
+		`{"type":"Feature","geometry":{"type":"Point","coordinates":[1,2]},"properties":{"v":3}}]}`))
+	f.Add([]byte(`{"type":"FeatureCollection","features":[` +
+		`{"type":"Feature","geometry":{"type":"LineString","coordinates":[[0,0],[1,1]]}}]}`))
+	f.Add([]byte(`{"type":"FeatureCollection","features":[` +
+		`{"type":"Feature","geometry":{"type":"Polygon","coordinates":[[[0,0],[1,0],[1,1],[0,0]]]}}]}`))
+	f.Add([]byte(`{"type":"Garbage"}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fc, err := Parse(data)
+		if err != nil {
+			return
+		}
+		var buf1 bytes.Buffer
+		if err := fc.Write(&buf1); err != nil {
+			t.Fatalf("writing a parsed collection: %v", err)
+		}
+		fc2, err := Parse(buf1.Bytes())
+		if err != nil {
+			t.Fatalf("re-parsing written output: %v\noutput: %s", err, buf1.Bytes())
+		}
+		var buf2 bytes.Buffer
+		if err := fc2.Write(&buf2); err != nil {
+			t.Fatalf("second write: %v", err)
+		}
+		if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+			t.Fatalf("encode is not a fixpoint:\nfirst:  %s\nsecond: %s", buf1.Bytes(), buf2.Bytes())
+		}
+	})
+}

@@ -1,0 +1,151 @@
+package geojson
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// Parse decodes and validates a GeoJSON FeatureCollection. It is the
+// inverse of Write: geometry coordinates are normalised back into the
+// concrete shapes the builders produce, so a parsed collection re-encodes
+// to an equivalent document. Unknown geometry types, malformed coordinate
+// arrays, and non-finite coordinates are rejected rather than passed
+// through.
+func Parse(data []byte) (*FeatureCollection, error) {
+	var fc FeatureCollection
+	if err := json.Unmarshal(data, &fc); err != nil {
+		return nil, fmt.Errorf("geojson: %w", err)
+	}
+	if fc.Type != "FeatureCollection" {
+		return nil, fmt.Errorf("geojson: top-level type %q, want FeatureCollection", fc.Type)
+	}
+	if fc.Features == nil {
+		fc.Features = []Feature{}
+	}
+	for i := range fc.Features {
+		f := &fc.Features[i]
+		if f.Type != "Feature" {
+			return nil, fmt.Errorf("geojson: feature %d: type %q, want Feature", i, f.Type)
+		}
+		norm, err := normalizeGeometry(f.Geometry)
+		if err != nil {
+			return nil, fmt.Errorf("geojson: feature %d: %w", i, err)
+		}
+		f.Geometry = norm
+	}
+	return &fc, nil
+}
+
+// Read decodes a FeatureCollection from r.
+func Read(r io.Reader) (*FeatureCollection, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(data)
+}
+
+// ReadFile decodes a FeatureCollection from the named file.
+func ReadFile(path string) (*FeatureCollection, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(data)
+}
+
+// normalizeGeometry re-types the raw coordinates (json decodes them as
+// nested []any) into the concrete arrays the builders use.
+func normalizeGeometry(g geometry) (geometry, error) {
+	switch g.Type {
+	case "Point":
+		c, err := asCoord(g.Coordinates)
+		if err != nil {
+			return g, err
+		}
+		g.Coordinates = c
+	case "LineString":
+		cs, err := asLine(g.Coordinates)
+		if err != nil {
+			return g, err
+		}
+		if len(cs) < 2 {
+			return g, fmt.Errorf("LineString with %d positions, want >= 2", len(cs))
+		}
+		g.Coordinates = cs
+	case "MultiLineString":
+		lines, err := asLines(g.Coordinates)
+		if err != nil {
+			return g, err
+		}
+		g.Coordinates = lines
+	case "Polygon":
+		rings, err := asLines(g.Coordinates)
+		if err != nil {
+			return g, err
+		}
+		for _, ring := range rings {
+			if len(ring) < 4 {
+				return g, fmt.Errorf("polygon ring with %d positions, want >= 4", len(ring))
+			}
+			if ring[0] != ring[len(ring)-1] {
+				return g, fmt.Errorf("polygon ring is not closed")
+			}
+		}
+		g.Coordinates = rings
+	default:
+		return g, fmt.Errorf("unsupported geometry type %q", g.Type)
+	}
+	return g, nil
+}
+
+func asCoord(v any) ([2]float64, error) {
+	raw, ok := v.([]any)
+	if !ok || len(raw) != 2 {
+		return [2]float64{}, fmt.Errorf("position must be a [x, y] array, got %T", v)
+	}
+	var c [2]float64
+	for i, e := range raw {
+		f, ok := e.(float64)
+		if !ok || math.IsNaN(f) || math.IsInf(f, 0) {
+			return c, fmt.Errorf("coordinate %d is not a finite number", i)
+		}
+		c[i] = f
+	}
+	return c, nil
+}
+
+func asLine(v any) ([][2]float64, error) {
+	raw, ok := v.([]any)
+	if !ok {
+		return nil, fmt.Errorf("coordinates must be an array of positions, got %T", v)
+	}
+	out := make([][2]float64, len(raw))
+	for i, e := range raw {
+		c, err := asCoord(e)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = c
+	}
+	return out, nil
+}
+
+func asLines(v any) ([][][2]float64, error) {
+	raw, ok := v.([]any)
+	if !ok {
+		return nil, fmt.Errorf("coordinates must be an array of lines, got %T", v)
+	}
+	out := make([][][2]float64, len(raw))
+	for i, e := range raw {
+		cs, err := asLine(e)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = cs
+	}
+	return out, nil
+}

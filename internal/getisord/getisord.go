@@ -13,6 +13,9 @@ import (
 	"geostat/internal/weights"
 )
 
+// The permutation RNGs are derived per-task inside parallel.MonteCarloScratch;
+// math/rand appears here only as the *rand.Rand callback parameter type.
+
 // Options configures the General G permutation test. Permutation p
 // shuffles its own copy of the values with an RNG derived
 // deterministically from (Seed, p), so results are bit-identical for
@@ -43,16 +46,10 @@ type GeneralGResult struct {
 //	G = Σ_ij w_ij·x_i·x_j / Σ_{i≠j} x_i·x_j
 //
 // Values must be non-negative (the statistic is defined for positive
-// attributes). perms > 0 adds a permutation test driven by rng.
-// Equivalent to GeneralGOpt with a seed drawn from rng and every core.
-func GeneralG(values []float64, w *weights.Matrix, perms int, rng *rand.Rand) (*GeneralGResult, error) {
-	if perms > 0 && rng == nil {
-		return nil, fmt.Errorf("getisord: permutation test requires a rng")
-	}
-	var seed int64
-	if rng != nil {
-		seed = rng.Int63()
-	}
+// attributes). perms > 0 adds a permutation test whose shuffles are
+// derived deterministically from seed. Equivalent to GeneralGOpt with the
+// given seed and every core.
+func GeneralG(values []float64, w *weights.Matrix, perms int, seed int64) (*GeneralGResult, error) {
 	return GeneralGOpt(values, w, Options{Perms: perms, Seed: seed, Workers: -1})
 }
 

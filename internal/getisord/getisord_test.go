@@ -31,24 +31,21 @@ func bandW(t *testing.T, pts []geom.Point) *weights.Matrix {
 func TestValidation(t *testing.T) {
 	pts := gridPoints(3)
 	w := bandW(t, pts)
-	if _, err := GeneralG([]float64{1, 2}, w, 0, nil); err == nil {
+	if _, err := GeneralG([]float64{1, 2}, w, 0, 0); err == nil {
 		t.Error("length mismatch accepted")
 	}
 	neg := make([]float64, len(pts))
 	neg[0] = -1
-	if _, err := GeneralG(neg, w, 0, nil); err == nil {
+	if _, err := GeneralG(neg, w, 0, 0); err == nil {
 		t.Error("negative values accepted")
 	}
 	zeros := make([]float64, len(pts))
-	if _, err := GeneralG(zeros, w, 0, nil); err == nil {
+	if _, err := GeneralG(zeros, w, 0, 0); err == nil {
 		t.Error("all-zero values accepted")
 	}
 	ok := make([]float64, len(pts))
 	for i := range ok {
 		ok[i] = 1
-	}
-	if _, err := GeneralG(ok, w, 10, nil); err == nil {
-		t.Error("perms without rng accepted")
 	}
 	if _, err := LocalGStar(ok[:2], w); err == nil {
 		t.Error("LocalGStar length mismatch accepted")
@@ -70,7 +67,7 @@ func TestGeneralGDetectsHighValueClustering(t *testing.T) {
 			vals[i] = 1
 		}
 	}
-	res, err := GeneralG(vals, w, 199, rand.New(rand.NewSource(1)))
+	res, err := GeneralG(vals, w, 199, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +94,7 @@ func TestGeneralGRandomInsignificant(t *testing.T) {
 		for i := range vals {
 			vals[i] = r.Float64() * 10
 		}
-		res, err := GeneralG(vals, w, 199, r)
+		res, err := GeneralG(vals, w, 199, int64(trial))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -117,7 +114,7 @@ func TestGeneralGExpected(t *testing.T) {
 	for i := range vals {
 		vals[i] = float64(i + 1)
 	}
-	res, err := GeneralG(vals, w, 0, nil)
+	res, err := GeneralG(vals, w, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

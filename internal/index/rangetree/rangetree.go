@@ -40,6 +40,7 @@ func New(pts []geom.Point) *Tree {
 	}
 	sort.Slice(order, func(a, b int) bool {
 		pa, pb := pts[order[a]], pts[order[b]]
+		//lint:allow floateq sort tie-break on stored coordinates; exact comparison intended
 		if pa.X != pb.X {
 			return pa.X < pb.X
 		}

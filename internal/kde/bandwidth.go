@@ -3,11 +3,11 @@ package kde
 import (
 	"fmt"
 	"math"
-	"math/rand"
 
 	"geostat/internal/geom"
 	gridindex "geostat/internal/index/grid"
 	"geostat/internal/kernel"
+	"geostat/internal/parallel"
 )
 
 // Bandwidth selection — the step every hands-on KDV session starts with
@@ -51,7 +51,10 @@ func SilvermanBandwidth(pts []geom.Point) (float64, error) {
 // (normalised, fitted on the other folds) is evaluated at the held-out
 // points; the winner generalises best. Requires a finite-support kernel
 // (evaluation uses support scans). Candidates must be positive.
-func SelectBandwidthCV(pts []geom.Point, typ kernel.Type, candidates []float64, folds int, rng *rand.Rand) (float64, error) {
+//
+// The fold assignment is shuffled by a generator seeded with seed, so the
+// selected bandwidth is reproducible from (points, candidates, folds, seed).
+func SelectBandwidthCV(pts []geom.Point, typ kernel.Type, candidates []float64, folds int, seed int64) (float64, error) {
 	if len(candidates) == 0 {
 		return 0, fmt.Errorf("kde: no candidate bandwidths")
 	}
@@ -60,9 +63,6 @@ func SelectBandwidthCV(pts []geom.Point, typ kernel.Type, candidates []float64, 
 	}
 	if len(pts) < 2*folds {
 		return 0, fmt.Errorf("kde: too few points (%d) for %d folds", len(pts), folds)
-	}
-	if rng == nil {
-		return 0, fmt.Errorf("kde: SelectBandwidthCV requires a rng")
 	}
 	// Validate candidates and kernel up front.
 	for i, b := range candidates {
@@ -75,6 +75,7 @@ func SelectBandwidthCV(pts []geom.Point, typ kernel.Type, candidates []float64, 
 		}
 	}
 	// Random fold assignment.
+	rng := parallel.NewRand(seed)
 	fold := make([]int, len(pts))
 	for i := range fold {
 		fold[i] = i % folds

@@ -222,7 +222,7 @@ func TestSelectBandwidthCVPrefersTrueScale(t *testing.T) {
 		{Center: geom.Point{X: 30, Y: 30}, Sigma: 3, Weight: 1},
 		{Center: geom.Point{X: 70, Y: 60}, Sigma: 3, Weight: 1},
 	}, 0.05).Points
-	best, err := SelectBandwidthCV(pts, kernel.Quartic, []float64{0.3, 4, 60}, 5, r)
+	best, err := SelectBandwidthCV(pts, kernel.Quartic, []float64{0.3, 4, 60}, 5, 27)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -233,24 +233,20 @@ func TestSelectBandwidthCVPrefersTrueScale(t *testing.T) {
 
 func TestSelectBandwidthCVValidation(t *testing.T) {
 	pts := clusteredPoints(28, 100)
-	r := rand.New(rand.NewSource(1))
-	if _, err := SelectBandwidthCV(pts, kernel.Quartic, nil, 5, r); err == nil {
+	if _, err := SelectBandwidthCV(pts, kernel.Quartic, nil, 5, 1); err == nil {
 		t.Error("no candidates accepted")
 	}
-	if _, err := SelectBandwidthCV(pts, kernel.Quartic, []float64{1}, 1, r); err == nil {
+	if _, err := SelectBandwidthCV(pts, kernel.Quartic, []float64{1}, 1, 1); err == nil {
 		t.Error("folds=1 accepted")
 	}
-	if _, err := SelectBandwidthCV(pts[:4], kernel.Quartic, []float64{1}, 5, r); err == nil {
+	if _, err := SelectBandwidthCV(pts[:4], kernel.Quartic, []float64{1}, 5, 1); err == nil {
 		t.Error("too few points accepted")
 	}
-	if _, err := SelectBandwidthCV(pts, kernel.Gaussian, []float64{1}, 5, r); err == nil {
+	if _, err := SelectBandwidthCV(pts, kernel.Gaussian, []float64{1}, 5, 1); err == nil {
 		t.Error("Gaussian accepted")
 	}
-	if _, err := SelectBandwidthCV(pts, kernel.Quartic, []float64{-1}, 5, r); err == nil {
+	if _, err := SelectBandwidthCV(pts, kernel.Quartic, []float64{-1}, 5, 1); err == nil {
 		t.Error("negative candidate accepted")
-	}
-	if _, err := SelectBandwidthCV(pts, kernel.Quartic, []float64{1}, 5, nil); err == nil {
-		t.Error("nil rng accepted")
 	}
 }
 
@@ -331,7 +327,7 @@ func TestWeightedKDVValidation(t *testing.T) {
 	if _, err := BoundApprox(pts, opt, 0.1); err == nil {
 		t.Error("weights accepted by BoundApprox")
 	}
-	if _, err := Sampled(pts, opt, rand.New(rand.NewSource(1)), 0.1, 0.1); err == nil {
+	if _, err := Sampled(pts, opt, 1, 0.1, 0.1); err == nil {
 		t.Error("weights accepted by Sampled")
 	}
 }

@@ -117,6 +117,7 @@ func run(rc rowComputer, opt *Options, n int) *raster.Grid {
 	parallel.For(ny, opt.Workers, func(iy int) {
 		rc.computeRow(iy, out.Values[iy*nx:(iy+1)*nx])
 	})
+	//lint:allow floateq scale()==1 is an exact sentinel for "no normalisation"
 	if scale != 1 {
 		for i := range out.Values {
 			out.Values[i] *= scale

@@ -248,7 +248,7 @@ func TestSampledWithinBound(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	approx, err := Sampled(pts, opt, rand.New(rand.NewSource(9)), eps, delta)
+	approx, err := Sampled(pts, opt, 9, eps, delta)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -269,7 +269,7 @@ func TestSampledSmallDatasetIsExact(t *testing.T) {
 	pts := clusteredPoints(10, 50) // far below the sample bound
 	opt := testOpts(kernel.Quartic, 15)
 	exact, _ := Exact(pts, opt)
-	approx, err := Sampled(pts, opt, rand.New(rand.NewSource(1)), 0.1, 0.1)
+	approx, err := Sampled(pts, opt, 1, 0.1, 0.1)
 	if err != nil {
 		t.Fatal(err)
 	}

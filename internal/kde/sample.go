@@ -3,9 +3,9 @@ package kde
 import (
 	"fmt"
 	"math"
-	"math/rand"
 
 	"geostat/internal/geom"
+	"geostat/internal/parallel"
 	"geostat/internal/raster"
 )
 
@@ -43,7 +43,10 @@ func SampleBound(numPixels int, eps, delta float64) (int, error) {
 //
 // If the bound size reaches n the full dataset is used and the result is
 // exact.
-func Sampled(pts []geom.Point, opt Options, rng *rand.Rand, eps, delta float64) (*raster.Grid, error) {
+//
+// The subset is drawn from a generator seeded with seed, so a given
+// (points, options, seed) triple always yields the same surface.
+func Sampled(pts []geom.Point, opt Options, seed int64, eps, delta float64) (*raster.Grid, error) {
 	if err := opt.validate(); err != nil {
 		return nil, err
 	}
@@ -59,6 +62,7 @@ func Sampled(pts []geom.Point, opt Options, rng *rand.Rand, eps, delta float64) 
 		return exactAuto(pts, opt)
 	}
 	// Sample with replacement (matches the Hoeffding analysis directly).
+	rng := parallel.NewRand(seed)
 	sample := make([]geom.Point, m)
 	for i := range sample {
 		sample[i] = pts[rng.Intn(n)]

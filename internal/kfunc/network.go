@@ -142,7 +142,7 @@ func NetworkPlot(g *network.Graph, events []network.Position, thresholds []float
 	var mu sync.Mutex
 	var firstErr error
 	parallel.MonteCarlo(sims, workers, seed, func(rng *rand.Rand, l int) {
-		sim := network.RandomPositions(rng, g, len(events))
+		sim := network.RandomPositionsRand(rng, g, len(events))
 		counts, err := NetworkCurve(g, sim, thresholds, inner)
 		mu.Lock()
 		defer mu.Unlock()

@@ -46,7 +46,7 @@ func TestNetworkNaiveHandValues(t *testing.T) {
 func TestNetworkCurveMatchesNaive(t *testing.T) {
 	g := testNet()
 	rng := rand.New(rand.NewSource(1))
-	events := network.RandomPositions(rng, g, 150)
+	events := network.RandomPositionsRand(rng, g, 150)
 	thresholds := []float64{2, 5, 10, 20, 40}
 	curve, err := NetworkCurve(g, events, thresholds, 0)
 	if err != nil {
@@ -97,7 +97,7 @@ func TestNetworkPlotRegimes(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	thresholds := []float64{3, 6, 12, 24}
 
-	clustered := network.ClusteredPositions(rng, g, 200, 3, 4)
+	clustered := network.ClusteredPositionsRand(rng, g, 200, 3, 4)
 	p, err := NetworkPlot(g, clustered, thresholds, 19, 0, rng)
 	if err != nil {
 		t.Fatal(err)
@@ -112,7 +112,7 @@ func TestNetworkPlotRegimes(t *testing.T) {
 		t.Error("network-clustered events never classified Clustered")
 	}
 
-	uniform := network.RandomPositions(rng, g, 200)
+	uniform := network.RandomPositionsRand(rng, g, 200)
 	p, err = NetworkPlot(g, uniform, thresholds, 19, 0, rng)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,116 @@
+// Package analysistest runs one geolint analyzer over a fixture package
+// and compares its diagnostics against `// want "regexp"` annotations —
+// a standard-library reimplementation of the classic analyzer test
+// harness. A fixture line may carry at most one want comment; every
+// diagnostic must match a want on its line, and every want must be
+// matched by exactly one diagnostic. //lint:allow directives are honoured
+// before matching, so fixtures also exercise the suppression path.
+package analysistest
+
+import (
+	"go/ast"
+	"regexp"
+	"strings"
+	"testing"
+
+	"geostat/internal/lint"
+	"geostat/internal/lint/analysis"
+	"geostat/internal/lint/load"
+)
+
+var wantRe = regexp.MustCompile("//\\s*want\\s+(?:`(.*)`|\"(.*)\")\\s*$")
+
+// want is one expectation: a diagnostic on (file, line) matching re.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads the fixture package in dir, applies a, and reports any
+// mismatch between produced diagnostics and want annotations as test
+// errors.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	root, err := load.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := load.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.LoadDir(dir, "fixture/"+a.Name)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", dir, err)
+	}
+	if len(pkg.Errors) > 0 {
+		t.Fatalf("fixture %s has type errors: %v", dir, pkg.Errors[0])
+	}
+
+	wants := collectWants(t, l, pkg.Files)
+	diags, err := lint.Run(l, pkg, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, d := range diags {
+		pos := l.Fset.Position(d.Pos)
+		w := findWant(wants, pos.Filename, pos.Line)
+		switch {
+		case w == nil:
+			t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message)
+		case w.matched:
+			t.Errorf("%s:%d: second diagnostic on a line with one want: %s", pos.Filename, pos.Line, d.Message)
+		case !w.re.MatchString(d.Message):
+			t.Errorf("%s:%d: diagnostic %q does not match want %q", pos.Filename, pos.Line, d.Message, w.re)
+		default:
+			w.matched = true
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: want %q: no diagnostic", w.file, w.line, w.re)
+		}
+	}
+}
+
+// collectWants extracts every want annotation from the fixture comments.
+func collectWants(t *testing.T, l *load.Loader, files []*ast.File) []*want {
+	t.Helper()
+	var out []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					if strings.Contains(c.Text, "// want ") {
+						t.Fatalf("malformed want comment: %s", c.Text)
+					}
+					continue
+				}
+				pattern := m[1]
+				if pattern == "" {
+					pattern = m[2]
+				}
+				re, err := regexp.Compile(pattern)
+				if err != nil {
+					t.Fatalf("bad want regexp %q: %v", m[1], err)
+				}
+				pos := l.Fset.Position(c.Pos())
+				out = append(out, &want{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+	return out
+}
+
+func findWant(wants []*want, file string, line int) *want {
+	for _, w := range wants {
+		if w.file == file && w.line == line {
+			return w
+		}
+	}
+	return nil
+}

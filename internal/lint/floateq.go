@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"bytes"
+	"go/ast"
+	"go/constant"
+	"go/printer"
+	"go/token"
+	"go/types"
+
+	"geostat/internal/lint/analysis"
+)
+
+// FloatEq flags == and != between floating-point operands where at least
+// one side is a computed value. In statistic code such comparisons are
+// where platform- or order-dependent rounding silently changes a branch
+// (e.g. an envelope bound compared against a freshly accumulated sum).
+// Two idioms are allowed because they are exact by construction:
+//
+//   - sentinel comparisons against the literal 0 (IEEE zero is produced
+//     exactly, e.g. "if sigma == 0" after a variance computation guards a
+//     degenerate input, not a rounding accident);
+//   - NaN guards of the form x != x (and x == x).
+//
+// Anything else should compare against a tolerance or carry a
+// //lint:allow floateq justification.
+var FloatEq = &analysis.Analyzer{
+	Name: "floateq",
+	Doc: "flags ==/!= on computed float expressions; compare with a tolerance " +
+		"(zero sentinels and x != x NaN guards are allowed)",
+	Run: runFloatEq,
+}
+
+func runFloatEq(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			xt, xok := pass.TypesInfo.Types[be.X]
+			yt, yok := pass.TypesInfo.Types[be.Y]
+			if !xok || !yok || !isFloat(xt.Type) || !isFloat(yt.Type) {
+				return true
+			}
+			// Constant-vs-constant folds at compile time; nothing to flag.
+			if xt.Value != nil && yt.Value != nil {
+				return true
+			}
+			// Zero sentinel: one side is the exact constant 0.
+			if isZeroConst(xt.Value) || isZeroConst(yt.Value) {
+				return true
+			}
+			// NaN guard: syntactically identical operands.
+			if exprString(pass.Fset, be.X) == exprString(pass.Fset, be.Y) {
+				return true
+			}
+			pass.Reportf(be.OpPos, "floating-point %s on computed values; compare with a tolerance, or justify with //lint:allow floateq", be.Op)
+			return true
+		})
+	}
+	return nil
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isZeroConst(v constant.Value) bool {
+	if v == nil {
+		return false
+	}
+	f, ok := constant.Float64Val(constant.ToFloat(v))
+	return ok && f == 0
+}
+
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	_ = printer.Fprint(&buf, fset, e)
+	return buf.String()
+}

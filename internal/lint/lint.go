@@ -1,0 +1,146 @@
+// Package lint is geolint: the project-specific static-analysis suite that
+// enforces the repository's determinism and concurrency invariants at
+// vet-time instead of in flaky test runs.
+//
+// The custom analyzers guard the conventions PR 1 established:
+//
+//   - norawgoroutine — every goroutine is owned by internal/parallel;
+//   - seededrand — every random draw comes from an explicitly seeded
+//     source threaded through options (no math/rand globals, no rand.New
+//     outside internal/parallel);
+//   - floateq — no ==/!= on computed floating-point values in statistic
+//     code (zero sentinels and NaN self-compares are allowed);
+//   - maporder — no result assembly driven by map iteration order;
+//   - workersopt — every exported entry point that accepts a Workers
+//     option actually threads it into the parallel engine.
+//
+// A curated set of general passes rides along: shadow, copylocks,
+// loopclosure and unusedresult (stdlib-only reimplementations of the
+// classic vet checks).
+//
+// A finding is suppressed by a `//lint:allow <analyzer> <reason>` comment
+// on the flagged line or the line directly above it. The reason is
+// mandatory by convention: suppressions are for cases where the invariant
+// is provably respected in a way the analyzer cannot see (for example a
+// demo that intentionally shows nondeterminism), never for convenience.
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"geostat/internal/lint/analysis"
+	"geostat/internal/lint/load"
+)
+
+// Analyzers returns every analyzer geolint runs, custom passes first.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		NoRawGoroutine,
+		SeededRand,
+		FloatEq,
+		MapOrder,
+		WorkersOpt,
+		Shadow,
+		CopyLocks,
+		LoopClosure,
+		UnusedResult,
+	}
+}
+
+// Lookup returns the analyzer with the given name.
+func Lookup(name string) (*analysis.Analyzer, bool) {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return nil, false
+}
+
+// Run applies analyzers to pkg (loaded by l) and returns surviving
+// diagnostics sorted by file position.
+func Run(l *load.Loader, pkg *load.Package, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+	var diags []analysis.Diagnostic
+	for _, a := range analyzers {
+		pass := analysis.NewPass(a, l.Fset, pkg.Files, pkg.Path, pkg.Types, pkg.Info,
+			func(d analysis.Diagnostic) { diags = append(diags, d) })
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", pkg.Path, a.Name, err)
+		}
+	}
+	diags = filterAllowed(l, pkg, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		pi, pj := l.Fset.Position(diags[i].Pos), l.Fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// filterAllowed drops diagnostics covered by a //lint:allow directive on
+// the same line or the line directly above.
+func filterAllowed(l *load.Loader, pkg *load.Package, diags []analysis.Diagnostic) []analysis.Diagnostic {
+	// allowed[file][line] = set of analyzer names allowed there.
+	allowed := make(map[string]map[int][]string)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names, ok := parseAllow(c.Text)
+				if !ok {
+					continue
+				}
+				pos := l.Fset.Position(c.Pos())
+				m := allowed[pos.Filename]
+				if m == nil {
+					m = make(map[int][]string)
+					allowed[pos.Filename] = m
+				}
+				m[pos.Line] = append(m[pos.Line], names...)
+			}
+		}
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		pos := l.Fset.Position(d.Pos)
+		if lineAllows(allowed[pos.Filename], pos.Line, d.Analyzer) {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+func lineAllows(m map[int][]string, line int, analyzer string) bool {
+	if m == nil {
+		return false
+	}
+	for _, l := range []int{line, line - 1} {
+		for _, name := range m[l] {
+			if name == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// parseAllow recognises "//lint:allow name1[,name2] reason..." and returns
+// the allowed analyzer names.
+func parseAllow(text string) ([]string, bool) {
+	rest, ok := strings.CutPrefix(text, "//lint:allow")
+	if !ok {
+		return nil, false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return nil, false
+	}
+	return strings.Split(fields[0], ","), true
+}

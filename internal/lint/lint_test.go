@@ -1,0 +1,31 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"geostat/internal/lint"
+	"geostat/internal/lint/analysistest"
+)
+
+// TestAnalyzerFixtures runs every analyzer over its fixture package under
+// testdata/src/<name>, which contains both flagged cases (annotated with
+// `// want`) and allowed cases (including //lint:allow suppressions).
+func TestAnalyzerFixtures(t *testing.T) {
+	for _, a := range lint.Analyzers() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			t.Parallel()
+			analysistest.Run(t, a, filepath.Join("testdata", "src", a.Name))
+		})
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, ok := lint.Lookup("seededrand"); !ok {
+		t.Error("seededrand not registered")
+	}
+	if _, ok := lint.Lookup("nosuchpass"); ok {
+		t.Error("unknown analyzer resolved")
+	}
+}

@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"geostat/internal/lint/analysis"
+)
+
+// MapOrder flags `range` over a map whose body assembles ordered or
+// order-sensitive results in variables declared outside the loop:
+//
+//   - append to an outer slice (the output order follows map iteration
+//     order, which Go randomises per run);
+//   - += / -= / *= / /= on an outer float variable (float arithmetic is
+//     not associative, so the accumulated value is run-dependent at the
+//     bit level — exactly what breaks the repo's bit-identical guarantees);
+//   - += on an outer string (concatenation order is the iteration order).
+//
+// Integer accumulation, counting, and map-to-map transforms are
+// order-insensitive and pass. The fix is to sort the keys first (or
+// restructure onto a slice); a deliberate unordered assembly can carry
+// //lint:allow maporder with the reason.
+var MapOrder = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "flags map iteration feeding order-sensitive accumulation " +
+		"(appends, float/string +=) in outer variables; sort keys first",
+	Run: runMapOrder,
+}
+
+func runMapOrder(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rs.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkMapRangeBody(pass, rs)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkMapRangeBody(pass *analysis.Pass, rs *ast.RangeStmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch as.Tok {
+		case token.ASSIGN:
+			// x = append(x, ...) with x declared outside the loop.
+			for i, rhs := range as.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(pass, call) || i >= len(as.Lhs) {
+					continue
+				}
+				if obj := rootObj(pass, as.Lhs[i]); obj != nil && declaredOutside(obj, rs) {
+					pass.Reportf(as.Pos(), "append to %q inside map iteration: output order is nondeterministic; sort the keys first", obj.Name())
+				}
+			}
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			for _, lhs := range as.Lhs {
+				obj := rootObj(pass, lhs)
+				if obj == nil || !declaredOutside(obj, rs) {
+					continue
+				}
+				tv, ok := pass.TypesInfo.Types[lhs]
+				if !ok {
+					continue
+				}
+				switch {
+				case isFloat(tv.Type):
+					pass.Reportf(as.Pos(), "float accumulation into %q inside map iteration is order-dependent at the bit level; sort the keys first", obj.Name())
+				case isString(tv.Type) && as.Tok == token.ADD_ASSIGN:
+					pass.Reportf(as.Pos(), "string concatenation into %q inside map iteration follows map order; sort the keys first", obj.Name())
+				}
+			}
+		}
+		return true
+	})
+}
+
+func isBuiltinAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj, ok := pass.TypesInfo.Uses[id]
+	if !ok {
+		return false
+	}
+	b, ok := obj.(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// rootObj resolves the variable at the base of an assignable expression
+// (x, x.f, x[i] all resolve to x).
+func rootObj(pass *analysis.Pass, e ast.Expr) types.Object {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return pass.TypesInfo.ObjectOf(v)
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredOutside reports whether obj's declaration precedes the range
+// statement (so mutations inside the loop escape it).
+func declaredOutside(obj types.Object, rs *ast.RangeStmt) bool {
+	return obj.Pos() < rs.Pos()
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

@@ -1,0 +1,311 @@
+package lint
+
+// Stdlib-only reimplementations of the curated vet passes geolint fronts:
+// shadow, copylocks, loopclosure, unusedresult. They follow the classic
+// x/tools analyzers in spirit but are implemented against go/ast+go/types
+// directly (the repository takes no external dependencies). Each is
+// deliberately conservative: a miss is acceptable, a noisy false positive
+// is not, because `make lint` must stay exit-0 on a healthy tree.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"geostat/internal/lint/analysis"
+)
+
+// ---- shadow ----
+
+// Shadow flags an inner := that redeclares a variable of an enclosing
+// function scope with an identical type, where the outer variable is used
+// again after the shadowing scope closes — the footgun where a result or
+// err assigned inside a block is silently a different variable.
+var Shadow = &analysis.Analyzer{
+	Name: "shadow",
+	Doc: "flags declarations that shadow an outer variable of the same type " +
+		"which is still used after the inner scope ends",
+	Run: runShadow,
+}
+
+func runShadow(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || as.Tok != token.DEFINE {
+				return true
+			}
+			for _, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				inner := pass.TypesInfo.Defs[id]
+				if inner == nil {
+					continue
+				}
+				checkShadow(pass, f, id, inner)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkShadow(pass *analysis.Pass, f *ast.File, id *ast.Ident, inner types.Object) {
+	innerScope := inner.Parent()
+	if innerScope == nil {
+		return
+	}
+	// Find what the same name resolves to just outside the declaration.
+	outerScope := innerScope.Parent()
+	if outerScope == nil {
+		return
+	}
+	scope, outer := outerScope.LookupParent(id.Name, id.Pos())
+	if outer == nil || scope == types.Universe || outer.Parent() == pass.Pkg.Scope() {
+		return // no shadowing, a builtin, or a package-level name (config, not a local footgun)
+	}
+	ov, ok := outer.(*types.Var)
+	if !ok || !types.Identical(ov.Type(), inner.Type()) {
+		return
+	}
+	// Only report when the outer variable is used after the inner scope
+	// ends — that is where reads silently miss the inner assignment.
+	end := innerScope.End()
+	for useID, useObj := range pass.TypesInfo.Uses {
+		if useObj == outer && useID.Pos() > end {
+			pass.Reportf(id.Pos(), "declaration of %q shadows a variable of the same type at %s which is used again after this scope",
+				id.Name, pass.Fset.Position(outer.Pos()))
+			return
+		}
+	}
+}
+
+// ---- copylocks ----
+
+// CopyLocks flags copies of values whose type (transitively) contains a
+// sync lock: by-value function parameters and results, plain value
+// assignments from existing values, and range-over-slice element copies.
+var CopyLocks = &analysis.Analyzer{
+	Name: "copylocks",
+	Doc:  "flags by-value copies of types containing sync.Mutex/RWMutex/WaitGroup/Once/Cond",
+	Run:  runCopyLocks,
+}
+
+func runCopyLocks(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Type.Params != nil {
+					for _, field := range n.Type.Params.List {
+						if tv, ok := pass.TypesInfo.Types[field.Type]; ok && containsLock(tv.Type) {
+							pass.Reportf(field.Type.Pos(), "function passes a lock by value: %s contains a sync primitive; use a pointer", tv.Type)
+						}
+					}
+				}
+			case *ast.AssignStmt:
+				if n.Tok != token.ASSIGN && n.Tok != token.DEFINE {
+					return true
+				}
+				for _, rhs := range n.Rhs {
+					// Composite literals and calls build fresh values; only
+					// copying an existing variable duplicates a held lock.
+					switch rhs.(type) {
+					case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+						if tv, ok := pass.TypesInfo.Types[rhs]; ok && containsLock(tv.Type) {
+							pass.Reportf(rhs.Pos(), "assignment copies a lock value: %s contains a sync primitive", tv.Type)
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				if n.Value == nil {
+					return true
+				}
+				// With := the value is a defining ident, recorded in Defs
+				// rather than Types.
+				var typ types.Type
+				if tv, ok := pass.TypesInfo.Types[n.Value]; ok {
+					typ = tv.Type
+				} else if id, ok := n.Value.(*ast.Ident); ok {
+					if obj := pass.TypesInfo.Defs[id]; obj != nil {
+						typ = obj.Type()
+					}
+				}
+				if typ != nil && containsLock(typ) {
+					pass.Reportf(n.Value.Pos(), "range copies a lock value per element: %s contains a sync primitive", typ)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+var lockTypeNames = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true, "Once": true, "Cond": true,
+}
+
+// containsLock reports whether t holds a sync lock by value (directly or
+// through nested structs/arrays).
+func containsLock(t types.Type) bool {
+	return containsLockRec(t, map[types.Type]bool{})
+}
+
+func containsLockRec(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && lockTypeNames[obj.Name()] {
+			return true
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLockRec(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLockRec(u.Elem(), seen)
+	}
+	return false
+}
+
+// ---- loopclosure ----
+
+// LoopClosure flags go/defer function literals inside a loop that capture
+// the loop's iteration variables. Go ≥1.22 gives range variables
+// per-iteration semantics, so the classic capture bug cannot bite — but a
+// deferred closure over an iteration variable still runs long after the
+// loop (function exit), which in this codebase is almost always a mistake
+// worth spelling out explicitly.
+var LoopClosure = &analysis.Analyzer{
+	Name: "loopclosure",
+	Doc:  "flags go/defer closures inside loops that capture iteration variables",
+	Run:  runLoopClosure,
+}
+
+func runLoopClosure(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var vars []types.Object
+			var body *ast.BlockStmt
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				for _, e := range []ast.Expr{n.Key, n.Value} {
+					if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+						if obj := pass.TypesInfo.Defs[id]; obj != nil {
+							vars = append(vars, obj)
+						}
+					}
+				}
+				body = n.Body
+			case *ast.ForStmt:
+				if init, ok := n.Init.(*ast.AssignStmt); ok && init.Tok == token.DEFINE {
+					for _, lhs := range init.Lhs {
+						if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+							if obj := pass.TypesInfo.Defs[id]; obj != nil {
+								vars = append(vars, obj)
+							}
+						}
+					}
+				}
+				body = n.Body
+			default:
+				return true
+			}
+			if len(vars) == 0 || body == nil {
+				return true
+			}
+			ast.Inspect(body, func(inner ast.Node) bool {
+				var lit *ast.FuncLit
+				switch s := inner.(type) {
+				case *ast.GoStmt:
+					lit, _ = s.Call.Fun.(*ast.FuncLit)
+				case *ast.DeferStmt:
+					lit, _ = s.Call.Fun.(*ast.FuncLit)
+				}
+				if lit == nil {
+					return true
+				}
+				ast.Inspect(lit.Body, func(x ast.Node) bool {
+					id, ok := x.(*ast.Ident)
+					if !ok {
+						return true
+					}
+					use := pass.TypesInfo.Uses[id]
+					for _, v := range vars {
+						if use == v {
+							pass.Reportf(id.Pos(), "go/defer closure captures loop variable %q; pass it as an argument", id.Name)
+							return true
+						}
+					}
+					return true
+				})
+				return true
+			})
+			return true
+		})
+	}
+	return nil
+}
+
+// ---- unusedresult ----
+
+// UnusedResult flags calls whose only effect is their return value when
+// that value is discarded — a silently dropped error message or a pure
+// computation thrown away.
+var UnusedResult = &analysis.Analyzer{
+	Name: "unusedresult",
+	Doc:  "flags discarded results of pure functions (fmt.Sprintf, errors.New, strings/strconv/sort helpers)",
+	Run:  runUnusedResult,
+}
+
+// pureFuncs maps package path to the package-level functions whose result
+// is the entire point of calling them.
+var pureFuncs = map[string]map[string]bool{
+	"fmt":     {"Sprintf": true, "Sprint": true, "Sprintln": true, "Errorf": true},
+	"errors":  {"New": true, "Join": true, "Unwrap": true, "Is": true, "As": true},
+	"strings": {"ToUpper": true, "ToLower": true, "TrimSpace": true, "Trim": true, "TrimPrefix": true, "TrimSuffix": true, "Repeat": true, "Replace": true, "ReplaceAll": true, "Join": true, "Split": true, "Fields": true, "Contains": true, "HasPrefix": true, "HasSuffix": true},
+	"strconv": {"Itoa": true, "Atoi": true, "FormatFloat": true, "ParseFloat": true, "Quote": true},
+	"sort":    {"Reverse": true, "SliceIsSorted": true, "IsSorted": true},
+	"maps":    {"Keys": true, "Values": true, "Clone": true},
+	"slices":  {"Clone": true, "Sorted": true, "Contains": true, "Index": true, "Max": true, "Min": true},
+}
+
+func runUnusedResult(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true
+			}
+			if set, ok := pureFuncs[fn.Pkg().Path()]; ok && set[fn.Name()] {
+				pass.Reportf(call.Pos(), "result of %s.%s is discarded", fn.Pkg().Path(), fn.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}

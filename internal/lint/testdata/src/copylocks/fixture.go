@@ -1,0 +1,37 @@
+// Fixture for the copylocks analyzer: passing, assigning, or ranging
+// sync primitives by value is flagged; pointers are fine.
+package fixture
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func flaggedParam(g guarded) int { // want `function passes a lock by value`
+	return g.n
+}
+
+func flaggedAssign(g *guarded) int {
+	cp := *g // want `assignment copies a lock value`
+	return cp.n
+}
+
+func flaggedRange(gs []guarded) int {
+	total := 0
+	for _, g := range gs { // want `range copies a lock value per element`
+		total += g.n
+	}
+	return total
+}
+
+func allowed(g *guarded, gs []guarded) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	total := 0
+	for i := range gs {
+		total += gs[i].n
+	}
+	return total + g.n
+}

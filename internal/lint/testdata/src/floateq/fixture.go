@@ -1,0 +1,26 @@
+// Fixture for the floateq analyzer: ==/!= between computed float values
+// is flagged; zero sentinels, NaN self-compares, and const folding are
+// not.
+package fixture
+
+func flagged(a, b, c float64) bool {
+	if a*b == c { // want `floating-point == on computed values`
+		return true
+	}
+	return a+1 != b // want `floating-point != on computed values`
+}
+
+func allowed(x, scale float64) bool {
+	if x == 0 { // literal-zero sentinel
+		return false
+	}
+	if x != x { // the canonical NaN guard
+		return true
+	}
+	const eps = 1e-9
+	if eps == 1e-9 { // constant folding, checked exactly by the compiler
+		_ = x
+	}
+	//lint:allow floateq fixture demo of an intentional exact compare
+	return scale == 1.5
+}

@@ -1,0 +1,33 @@
+// Fixture for the loopclosure analyzer: go/defer closures that capture
+// the loop variable are flagged; passing it as an argument is the fix.
+package fixture
+
+func sink(int) {}
+
+func flagged(xs []int) {
+	for _, v := range xs {
+		//lint:allow norawgoroutine fixture exercises loopclosure, not goroutine policy
+		go func() {
+			sink(v) // want `go/defer closure captures loop variable "v"`
+		}()
+	}
+	for i := 0; i < len(xs); i++ {
+		defer func() {
+			sink(i) // want `go/defer closure captures loop variable "i"`
+		}()
+	}
+}
+
+func allowed(xs []int) {
+	for _, v := range xs {
+		//lint:allow norawgoroutine fixture exercises loopclosure, not goroutine policy
+		go func(v int) {
+			sink(v)
+		}(v)
+	}
+	for _, v := range xs {
+		// Plain closures run synchronously within the iteration.
+		f := func() { sink(v) }
+		f()
+	}
+}

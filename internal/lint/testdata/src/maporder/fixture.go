@@ -1,0 +1,42 @@
+// Fixture for the maporder analyzer: appends and order-sensitive
+// accumulation driven by map iteration are flagged; order-independent
+// folds are not.
+package fixture
+
+import "sort"
+
+func flagged(m map[string]float64) ([]string, float64, string) {
+	var keys []string
+	var sum float64
+	var joined string
+	for k, v := range m {
+		keys = append(keys, k) // want `append to "keys" inside map iteration`
+		sum += v               // want `float accumulation into "sum" inside map iteration`
+		joined += k            // want `string concatenation into "joined" inside map iteration`
+	}
+	return keys, sum, joined
+}
+
+func allowed(m map[string]float64) (int, []string) {
+	// Integer counting is exact, hence order-independent.
+	n := 0
+	for range m {
+		n++
+	}
+	// Local accumulators declared inside the loop restart every
+	// iteration; no cross-iteration order dependence.
+	for k := range m {
+		var local []string
+		local = append(local, k)
+		_ = local
+	}
+	// The sanctioned pattern: collect, then sort before use. The append
+	// itself still trips the analyzer, so it carries the suppression the
+	// real code would need.
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) //lint:allow maporder keys are sorted before use
+	}
+	sort.Strings(keys)
+	return n, keys
+}

@@ -1,0 +1,24 @@
+// Fixture for the norawgoroutine analyzer: raw goroutines and WaitGroup
+// pools are flagged; mutex-protected state and suppressed demos are not.
+package fixture
+
+import "sync"
+
+func work() {}
+
+func flagged() {
+	go work() // want `raw goroutine outside internal/parallel`
+
+	var wg sync.WaitGroup // want `sync.WaitGroup outside internal/parallel`
+	wg.Wait()
+}
+
+func allowed() {
+	// Mutexes protect shared state; they do not spawn workers.
+	var mu sync.Mutex
+	mu.Lock()
+	mu.Unlock()
+
+	//lint:allow norawgoroutine fixture demo of a justified raw goroutine
+	go work()
+}

@@ -1,0 +1,24 @@
+// Fixture for the seededrand analyzer: rand.New and global math/rand
+// draws are flagged; drawing from a *rand.Rand that a caller threaded in
+// is fine, and so are the source constructors themselves.
+package fixture
+
+import "math/rand"
+
+func flagged() float64 {
+	r := rand.New(rand.NewSource(1)) // want `rand.New outside internal/parallel`
+	_ = rand.Float64()               // want `rand.Float64 draws from the global source`
+	rand.Shuffle(3, func(i, j int) {})  // want `rand.Shuffle draws from the global source`
+	return r.Float64()
+}
+
+func allowed(r *rand.Rand) float64 {
+	// Methods on an explicitly threaded generator are the sanctioned way
+	// to draw; only construction and global draws are policed.
+	_ = r.Intn(10)
+	_ = rand.NewSource(7) // source constructors are exempt: they are how seeds enter
+
+	//lint:allow seededrand fixture demo of a justified ad-hoc generator
+	demo := rand.New(rand.NewSource(2))
+	return demo.Float64()
+}

@@ -1,0 +1,38 @@
+// Fixture for the shadow analyzer: a := redeclaration that hides a
+// same-type outer variable which is still used afterwards is flagged.
+package fixture
+
+import "strconv"
+
+func flagged(s string) error {
+	n, err := strconv.Atoi(s)
+	if n > 0 {
+		m, err := strconv.Atoi(s + "0") // want `declaration of "err" shadows a variable of the same type`
+		_ = m
+		_ = err
+	}
+	return err // the outer err — the shadow above lost any assignment to it
+}
+
+func allowed(s string) error {
+	// Outer value not used after the inner scope: shadowing is harmless.
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return err
+	}
+	if n > 0 {
+		n, err := strconv.Atoi(s + "0")
+		_ = n
+		return err
+	}
+	return nil
+}
+
+func allowedDifferentType(v int) int {
+	if v > 0 {
+		// Same name, different type: not the err-drop hazard this pass hunts.
+		v := "positive"
+		_ = v
+	}
+	return v
+}

@@ -1,0 +1,30 @@
+// Fixture for the unusedresult analyzer: discarding the result of a
+// known-pure function is flagged; using or assigning it is not.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func flagged(name string) {
+	fmt.Sprintf("hello %s", name)    // want `result of fmt.Sprintf is discarded`
+	errors.New("boom")               // want `result of errors.New is discarded`
+	strings.TrimSpace(name)          // want `result of strings.TrimSpace is discarded`
+	sort.SliceIsSorted(nil, nil)     // want `result of sort.SliceIsSorted is discarded`
+	fmt.Errorf("wrap %w", errDemo()) // want `result of fmt.Errorf is discarded`
+}
+
+func errDemo() error { return nil }
+
+func allowed(name string) (string, error) {
+	s := fmt.Sprintf("hello %s", name)
+	if err := errDemo(); errors.Is(err, nil) {
+		return s, err
+	}
+	// Functions called for effect (printing) are not in the pure set.
+	fmt.Println(s)
+	return strings.ToUpper(s), errors.New("done")
+}

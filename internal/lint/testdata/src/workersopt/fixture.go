@@ -1,0 +1,52 @@
+// Fixture for the workersopt analyzer: exported entry points that accept
+// a worker count (bare or inside an options struct) must thread it
+// somewhere; silently ignoring it is flagged.
+package fixture
+
+// Options mirrors the repository's option-struct convention.
+type Options struct {
+	Workers int
+	Scale   float64
+}
+
+func fanOut(n, workers int) {}
+
+// IgnoresWorkers takes the parameter and drops it.
+func IgnoresWorkers(n, workers int) { // want `IgnoresWorkers accepts a workers parameter but never uses it`
+	fanOut(n, 0)
+}
+
+// IgnoresOptions takes the options struct and never looks at Workers.
+func IgnoresOptions(n int, opt Options) float64 { // want `IgnoresOptions accepts opt with a Workers field`
+	return opt.Scale * float64(n)
+}
+
+// ThreadsWorkers forwards the bare parameter.
+func ThreadsWorkers(n, workers int) {
+	fanOut(n, workers)
+}
+
+// ReadsWorkers consumes the field directly.
+func ReadsWorkers(n int, opt Options) {
+	fanOut(n, opt.Workers)
+}
+
+// ForwardsOptions hands the whole struct to a callee, which owns the
+// threading decision.
+func ForwardsOptions(n int, opt Options) float64 {
+	return helper(n, opt)
+}
+
+// unexported helpers are outside the contract; only the public surface
+// must honour the option.
+func helper(n int, opt Options) float64 {
+	fanOut(n, opt.Workers)
+	return opt.Scale
+}
+
+// Suppressed documents a legitimately serial entry point.
+//
+//lint:allow workersopt fixture demo of an inherently serial path
+func Suppressed(n int, opt Options) float64 {
+	return opt.Scale * float64(n)
+}

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"geostat/internal/geom"
+	"geostat/internal/parallel"
 )
 
 // GridNetwork returns a Manhattan grid road network with nx×ny
@@ -81,8 +82,16 @@ func RingRadialNetwork(rings, spokes int, ringSpacing float64, center geom.Point
 
 // RandomPositions returns n positions uniformly distributed over the
 // network by length — the CSR null model on a network, used for network
-// K-function envelopes (Definition 3 restricted to the network).
-func RandomPositions(r *rand.Rand, g *Graph, n int) []Position {
+// K-function envelopes (Definition 3 restricted to the network). The
+// placement is reproducible from seed.
+func RandomPositions(g *Graph, n int, seed int64) []Position {
+	return RandomPositionsRand(parallel.NewRand(seed), g, n)
+}
+
+// RandomPositionsRand is RandomPositions drawing from an existing seeded
+// generator — the form used inside parallel.MonteCarlo envelope loops,
+// where each simulation owns a per-task RNG.
+func RandomPositionsRand(r *rand.Rand, g *Graph, n int) []Position {
 	// Cumulative edge lengths for proportional sampling.
 	cum := make([]float64, g.NumEdges()+1)
 	for ei := 0; ei < g.NumEdges(); ei++ {
@@ -113,9 +122,16 @@ func RandomPositions(r *rand.Rand, g *Graph, n int) []Position {
 // ClusteredPositions returns n positions concentrated around nCenters
 // random "hotspot" positions: each event picks a center, then a position
 // within network distance at most spread of it (by snapping a planar
-// Gaussian jitter). Used to exercise network hotspot detection.
-func ClusteredPositions(r *rand.Rand, g *Graph, n, nCenters int, spread float64) []Position {
-	centers := RandomPositions(r, g, nCenters)
+// Gaussian jitter). Used to exercise network hotspot detection. The
+// placement is reproducible from seed.
+func ClusteredPositions(g *Graph, n, nCenters int, spread float64, seed int64) []Position {
+	return ClusteredPositionsRand(parallel.NewRand(seed), g, n, nCenters, spread)
+}
+
+// ClusteredPositionsRand is ClusteredPositions drawing from an existing
+// seeded generator.
+func ClusteredPositionsRand(r *rand.Rand, g *Graph, n, nCenters int, spread float64) []Position {
+	centers := RandomPositionsRand(r, g, nCenters)
 	out := make([]Position, n)
 	for i := range out {
 		c := centers[r.Intn(len(centers))]

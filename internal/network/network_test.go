@@ -246,7 +246,7 @@ func TestRandomPositionsUniformByLength(t *testing.T) {
 		t.Fatal(err)
 	}
 	r := rand.New(rand.NewSource(1))
-	pos := RandomPositions(r, g, 10000)
+	pos := RandomPositionsRand(r, g, 10000)
 	onLong := 0
 	for _, p := range pos {
 		e := g.Edge(p.Edge)
@@ -265,7 +265,7 @@ func TestRandomPositionsUniformByLength(t *testing.T) {
 func TestClusteredPositions(t *testing.T) {
 	g := GridNetwork(10, 10, 10, geom.Point{})
 	r := rand.New(rand.NewSource(2))
-	pos := ClusteredPositions(r, g, 500, 3, 5)
+	pos := ClusteredPositionsRand(r, g, 500, 3, 5)
 	if len(pos) != 500 {
 		t.Fatalf("len = %d", len(pos))
 	}

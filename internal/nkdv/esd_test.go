@@ -123,7 +123,7 @@ func TestESDGridMassConservation(t *testing.T) {
 	// Interior events only (no clipping at the grid boundary).
 	var events []network.Position
 	for len(events) < 25 {
-		pos := network.RandomPositions(rng, g, 1)[0]
+		pos := network.RandomPositionsRand(rng, g, 1)[0]
 		p := g.PointAt(pos.Edge, pos.Offset)
 		if p.X > 15 && p.X < 55 && p.Y > 15 && p.Y < 55 {
 			events = append(events, pos)
@@ -207,7 +207,7 @@ func TestESDValidation(t *testing.T) {
 func TestESDParallelMatchesSerial(t *testing.T) {
 	g := network.GridNetwork(5, 5, 10, geom.Point{})
 	rng := rand.New(rand.NewSource(3))
-	events := network.RandomPositions(rng, g, 60)
+	events := network.RandomPositionsRand(rng, g, 60)
 	o := Options{Kernel: kernel.MustNew(kernel.Quartic, 12), LixelLength: 2}
 	serial, err := ForwardESD(g, events, o)
 	if err != nil {

@@ -76,7 +76,7 @@ func TestHandComputedDensity(t *testing.T) {
 func TestForwardMatchesNaive(t *testing.T) {
 	g := network.GridNetwork(6, 6, 10, geom.Point{})
 	rng := rand.New(rand.NewSource(1))
-	events := network.RandomPositions(rng, g, 120)
+	events := network.RandomPositionsRand(rng, g, 120)
 	for _, kt := range []kernel.Type{kernel.Uniform, kernel.Epanechnikov, kernel.Quartic, kernel.Triangular} {
 		o := Options{Kernel: kernel.MustNew(kt, 12), LixelLength: 3}
 		a, err := Naive(g, events, o)
@@ -100,7 +100,7 @@ func TestForwardMatchesNaive(t *testing.T) {
 func TestParallelMatchesSerial(t *testing.T) {
 	g := network.GridNetwork(5, 5, 8, geom.Point{})
 	rng := rand.New(rand.NewSource(2))
-	events := network.RandomPositions(rng, g, 80)
+	events := network.RandomPositionsRand(rng, g, 80)
 	o := opts(10, 2)
 	serial, err := Forward(g, events, o)
 	if err != nil {
@@ -232,7 +232,7 @@ func TestForwardMatchesNaiveFuzz(t *testing.T) {
 		// Random connected-ish graph: a grid plus random chords.
 		nx, ny := 2+r.Intn(4), 2+r.Intn(4)
 		g := network.GridNetwork(nx, ny, 3+r.Float64()*10, geom.Point{})
-		events := network.RandomPositions(r, g, r.Intn(60))
+		events := network.RandomPositionsRand(r, g, r.Intn(60))
 		// Pin some events exactly at nodes (offset 0 or full length).
 		for i := range events {
 			if r.Intn(4) == 0 {

@@ -2,7 +2,6 @@ package geostat
 
 import (
 	"fmt"
-	"math/rand"
 
 	"geostat/internal/kde"
 )
@@ -66,8 +65,9 @@ type KDVOptions struct {
 	Epsilon float64
 	// Delta is KDVSampled's failure probability.
 	Delta float64
-	// Rand drives KDVSampled; required for that method.
-	Rand *rand.Rand
+	// Seed drives KDVSampled's subset draw; the same (points, options,
+	// Seed) always yields the same surface.
+	Seed int64
 	// Weights optionally weights each event (severity, case counts).
 	// Supported by the exact methods; the approximate methods reject it.
 	Weights []float64
@@ -94,10 +94,7 @@ func KDV(pts []Point, opt KDVOptions) (*Heatmap, error) {
 	case KDVBoundApprox:
 		return kde.BoundApprox(pts, kopt, opt.Epsilon)
 	case KDVSampled:
-		if opt.Rand == nil {
-			return nil, fmt.Errorf("geostat: KDVSampled requires KDVOptions.Rand")
-		}
-		return kde.Sampled(pts, kopt, opt.Rand, opt.Epsilon, opt.Delta)
+		return kde.Sampled(pts, kopt, opt.Seed, opt.Epsilon, opt.Delta)
 	}
 	return nil, fmt.Errorf("geostat: unknown KDV method %d", int(opt.Method))
 }
@@ -138,9 +135,10 @@ func AdaptiveBandwidths(pts []Point, k int, scale, minBandwidth float64) ([]floa
 func SilvermanBandwidth(pts []Point) (float64, error) { return kde.SilvermanBandwidth(pts) }
 
 // SelectBandwidthCV picks the candidate bandwidth with the best held-out
-// log-likelihood over random folds (finite-support kernels).
-func SelectBandwidthCV(pts []Point, typ KernelType, candidates []float64, folds int, rng *rand.Rand) (float64, error) {
-	return kde.SelectBandwidthCV(pts, typ, candidates, folds, rng)
+// log-likelihood over random folds (finite-support kernels). The fold
+// shuffle is reproducible from seed.
+func SelectBandwidthCV(pts []Point, typ KernelType, candidates []float64, folds int, seed int64) (float64, error) {
+	return kde.SelectBandwidthCV(pts, typ, candidates, folds, seed)
 }
 
 // KDVStream maintains a KDV surface under event insertions/removals (live

@@ -57,14 +57,21 @@ func WriteNetworkCSVFile(path string, g *RoadNetwork) error {
 func SnapToNetwork(g *RoadNetwork, p Point) (NetworkPosition, float64) { return g.Snap(p) }
 
 // RandomNetworkEvents places n events uniformly (by length) on the network
-// — the network CSR null model.
-func RandomNetworkEvents(rng *rand.Rand, g *RoadNetwork, n int) []NetworkPosition {
-	return network.RandomPositions(rng, g, n)
+// — the network CSR null model. The placement is reproducible from seed.
+func RandomNetworkEvents(g *RoadNetwork, n int, seed int64) []NetworkPosition {
+	return network.RandomPositions(g, n, seed)
 }
 
-// ClusteredNetworkEvents places n events around nCenters random hotspots.
-func ClusteredNetworkEvents(rng *rand.Rand, g *RoadNetwork, n, nCenters int, spread float64) []NetworkPosition {
-	return network.ClusteredPositions(rng, g, n, nCenters, spread)
+// RandomNetworkEventsRand is RandomNetworkEvents drawing from an existing
+// generator — for callers composing several draws from one seeded stream.
+func RandomNetworkEventsRand(rng *rand.Rand, g *RoadNetwork, n int) []NetworkPosition {
+	return network.RandomPositionsRand(rng, g, n)
+}
+
+// ClusteredNetworkEvents places n events around nCenters random hotspots,
+// reproducibly from seed.
+func ClusteredNetworkEvents(g *RoadNetwork, n, nCenters int, spread float64, seed int64) []NetworkPosition {
+	return network.ClusteredPositions(g, n, nCenters, spread, seed)
 }
 
 // NKDV computes network kernel density with the fast event-expansion

@@ -212,9 +212,10 @@ func MoranCorrelogram(pts []Point, values []float64, radii []float64, perms int,
 // GeneralGResult is a global Getis-Ord General G with its permutation test.
 type GeneralGResult = getisord.GeneralGResult
 
-// GeneralG computes Getis-Ord General G with an optional permutation test.
-func GeneralG(values []float64, w *SpatialWeights, perms int, rng *rand.Rand) (*GeneralGResult, error) {
-	return getisord.GeneralG(values, w, perms, rng)
+// GeneralG computes Getis-Ord General G with an optional permutation test
+// whose shuffles are derived deterministically from seed.
+func GeneralG(values []float64, w *SpatialWeights, perms int, seed int64) (*GeneralGResult, error) {
+	return getisord.GeneralG(values, w, perms, seed)
 }
 
 // GeneralGOpt computes General G with an explicit permutation-test
