@@ -1,10 +1,15 @@
 GO ?= go
 
 # Everything runs under the race detector: the parallel engine owns all
-# goroutines, so any package may fan out.
+# goroutines, so any package may fan out — including internal/serve,
+# whose httptest suite drives concurrent cache and registry access.
 RACE_PKGS = ./...
 
-.PHONY: check vet build test race lint fuzz-smoke bench
+# Coverage ratchet: `make cover` fails if total statement coverage drops
+# below this. Raise it when coverage improves; never lower it.
+COVER_RATCHET = 80.0
+
+.PHONY: check vet build test race lint cover fuzz-smoke bench
 
 check: vet build test race lint
 
@@ -25,6 +30,13 @@ race:
 # //lint:allow <analyzer> <reason>.
 lint:
 	$(GO) run ./cmd/geolint ./...
+
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+	echo "total coverage: $$total% (ratchet: $(COVER_RATCHET)%)"; \
+	awk -v t=$$total -v r=$(COVER_RATCHET) 'BEGIN { exit t+0 < r+0 ? 1 : 0 }' || \
+	{ echo "coverage $$total% is below the ratchet $(COVER_RATCHET)%"; exit 1; }
 
 # Short fuzz runs of every parser, seeded from the committed corpora
 # under */testdata/fuzz. ~10s per target.

@@ -1,0 +1,106 @@
+// Command geostatd serves the geostat analytics tools (KDV, K-function,
+// Moran's I, General G, IDW) over HTTP with per-request timeouts, an
+// in-flight concurrency cap, and an LRU result cache.
+//
+// Usage:
+//
+//	geostatd [-addr :8080] [-timeout 30s] [-max-inflight 16]
+//	         [-cache-mb 64] [-workers -1] [-load name=path ...]
+//
+// -load preloads CSV datasets at startup (repeatable); more datasets can
+// be uploaded or generated at runtime via POST /v1/datasets/{name} and
+// POST /v1/generate. See the README "Serving" section for the endpoint
+// reference and a worked curl session.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"geostat"
+	"geostat/internal/serve"
+)
+
+// loadFlags collects repeated -load name=path arguments.
+type loadFlags []string
+
+func (l *loadFlags) String() string { return strings.Join(*l, ",") }
+func (l *loadFlags) Set(v string) error {
+	*l = append(*l, v)
+	return nil
+}
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		timeout     = flag.Duration("timeout", 30*time.Second, "per-request computation timeout (0 disables)")
+		maxInFlight = flag.Int("max-inflight", 16, "max concurrently executing tool requests (0 = unlimited)")
+		cacheMB     = flag.Int64("cache-mb", 64, "result cache size in MiB (0 disables caching)")
+		workers     = flag.Int("workers", -1, "worker goroutines per computation (-1 = all cores)")
+		loads       loadFlags
+	)
+	flag.Var(&loads, "load", "preload a CSV dataset as name=path (repeatable)")
+	flag.Parse()
+
+	if err := run(*addr, *timeout, *maxInFlight, *cacheMB, *workers, loads); err != nil {
+		fmt.Fprintln(os.Stderr, "geostatd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, timeout time.Duration, maxInFlight int, cacheMB int64, workers int, loads []string) error {
+	srv := serve.NewServer(serve.Config{
+		Timeout:     timeout,
+		MaxInFlight: maxInFlight,
+		CacheBytes:  cacheMB << 20,
+		Workers:     workers,
+	})
+	for _, spec := range loads {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok || name == "" || path == "" {
+			return fmt.Errorf("bad -load %q: want name=path", spec)
+		}
+		d, err := geostat.ReadCSVFile(path)
+		if err != nil {
+			return fmt.Errorf("load %q: %w", spec, err)
+		}
+		if _, err := srv.Registry().Put(name, d); err != nil {
+			return fmt.Errorf("load %q: %w", spec, err)
+		}
+		log.Printf("loaded dataset %q: %d points", name, d.N())
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	hs := &http.Server{
+		Addr:              addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }() //lint:allow norawgoroutine ListenAndServe must not block the shutdown watcher; it exits via Shutdown below
+	log.Printf("geostatd listening on %s (timeout %s, max-inflight %d, cache %d MiB)",
+		addr, timeout, maxInFlight, cacheMB)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("signal received, draining")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// update rewrites the golden files instead of comparing against them:
+//
+//	go test ./cmd/kdv -run Golden -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// elapsedRE matches the wall-clock durations the CLI prints; they are the
+// only nondeterministic part of the output and are scrubbed before the
+// golden comparison.
+var elapsedRE = regexp.MustCompile(`\d+(\.\d+)?(ns|µs|ms|s)\b`)
+
+func scrubElapsed(s string) string { return elapsedRE.ReplaceAllString(s, "<elapsed>") }
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and returns
+// everything it printed.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	runErr := fn()
+	os.Stdout = old
+	w.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runErr != nil {
+		t.Fatalf("run failed: %v\noutput so far:\n%s", runErr, out)
+	}
+	return string(out)
+}
+
+func compareGolden(t *testing.T, path, got string) {
+	t.Helper()
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+func sha256File(t *testing.T, path string) string {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// TestGoldenOutput locks down the CLI's stdout and the rendered PNG for a
+// fixed dataset and seed, and proves both are bit-stable across worker
+// counts: any change to the output format or to the numeric pipeline
+// shows up as a golden diff.
+func TestGoldenOutput(t *testing.T) {
+	in := writeEvents(t, 400)
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			out := filepath.Join(t.TempDir(), "hm.png")
+			stdout := captureStdout(t, func() error {
+				return run(in, out, "quartic", "sweep-line", 8, 0.05, 48, 32, workers, true, false)
+			})
+			// The temp output path is the only other nondeterministic token.
+			stdout = strings.ReplaceAll(stdout, out, "<out>")
+			// One golden pair serves every worker count — that is the
+			// determinism claim under test.
+			compareGolden(t, filepath.Join("testdata", "golden", "kdv.stdout"), scrubElapsed(stdout))
+			compareGolden(t, filepath.Join("testdata", "golden", "kdv.png.sha256"), sha256File(t, out)+"\n")
+		})
+	}
+}

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// update rewrites the golden files instead of comparing against them:
+//
+//	go test ./cmd/kfunc -run Golden -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// elapsedRE scrubs the printed wall-clock durations — the only
+// nondeterministic part of the CLI output.
+var elapsedRE = regexp.MustCompile(`\d+(\.\d+)?(ns|µs|ms|s)\b`)
+
+func scrubElapsed(s string) string { return elapsedRE.ReplaceAllString(s, "<elapsed>") }
+
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	runErr := fn()
+	os.Stdout = old
+	w.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runErr != nil {
+		t.Fatalf("run failed: %v\noutput so far:\n%s", runErr, out)
+	}
+	return string(out)
+}
+
+func compareGolden(t *testing.T, path, got string) {
+	t.Helper()
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestGoldenOutput locks down the plot table (observed curve, Monte-Carlo
+// envelopes, regime verdicts) for a fixed dataset and seed, and proves
+// the output is bit-stable across worker counts: the envelope fan-out
+// must give the same simulations whichever goroutine runs them.
+func TestGoldenOutput(t *testing.T) {
+	in := writeDataset(t, false)
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			csvOut := filepath.Join(t.TempDir(), "plot.csv")
+			stdout := captureStdout(t, func() error {
+				return run(in, csvOut, 0, 0, 6, 3, 19, workers, 1, false)
+			})
+			// Scrub the temp path and the elapsed time — the only
+			// nondeterministic tokens.
+			stdout = scrubElapsed(strings.ReplaceAll(stdout, csvOut, "<out>"))
+			// The plot CSV is fully deterministic — fold it into the same
+			// golden document so format drift is caught too.
+			plot, err := os.ReadFile(csvOut)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := stdout + "---- plot.csv ----\n" + string(plot)
+			compareGolden(t, filepath.Join("testdata", "golden", "kfunc.stdout"), got)
+		})
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"io"
 	"math"
 	"os"
+
+	"geostat/internal/geom"
 )
 
 // Parse decodes and validates a GeoJSON FeatureCollection. It is the
@@ -148,4 +150,52 @@ func asLines(v any) ([][][2]float64, error) {
 		out[i] = cs
 	}
 	return out, nil
+}
+
+// PointData extracts the Point features of a parsed collection: their
+// coordinates plus, when present, the numeric "t" and "value" properties
+// (the GeoJSON counterparts of the CSV t/value columns). Either every
+// Point feature carries the property or none does — a mix is rejected,
+// since a half-populated time or value column has no meaning to the
+// analytics tools. Non-Point features (contour lines, bounding boxes) are
+// skipped: round-tripping an exported collection recovers the events.
+func (fc *FeatureCollection) PointData() (pts []geom.Point, times, values []float64, err error) {
+	for i, f := range fc.Features {
+		c, ok := f.Geometry.Coordinates.([2]float64)
+		if f.Geometry.Type != "Point" || !ok {
+			continue
+		}
+		pts = append(pts, geom.Point{X: c[0], Y: c[1]})
+		t, hasT, err := numProp(f.Properties, "t")
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("geojson: feature %d: %w", i, err)
+		}
+		v, hasV, err := numProp(f.Properties, "value")
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("geojson: feature %d: %w", i, err)
+		}
+		if hasT {
+			times = append(times, t)
+		}
+		if hasV {
+			values = append(values, v)
+		}
+		if n := len(pts); (times != nil && len(times) != n) || (values != nil && len(values) != n) {
+			return nil, nil, nil, fmt.Errorf("geojson: feature %d: every Point must carry the same optional properties (t/value)", i)
+		}
+	}
+	return pts, times, values, nil
+}
+
+// numProp reads a numeric property (json numbers decode as float64).
+func numProp(props map[string]any, key string) (float64, bool, error) {
+	v, ok := props[key]
+	if !ok {
+		return 0, false, nil
+	}
+	f, ok := v.(float64)
+	if !ok {
+		return 0, false, fmt.Errorf("property %q is %T, want number", key, v)
+	}
+	return f, true, nil
 }

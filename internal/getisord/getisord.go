@@ -5,6 +5,7 @@
 package getisord
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -28,6 +29,18 @@ type Options struct {
 	// Workers fans permutations out across goroutines (0/1 serial, <0
 	// GOMAXPROCS).
 	Workers int
+	// Ctx optionally bounds the permutation test: workers check it between
+	// task chunks and the entry point returns ctx.Err() (with a nil
+	// result) when it fires. Nil means no cancellation.
+	Ctx context.Context
+}
+
+// context returns the effective context of the test.
+func (o *Options) context() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 // GeneralGResult is the global General G with its permutation test.
@@ -89,13 +102,15 @@ func GeneralGOpt(values []float64, w *weights.Matrix, opt Options) (*GeneralGRes
 		return res, nil
 	}
 	samples := make([]float64, opt.Perms)
-	parallel.MonteCarloScratch(opt.Perms, opt.Workers, opt.Seed,
+	if _, err := parallel.MonteCarloScratchCtx(opt.context(), opt.Perms, opt.Workers, opt.Seed,
 		func() []float64 { return make([]float64, n) },
 		func(rng *rand.Rand, perm []float64, p int) {
 			copy(perm, values)
 			rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
 			samples[p] = gNumerator(perm, w) / den
-		})
+		}); err != nil {
+		return nil, err
+	}
 	mean, std := meanStd(samples)
 	res.PermMean, res.PermStd = mean, std
 	if std > 0 {

@@ -14,6 +14,7 @@
 package idw
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -34,6 +35,18 @@ type Options struct {
 	Power float64
 	// Workers parallelises rows; 0/1 serial, <0 GOMAXPROCS.
 	Workers int
+	// Ctx optionally bounds the computation: workers check it between row
+	// chunks and the entry point returns ctx.Err() (with a nil grid) when
+	// it fires. Nil means no cancellation.
+	Ctx context.Context
+}
+
+// context returns the effective context of the computation.
+func (o *Options) context() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 func (o *Options) validate(d *dataset.Dataset) error {
@@ -83,7 +96,7 @@ func Naive(d *dataset.Dataset, opt Options) (*raster.Grid, error) {
 				row[ix] = num / den
 			}
 		}
-	}), nil
+	})
 }
 
 // KNN interpolates each pixel from its k nearest samples.
@@ -119,7 +132,7 @@ func KNN(d *dataset.Dataset, opt Options, k int) (*raster.Grid, error) {
 				row[ix] = num / den
 			}
 		}
-	}), nil
+	})
 }
 
 // Radius interpolates each pixel from the samples within radius; a pixel
@@ -158,7 +171,7 @@ func Radius(d *dataset.Dataset, opt Options, radius float64) (*raster.Grid, erro
 				row[ix] = d.Values[i]
 			}
 		}
-	}), nil
+	})
 }
 
 // weight computes 1/dist^power from a squared distance, avoiding the sqrt
@@ -174,11 +187,13 @@ func weight(d2, power float64) float64 {
 	}
 }
 
-func runRows(opt *Options, rowFn func(iy int, row []float64)) *raster.Grid {
+func runRows(opt *Options, rowFn func(iy int, row []float64)) (*raster.Grid, error) {
 	out := raster.NewGrid(opt.Grid)
 	nx, ny := opt.Grid.NX, opt.Grid.NY
-	parallel.For(ny, opt.Workers, func(iy int) {
+	if err := parallel.ForCtx(opt.context(), ny, opt.Workers, func(iy int) {
 		rowFn(iy, out.Values[iy*nx:(iy+1)*nx])
-	})
-	return out
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
 }

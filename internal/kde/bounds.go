@@ -38,7 +38,7 @@ func BoundApprox(pts []geom.Point, opt Options, eps float64) (*raster.Grid, erro
 		eps:  eps,
 		tree: balltree.New(pts),
 	}
-	return run(bc, &opt, len(pts)), nil
+	return run(bc, &opt, len(pts))
 }
 
 type boundComputer struct {

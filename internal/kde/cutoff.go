@@ -29,7 +29,7 @@ func GridCutoff(pts []geom.Point, opt Options) (*raster.Grid, error) {
 		return nil, err
 	}
 	idx := gridindex.New(pts, opt.Kernel.Bandwidth())
-	return run(&cutoffComputer{idx: idx, opt: &opt}, &opt, len(pts)), nil
+	return run(&cutoffComputer{idx: idx, opt: &opt}, &opt, len(pts))
 }
 
 type cutoffComputer struct {

@@ -24,6 +24,7 @@
 package kde
 
 import (
+	"context"
 	"fmt"
 
 	"geostat/internal/geom"
@@ -49,6 +50,18 @@ type Options struct {
 	// (Naive, GridCutoff, SweepLine); the approximate methods reject it
 	// (their guarantees are stated for unweighted sums). Nil means all 1.
 	Weights []float64
+	// Ctx optionally bounds the computation: workers check it between row
+	// chunks and the entry point returns ctx.Err() (with a nil grid) when
+	// it fires. Nil means no cancellation (context.Background()).
+	Ctx context.Context
+}
+
+// context returns the effective context of the computation.
+func (o *Options) context() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 // scale returns the multiplier applied to raw kernel sums. With weights,
@@ -109,21 +122,24 @@ type rowComputer interface {
 
 // run evaluates every row of opt.Grid through rc, applying the
 // normalisation scale, serially or with opt.Workers goroutines
-// (dynamically scheduled through internal/parallel).
-func run(rc rowComputer, opt *Options, n int) *raster.Grid {
+// (dynamically scheduled through internal/parallel). When opt.Ctx fires
+// mid-run the partial grid is discarded and ctx.Err() returned.
+func run(rc rowComputer, opt *Options, n int) (*raster.Grid, error) {
 	out := raster.NewGrid(opt.Grid)
 	scale := opt.scale(n)
 	nx, ny := opt.Grid.NX, opt.Grid.NY
-	parallel.For(ny, opt.Workers, func(iy int) {
+	if err := parallel.ForCtx(opt.context(), ny, opt.Workers, func(iy int) {
 		rc.computeRow(iy, out.Values[iy*nx:(iy+1)*nx])
-	})
+	}); err != nil {
+		return nil, err
+	}
 	//lint:allow floateq scale()==1 is an exact sentinel for "no normalisation"
 	if scale != 1 {
 		for i := range out.Values {
 			out.Values[i] *= scale
 		}
 	}
-	return out
+	return out, nil
 }
 
 // Naive computes the exact KDV by evaluating every (pixel, point) pair —
@@ -135,7 +151,7 @@ func Naive(pts []geom.Point, opt Options) (*raster.Grid, error) {
 	if err := opt.validateWeights(len(pts)); err != nil {
 		return nil, err
 	}
-	return run(&naiveComputer{pts: pts, opt: &opt}, &opt, len(pts)), nil
+	return run(&naiveComputer{pts: pts, opt: &opt}, &opt, len(pts))
 }
 
 type naiveComputer struct {

@@ -51,7 +51,7 @@ func SweepLine(pts []geom.Point, opt Options) (*raster.Grid, error) {
 		return nil, err
 	}
 	sc := newSweepComputer(pts, &opt, deg)
-	return run(sc, &opt, len(pts)), nil
+	return run(sc, &opt, len(pts))
 }
 
 // SweepSupported reports whether SweepLine supports the kernel type.

@@ -22,6 +22,7 @@
 package kfunc
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -97,6 +98,13 @@ func RTreeIndexed(pts []geom.Point, s float64) int {
 // Workers parallelises the per-point enumeration (0/1 serial, <0 =
 // GOMAXPROCS).
 func Curve(pts []geom.Point, thresholds []float64, workers int) ([]int, error) {
+	return CurveCtx(context.Background(), pts, thresholds, workers)
+}
+
+// CurveCtx is Curve with cooperative cancellation: workers check ctx
+// between chunks of the pair enumeration and the call returns ctx.Err()
+// (with a nil slice) when it fires.
+func CurveCtx(ctx context.Context, pts []geom.Point, thresholds []float64, workers int) ([]int, error) {
 	if err := checkThresholds(thresholds); err != nil {
 		return nil, err
 	}
@@ -111,11 +119,14 @@ func Curve(pts []geom.Point, thresholds []float64, workers int) ([]int, error) {
 	// Per-worker histogram scratch, merged after (integer sums, so the
 	// merge order cannot change the result).
 	hist := make([]int64, d)
-	partials := parallel.ForScratch(len(pts), workers,
+	partials, err := parallel.ForScratchCtx(ctx, len(pts), workers,
 		func() []int64 { return make([]int64, d) },
 		func(local []int64, i int) {
 			countInto(pts, idx, thresholds, i, i+1, local)
 		})
+	if err != nil {
+		return nil, err
+	}
 	for _, p := range partials {
 		for i, v := range p {
 			hist[i] += v

@@ -1,6 +1,7 @@
 package kfunc
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -72,6 +73,19 @@ type PlotOptions struct {
 	// envelopes are bit-identical for every worker count: simulation l
 	// draws from an RNG seeded deterministically from (seed, l).
 	Workers int
+	// Ctx optionally bounds the computation: the observed curve and the
+	// envelope fan-out check it between chunks, and the plot constructors
+	// return ctx.Err() (with a nil plot) when it fires. Nil means no
+	// cancellation.
+	Ctx context.Context
+}
+
+// context returns the effective context of the computation.
+func (o *PlotOptions) context() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 // newPlot allocates a Plot holding the observed counts with empty
@@ -132,13 +146,14 @@ func MakePlotWithNull(pts []geom.Point, opt PlotOptions, simulate func() []geom.
 	if err := checkThresholds(opt.Thresholds); err != nil {
 		return nil, err
 	}
-	obs, err := Curve(pts, opt.Thresholds, opt.Workers)
+	ctx := opt.context()
+	obs, err := CurveCtx(ctx, pts, opt.Thresholds, opt.Workers)
 	if err != nil {
 		return nil, err
 	}
 	p := newPlot(opt.Thresholds, obs, opt.Simulations)
 	for l := 0; l < opt.Simulations; l++ {
-		counts, err := Curve(simulate(), opt.Thresholds, opt.Workers)
+		counts, err := CurveCtx(ctx, simulate(), opt.Thresholds, opt.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -159,7 +174,8 @@ func MakePlotSeeded(pts []geom.Point, opt PlotOptions, seed int64, simulate func
 	if err := checkThresholds(opt.Thresholds); err != nil {
 		return nil, err
 	}
-	obs, err := Curve(pts, opt.Thresholds, opt.Workers)
+	ctx := opt.context()
+	obs, err := CurveCtx(ctx, pts, opt.Thresholds, opt.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -167,7 +183,7 @@ func MakePlotSeeded(pts []geom.Point, opt PlotOptions, seed int64, simulate func
 	inner := innerWorkers(opt.Workers, opt.Simulations)
 	var mu sync.Mutex
 	var firstErr error
-	parallel.MonteCarlo(opt.Simulations, opt.Workers, seed, func(rng *rand.Rand, l int) {
+	mcErr := parallel.MonteCarloCtx(ctx, opt.Simulations, opt.Workers, seed, func(rng *rand.Rand, l int) {
 		counts, err := Curve(simulate(rng, l), opt.Thresholds, inner)
 		mu.Lock()
 		defer mu.Unlock()
@@ -179,6 +195,9 @@ func MakePlotSeeded(pts []geom.Point, opt PlotOptions, seed int64, simulate func
 		}
 		p.mergeEnvelope(counts)
 	})
+	if mcErr != nil {
+		return nil, mcErr
+	}
 	if firstErr != nil {
 		return nil, firstErr
 	}

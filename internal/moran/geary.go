@@ -63,10 +63,13 @@ func GearyOpt(values []float64, w *weights.Matrix, opt Options) (*GearyResult, e
 	if opt.Perms <= 0 {
 		return res, nil
 	}
-	samples := permuteSamples(values, opt, func(perm []float64) float64 {
+	samples, err := permuteSamples(values, opt, func(perm []float64) float64 {
 		s, _ := gearyStatistic(perm, w, s0)
 		return s
 	})
+	if err != nil {
+		return nil, err
+	}
 	res.PermMean, res.PermStd, res.Z, res.P = permSummary(obs, samples)
 	return res, nil
 }

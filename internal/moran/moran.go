@@ -4,6 +4,7 @@
 package moran
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -23,6 +24,18 @@ type Options struct {
 	// Workers fans permutations out across goroutines (0/1 serial, <0
 	// GOMAXPROCS).
 	Workers int
+	// Ctx optionally bounds the permutation test: workers check it between
+	// task chunks and the entry point returns ctx.Err() (with a nil
+	// result) when it fires. Nil means no cancellation.
+	Ctx context.Context
+}
+
+// context returns the effective context of the test.
+func (o *Options) context() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 // Result is a global Moran's I with its permutation test.
@@ -81,10 +94,13 @@ func GlobalOpt(values []float64, w *weights.Matrix, opt Options) (*Result, error
 	if opt.Perms <= 0 {
 		return res, nil
 	}
-	samples := permuteSamples(values, opt, func(perm []float64) float64 {
+	samples, err := permuteSamples(values, opt, func(perm []float64) float64 {
 		s, _ := statistic(perm, w, s0)
 		return s
 	})
+	if err != nil {
+		return nil, err
+	}
 	res.PermMean, res.PermStd, res.Z, res.P = permSummary(obs, samples)
 	return res, nil
 }
@@ -93,17 +109,20 @@ func GlobalOpt(values []float64, w *weights.Matrix, opt Options) (*Result, error
 // values, fanning out across opt.Workers. Each permutation copies values
 // into a per-worker buffer and shuffles it with its own derived RNG — no
 // cross-permutation state, so any worker count gives the same samples.
-func permuteSamples(values []float64, opt Options, stat func(perm []float64) float64) []float64 {
+func permuteSamples(values []float64, opt Options, stat func(perm []float64) float64) ([]float64, error) {
 	n := len(values)
 	samples := make([]float64, opt.Perms)
-	parallel.MonteCarloScratch(opt.Perms, opt.Workers, opt.Seed,
+	_, err := parallel.MonteCarloScratchCtx(opt.context(), opt.Perms, opt.Workers, opt.Seed,
 		func() []float64 { return make([]float64, n) },
 		func(rng *rand.Rand, perm []float64, p int) {
 			copy(perm, values)
 			rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
 			samples[p] = stat(perm)
 		})
-	return samples
+	if err != nil {
+		return nil, err
+	}
+	return samples, nil
 }
 
 // permSummary reduces a permutation distribution to its mean/std, the
@@ -213,7 +232,7 @@ func LocalOpt(values []float64, w *weights.Matrix, opt Options) ([]LocalResult, 
 	// z \ {z_i} is equivalent and cheaper. Sites fan out across workers;
 	// each site's draws come from its own (Seed, i)-derived RNG and only
 	// out[i] is written, so any worker count gives the same z-scores.
-	parallel.MonteCarloScratch(n, opt.Workers, opt.Seed,
+	_, mcErr := parallel.MonteCarloScratchCtx(opt.context(), n, opt.Workers, opt.Seed,
 		func() []float64 { return make([]float64, opt.Perms) },
 		func(rng *rand.Rand, samples []float64, i int) {
 			if w.Degree(i) == 0 {
@@ -236,6 +255,9 @@ func LocalOpt(values []float64, w *weights.Matrix, opt Options) ([]LocalResult, 
 				out[i].Z = (out[i].I - mean) / std
 			}
 		})
+	if mcErr != nil {
+		return nil, mcErr
+	}
 	return out, nil
 }
 

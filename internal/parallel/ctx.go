@@ -1,0 +1,239 @@
+package parallel
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+)
+
+// This file holds the context-aware core of the engine. Every legacy entry
+// point (For, ForRange, ForScratch, MonteCarlo, MonteCarloScratch) is a
+// thin wrapper over its *Ctx counterpart with context.Background().
+//
+// Cancellation contract:
+//
+//   - Workers check ctx between chunks, never mid-chunk: an fn that has
+//     started always runs to completion, so callers never observe a
+//     half-written iteration. The check granularity is chunkSize (≤ 256
+//     iterations), bounding the latency between cancellation and return.
+//   - On cancellation the *Ctx functions drain immediately — remaining
+//     chunks are abandoned, every in-flight chunk finishes, all worker
+//     goroutines exit, and ctx.Err() (context.Canceled or
+//     context.DeadlineExceeded) is returned. They never deadlock and never
+//     leak a goroutine.
+//   - A non-nil error means the result is PARTIAL: callers must discard
+//     any output buffers fn wrote into (and any scratches returned).
+//   - A nil ctx is treated as context.Background(), so library code can
+//     thread an optional ctx without nil checks.
+
+// bg normalises a possibly-nil context.
+func bg(ctx context.Context) context.Context {
+	if ctx == nil {
+		return context.Background()
+	}
+	return ctx
+}
+
+// ForCtx is For with cooperative cancellation: fn(i) runs for every i in
+// [0, n) unless ctx is cancelled first, in which case remaining chunks are
+// abandoned and ctx.Err() is returned. See the file-level contract.
+func ForCtx(ctx context.Context, n, workers int, fn func(i int)) error {
+	ctx = bg(ctx)
+	nw := Workers(workers)
+	if nw > n {
+		nw = n
+	}
+	if nw <= 1 {
+		chunk := chunkSize(n, 1)
+		for lo := 0; lo < n; lo += chunk {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}
+		return nil
+	}
+	chunk := chunkSize(n, nw)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				lo := int(next.Add(int64(chunk))) - chunk
+				if lo >= n {
+					return
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					fn(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// ForRangeCtx is ForRange with cooperative cancellation (see ForCtx).
+func ForRangeCtx(ctx context.Context, n, workers int, fn func(lo, hi int)) error {
+	ctx = bg(ctx)
+	nw := Workers(workers)
+	if nw > n {
+		nw = n
+	}
+	if nw <= 1 {
+		chunk := chunkSize(n, 1)
+		for lo := 0; lo < n; lo += chunk {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			fn(lo, hi)
+		}
+		return nil
+	}
+	chunk := chunkSize(n, nw)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				lo := int(next.Add(int64(chunk))) - chunk
+				if lo >= n {
+					return
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				fn(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// ForScratchCtx is ForScratch with cooperative cancellation. On a non-nil
+// error the returned scratches hold partial state and must be discarded.
+func ForScratchCtx[S any](ctx context.Context, n, workers int, newScratch func() S, fn func(s S, i int)) ([]S, error) {
+	ctx = bg(ctx)
+	nw := Workers(workers)
+	if nw > n {
+		nw = n
+	}
+	if nw <= 1 {
+		if n == 0 {
+			return nil, ctx.Err()
+		}
+		var s S
+		created := false
+		chunk := chunkSize(n, 1)
+		for lo := 0; lo < n; lo += chunk {
+			if err := ctx.Err(); err != nil {
+				if !created {
+					return nil, err
+				}
+				return []S{s}, err
+			}
+			if !created {
+				s = newScratch()
+				created = true
+			}
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			for i := lo; i < hi; i++ {
+				fn(s, i)
+			}
+		}
+		return []S{s}, nil
+	}
+	chunk := chunkSize(n, nw)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	scratches := make([]S, 0, nw)
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var s S
+			created := false
+			for ctx.Err() == nil {
+				lo := int(next.Add(int64(chunk))) - chunk
+				if lo >= n {
+					break
+				}
+				if !created {
+					s = newScratch()
+					created = true
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					fn(s, i)
+				}
+			}
+			if created {
+				mu.Lock()
+				scratches = append(scratches, s)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return scratches, ctx.Err()
+}
+
+// MonteCarloCtx is MonteCarlo with cooperative cancellation: tasks that ran
+// are bit-identical to an uncancelled run, but on a non-nil error an
+// unspecified subset of tasks never ran, so per-task outputs must be
+// discarded.
+func MonteCarloCtx(ctx context.Context, n, workers int, seed int64, fn func(rng *rand.Rand, i int)) error {
+	_, err := ForScratchCtx(ctx, n, workers,
+		func() *rand.Rand { return rand.New(rand.NewSource(1)) },
+		func(rng *rand.Rand, i int) {
+			rng.Seed(TaskSeed(seed, i))
+			fn(rng, i)
+		})
+	return err
+}
+
+// MonteCarloScratchCtx is MonteCarloScratch with cooperative cancellation
+// (see MonteCarloCtx for the partial-result contract).
+func MonteCarloScratchCtx[S any](ctx context.Context, n, workers int, seed int64, newScratch func() S, fn func(rng *rand.Rand, s S, i int)) ([]S, error) {
+	ms, err := ForScratchCtx(ctx, n, workers,
+		func() *mcScratch[S] {
+			return &mcScratch[S]{rng: rand.New(rand.NewSource(1)), s: newScratch()}
+		},
+		func(m *mcScratch[S], i int) {
+			m.rng.Seed(TaskSeed(seed, i))
+			fn(m.rng, m.s, i)
+		})
+	out := make([]S, len(ms))
+	for i, m := range ms {
+		out[i] = m.s
+	}
+	return out, err
+}

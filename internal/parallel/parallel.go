@@ -18,12 +18,17 @@
 //     (seed, i), so permutation tests and envelope simulations are
 //     bit-identical for EVERY worker count — parallelism never changes a
 //     p-value.
+//   - ForCtx / ForRangeCtx / ForScratchCtx / MonteCarloCtx /
+//     MonteCarloScratchCtx: the same loops with cooperative cancellation.
+//     Workers check the context between chunks and the call returns
+//     ctx.Err() as soon as every in-flight chunk finishes, which is what
+//     lets a serving layer abandon a heavy raster when the client hangs
+//     up (see ctx.go for the exact contract).
 package parallel
 
 import (
+	"context"
 	"runtime"
-	"sync"
-	"sync/atomic"
 )
 
 // Workers normalises a worker-count option: w < 0 means GOMAXPROCS, 0 means
@@ -58,76 +63,15 @@ func chunkSize(n, workers int) int {
 // returns once every iteration has completed. Iterations must be
 // independent; fn is called concurrently from multiple goroutines.
 func For(n, workers int, fn func(i int)) {
-	nw := Workers(workers)
-	if nw > n {
-		nw = n
-	}
-	if nw <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	chunk := chunkSize(n, nw)
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < nw; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				lo := int(next.Add(int64(chunk))) - chunk
-				if lo >= n {
-					return
-				}
-				hi := lo + chunk
-				if hi > n {
-					hi = n
-				}
-				for i := lo; i < hi; i++ {
-					fn(i)
-				}
-			}
-		}()
-	}
-	wg.Wait()
+	// Background is never cancelled, so the error is structurally nil.
+	_ = ForCtx(context.Background(), n, workers, fn)
 }
 
 // ForRange is For with the chunk boundaries exposed: fn(lo, hi) processes
 // the half-open range [lo, hi). Use it for tight per-element loops (pixel
 // fills, histogram scans) where a closure call per element would dominate.
 func ForRange(n, workers int, fn func(lo, hi int)) {
-	nw := Workers(workers)
-	if nw > n {
-		nw = n
-	}
-	if nw <= 1 {
-		if n > 0 {
-			fn(0, n)
-		}
-		return
-	}
-	chunk := chunkSize(n, nw)
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < nw; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				lo := int(next.Add(int64(chunk))) - chunk
-				if lo >= n {
-					return
-				}
-				hi := lo + chunk
-				if hi > n {
-					hi = n
-				}
-				fn(lo, hi)
-			}
-		}()
-	}
-	wg.Wait()
+	_ = ForRangeCtx(context.Background(), n, workers, fn)
 }
 
 // ForScratch runs fn(scratch, i) for every i in [0, n) with dynamic
@@ -139,55 +83,6 @@ func ForRange(n, workers int, fn func(lo, hi int)) {
 // order-insensitive (integer sums, min/max) when bit-reproducibility across
 // worker counts is required.
 func ForScratch[S any](n, workers int, newScratch func() S, fn func(s S, i int)) []S {
-	nw := Workers(workers)
-	if nw > n {
-		nw = n
-	}
-	if nw <= 1 {
-		if n == 0 {
-			return nil
-		}
-		s := newScratch()
-		for i := 0; i < n; i++ {
-			fn(s, i)
-		}
-		return []S{s}
-	}
-	chunk := chunkSize(n, nw)
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-	scratches := make([]S, 0, nw)
-	for w := 0; w < nw; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			var s S
-			created := false
-			for {
-				lo := int(next.Add(int64(chunk))) - chunk
-				if lo >= n {
-					break
-				}
-				if !created {
-					s = newScratch()
-					created = true
-				}
-				hi := lo + chunk
-				if hi > n {
-					hi = n
-				}
-				for i := lo; i < hi; i++ {
-					fn(s, i)
-				}
-			}
-			if created {
-				mu.Lock()
-				scratches = append(scratches, s)
-				mu.Unlock()
-			}
-		}()
-	}
-	wg.Wait()
+	scratches, _ := ForScratchCtx(context.Background(), n, workers, newScratch, fn)
 	return scratches
 }

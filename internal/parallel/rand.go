@@ -1,6 +1,9 @@
 package parallel
 
-import "math/rand"
+import (
+	"context"
+	"math/rand"
+)
 
 // NewRand returns a rand.Rand over a source seeded with seed. This is the
 // repository's single RNG constructor: every generator in production code
@@ -40,12 +43,7 @@ func TaskRand(seed int64, i int) *rand.Rand {
 // for every worker count. Each worker reuses a single generator, re-seeded
 // per task, so the fan-out does not allocate per iteration.
 func MonteCarlo(n, workers int, seed int64, fn func(rng *rand.Rand, i int)) {
-	ForScratch(n, workers,
-		func() *rand.Rand { return rand.New(rand.NewSource(1)) },
-		func(rng *rand.Rand, i int) {
-			rng.Seed(TaskSeed(seed, i))
-			fn(rng, i)
-		})
+	_ = MonteCarloCtx(context.Background(), n, workers, seed, fn)
 }
 
 // mcScratch pairs the per-worker generator with a caller scratch value.
@@ -58,17 +56,6 @@ type mcScratch[S any] struct {
 // value (permutation buffers, Dijkstra engines, local histograms) built
 // lazily by newScratch. The scratches created are returned for merging.
 func MonteCarloScratch[S any](n, workers int, seed int64, newScratch func() S, fn func(rng *rand.Rand, s S, i int)) []S {
-	ms := ForScratch(n, workers,
-		func() *mcScratch[S] {
-			return &mcScratch[S]{rng: rand.New(rand.NewSource(1)), s: newScratch()}
-		},
-		func(m *mcScratch[S], i int) {
-			m.rng.Seed(TaskSeed(seed, i))
-			fn(m.rng, m.s, i)
-		})
-	out := make([]S, len(ms))
-	for i, m := range ms {
-		out[i] = m.s
-	}
+	out, _ := MonteCarloScratchCtx(context.Background(), n, workers, seed, newScratch, fn)
 	return out
 }

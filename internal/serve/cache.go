@@ -1,0 +1,169 @@
+package serve
+
+import (
+	"container/list"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+)
+
+// numShards is the cache's lock-striping factor. Requests hash across
+// shards by cache key, so concurrent tile fetches rarely contend on the
+// same mutex. A power of two keeps the modulo cheap.
+const numShards = 16
+
+// Value is one cached HTTP payload: the exact bytes and content type the
+// handler wrote on the first computation. Bodies are immutable once
+// stored — hits serve the same slice without copying, which is what makes
+// repeated identical requests byte-identical by construction.
+type Value struct {
+	Body        []byte
+	ContentType string
+}
+
+// size is the byte charge of an entry (body + key; the rest is noise).
+func (v Value) size(key string) int64 {
+	return int64(len(v.Body) + len(v.ContentType) + len(key))
+}
+
+// CacheStats is a point-in-time snapshot of cache behaviour.
+type CacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Entries   int64 `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+}
+
+// HitRate returns hits/(hits+misses), 0 when the cache is untouched.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+type cacheEntry struct {
+	key string
+	val Value
+}
+
+type cacheShard struct {
+	mu    sync.Mutex
+	ll    *list.List // front = most recently used
+	index map[string]*list.Element
+	bytes int64
+}
+
+// Cache is a sharded LRU result cache keyed by the canonical request
+// identity (dataset@version, tool, sorted params — see cacheKey). Each
+// shard holds its own lock, list, and byte budget; eviction is
+// least-recently-used per shard. A nil *Cache is a valid always-miss
+// cache, which is how caching is disabled.
+type Cache struct {
+	shards        [numShards]cacheShard
+	maxShardBytes int64
+	hits          atomic.Int64
+	misses        atomic.Int64
+	evictions     atomic.Int64
+}
+
+// NewCache returns a cache bounded at roughly maxBytes of payload across
+// all shards. maxBytes <= 0 returns nil — the always-miss cache.
+func NewCache(maxBytes int64) *Cache {
+	if maxBytes <= 0 {
+		return nil
+	}
+	perShard := maxBytes / numShards
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &Cache{maxShardBytes: perShard}
+	for i := range c.shards {
+		c.shards[i].ll = list.New()
+		c.shards[i].index = make(map[string]*list.Element)
+	}
+	return c
+}
+
+func (c *Cache) shard(key string) *cacheShard {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(key))
+	return &c.shards[h.Sum32()%numShards]
+}
+
+// Get returns the cached value for key, refreshing its recency.
+func (c *Cache) Get(key string) (Value, bool) {
+	if c == nil {
+		return Value{}, false
+	}
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.index[key]
+	if !ok {
+		c.misses.Add(1)
+		return Value{}, false
+	}
+	s.ll.MoveToFront(el)
+	c.hits.Add(1)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// Put stores a value, evicting least-recently-used entries from the
+// shard until it fits. A value larger than a whole shard is not cached.
+func (c *Cache) Put(key string, v Value) {
+	if c == nil {
+		return
+	}
+	sz := v.size(key)
+	if sz > c.maxShardBytes {
+		return
+	}
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.index[key]; ok {
+		// Replace in place (same key recomputed, e.g. after a cache-miss
+		// race between two identical requests).
+		old := el.Value.(*cacheEntry)
+		s.bytes += sz - old.val.size(key)
+		old.val = v
+		s.ll.MoveToFront(el)
+	} else {
+		s.index[key] = s.ll.PushFront(&cacheEntry{key: key, val: v})
+		s.bytes += sz
+	}
+	for s.bytes > c.maxShardBytes {
+		back := s.ll.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*cacheEntry)
+		s.ll.Remove(back)
+		delete(s.index, e.key)
+		s.bytes -= e.val.size(e.key)
+		c.evictions.Add(1)
+	}
+}
+
+// Stats snapshots the cache counters and current occupancy.
+func (c *Cache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	st := CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.Entries += int64(s.ll.Len())
+		st.Bytes += s.bytes
+		s.mu.Unlock()
+	}
+	return st
+}

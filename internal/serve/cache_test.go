@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"fmt"
+	"net/url"
+	"sync"
+	"testing"
+)
+
+func TestCacheHitAndMiss(t *testing.T) {
+	c := NewCache(1 << 20)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	c.Put("a", Value{Body: []byte("payload"), ContentType: "text/plain"})
+	v, ok := c.Get("a")
+	if !ok || string(v.Body) != "payload" || v.ContentType != "text/plain" {
+		t.Fatalf("got (%+v, %v), want the stored value", v, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss / 1 entry", st)
+	}
+}
+
+func TestCacheEvictsLRU(t *testing.T) {
+	// All keys below hash to whichever shard they hash to; to exercise LRU
+	// deterministically, drive one shard by reusing a single key prefix
+	// and checking global invariants instead of per-shard layout: total
+	// bytes must never exceed the budget, and recently-used entries must
+	// survive eviction pressure within their shard.
+	c := NewCache(numShards * 64) // 64 bytes per shard
+	big := make([]byte, 40)
+	for i := 0; i < 100; i++ {
+		c.Put(fmt.Sprintf("key-%03d", i), Value{Body: big})
+	}
+	st := c.Stats()
+	if st.Bytes > numShards*64 {
+		t.Fatalf("cache holds %d bytes, budget is %d", st.Bytes, numShards*64)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("expected evictions under pressure, saw none")
+	}
+}
+
+func TestCacheRecencySurvivesEviction(t *testing.T) {
+	// One shard's budget fits exactly one 40-byte entry (+key overhead),
+	// so inserting two same-shard keys evicts the least recently used.
+	c := NewCache(numShards * 64)
+	keyA, keyB := sameShardKeys(c)
+	c.Put(keyA, Value{Body: make([]byte, 40)})
+	if _, ok := c.Get(keyA); !ok {
+		t.Fatal("keyA missing after Put")
+	}
+	c.Put(keyB, Value{Body: make([]byte, 40)})
+	if _, ok := c.Get(keyB); !ok {
+		t.Fatal("keyB (most recent) was evicted")
+	}
+	if _, ok := c.Get(keyA); ok {
+		t.Fatal("keyA (least recent) survived past the shard budget")
+	}
+}
+
+// sameShardKeys returns two distinct keys that hash to the same shard.
+func sameShardKeys(c *Cache) (string, string) {
+	first := fmt.Sprintf("k-%d", 0)
+	target := c.shard(first)
+	for i := 1; ; i++ {
+		k := fmt.Sprintf("k-%d", i)
+		if c.shard(k) == target {
+			return first, k
+		}
+	}
+}
+
+func TestCacheOversizedValueNotStored(t *testing.T) {
+	c := NewCache(numShards * 32)
+	c.Put("huge", Value{Body: make([]byte, 1024)})
+	if _, ok := c.Get("huge"); ok {
+		t.Fatal("value larger than a shard was cached")
+	}
+}
+
+func TestNilCacheIsDisabled(t *testing.T) {
+	var c *Cache
+	if c = NewCache(0); c != nil {
+		t.Fatal("NewCache(0) should return nil")
+	}
+	c.Put("a", Value{Body: []byte("x")})
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("nil cache reported a hit")
+	}
+	if st := c.Stats(); st != (CacheStats{}) {
+		t.Fatalf("nil cache stats = %+v, want zero", st)
+	}
+}
+
+func TestCacheReplaceSameKey(t *testing.T) {
+	c := NewCache(1 << 20)
+	c.Put("k", Value{Body: []byte("one")})
+	c.Put("k", Value{Body: []byte("three")})
+	v, ok := c.Get("k")
+	if !ok || string(v.Body) != "three" {
+		t.Fatalf("got (%q, %v), want the replacement", v.Body, ok)
+	}
+	if st := c.Stats(); st.Entries != 1 {
+		t.Fatalf("entries = %d after replace, want 1", st.Entries)
+	}
+}
+
+func TestCacheConcurrentAccess(t *testing.T) {
+	c := NewCache(1 << 16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("key-%d", i%32)
+				if i%3 == 0 {
+					c.Put(key, Value{Body: []byte(key)})
+				} else if v, ok := c.Get(key); ok && string(v.Body) != key {
+					t.Errorf("goroutine %d: key %q returned body %q", g, key, v.Body)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Hits+st.Misses == 0 {
+		t.Fatal("no lookups recorded")
+	}
+}
+
+func TestCacheKeyCanonicalOrdering(t *testing.T) {
+	a, _ := url.ParseQuery("width=64&height=32&seed=1")
+	b, _ := url.ParseQuery("seed=1&width=64&height=32")
+	ka := cacheKey("kdv", "d", 3, a)
+	kb := cacheKey("kdv", "d", 3, b)
+	if ka != kb {
+		t.Fatalf("query ordering changed the key:\n  %s\n  %s", ka, kb)
+	}
+	if kc := cacheKey("kdv", "d", 4, a); kc == ka {
+		t.Fatal("version bump did not change the key")
+	}
+	c, _ := url.ParseQuery("width=64&height=32&seed=2")
+	if kc := cacheKey("kdv", "d", 3, c); kc == ka {
+		t.Fatal("seed change did not change the key")
+	}
+	if kc := cacheKey("idw", "d", 3, a); kc == ka {
+		t.Fatal("tool change did not change the key")
+	}
+}
+
+func TestCacheKeyRepeatedParams(t *testing.T) {
+	a, _ := url.ParseQuery("tag=b&tag=a")
+	b, _ := url.ParseQuery("tag=a&tag=b")
+	if cacheKey("t", "d", 1, a) != cacheKey("t", "d", 1, b) {
+		t.Fatal("repeated-parameter ordering changed the key")
+	}
+}

@@ -1,0 +1,433 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+
+	"geostat"
+)
+
+// ---- dataset management ----
+
+func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
+	v, err := jsonValue(struct {
+		Datasets []DatasetInfo `json:"datasets"`
+	}{Datasets: s.reg.List()})
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeValue(w, v, "none")
+}
+
+// handleUpload stores a dataset posted as CSV (header x,y[,t][,value]) or
+// as a GeoJSON FeatureCollection of Point features (optional numeric "t"
+// and "value" properties). The format is sniffed from the first byte: a
+// JSON object means GeoJSON, anything else is parsed as CSV.
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		s.writeError(w, http.StatusRequestEntityTooLarge, err.Error())
+		return
+	}
+	d, err := decodeDataset(body)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	version, err := s.reg.Put(name, d)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.writeDatasetInfo(w, DatasetInfo{
+		Name: name, N: d.N(), Version: version,
+		HasTimes: d.HasTimes(), HasValues: d.HasValues(),
+	})
+}
+
+func decodeDataset(body []byte) (*geostat.Dataset, error) {
+	if b := bytes.TrimLeft(body, " \t\r\n"); len(b) > 0 && b[0] == '{' {
+		fc, err := geostat.ParseGeoJSON(body)
+		if err != nil {
+			return nil, err
+		}
+		pts, times, values, err := fc.PointData()
+		if err != nil {
+			return nil, err
+		}
+		return &geostat.Dataset{Points: pts, Times: times, Values: values}, nil
+	}
+	return geostat.ReadCSV(bytes.NewReader(body))
+}
+
+func (s *Server) writeDatasetInfo(w http.ResponseWriter, info DatasetInfo) {
+	v, err := jsonValue(info)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeValue(w, v, "none")
+}
+
+// handleGenerate registers a synthetic dataset: kind=csr|clusters|outbreak
+// with n points from the given seed, over the fixed [0,100]² study box
+// (the box the CLI demos use). field=true attaches a smooth measured
+// value to every point so the interpolation/autocorrelation tools apply.
+func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
+	p := newParams(r.URL.Query())
+	name := p.str("name", "")
+	kind := p.str("kind", "csr")
+	n := p.intv("n", 1000)
+	seed := p.int64v("seed", 1)
+	field := p.boolv("field", false)
+	if err := p.err(); err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if name == "" {
+		s.writeError(w, http.StatusBadRequest, "missing name parameter")
+		return
+	}
+	if n < 1 || n > 1_000_000 {
+		s.writeError(w, http.StatusBadRequest, "n must be in [1, 1000000]")
+		return
+	}
+	box := geostat.BBox{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}
+	rng := geostat.NewRand(seed)
+	var d *geostat.Dataset
+	switch kind {
+	case "csr":
+		d = geostat.UniformCSR(rng, n, box)
+	case "clusters":
+		d = geostat.GaussianClusters(rng, n, box, []geostat.GaussianCluster{
+			{Center: geostat.Point{X: 30, Y: 30}, Sigma: 6, Weight: 2},
+			{Center: geostat.Point{X: 70, Y: 60}, Sigma: 10, Weight: 1},
+		}, 0.15)
+	case "outbreak":
+		d = geostat.SpatioTemporalOutbreak(rng, n, box, 0, 10, []geostat.OutbreakWave{
+			{Center: geostat.Point{X: 25, Y: 25}, Sigma: 8, TimeMean: 3, TimeSigma: 1, Weight: 1},
+			{Center: geostat.Point{X: 75, Y: 70}, Sigma: 8, TimeMean: 7, TimeSigma: 1, Weight: 1},
+		}, 0.1)
+	default:
+		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown kind %q (csr|clusters|outbreak)", kind))
+		return
+	}
+	if field {
+		d = geostat.WithField(rng, d, func(q geostat.Point) float64 {
+			return 10 + q.X/10 + q.Y/20 + 5*gaussBump(q, 35, 35, 15)
+		}, 0.5)
+	}
+	version, err := s.reg.Put(name, d)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.writeDatasetInfo(w, DatasetInfo{
+		Name: name, N: d.N(), Version: version,
+		HasTimes: d.HasTimes(), HasValues: d.HasValues(),
+	})
+}
+
+// gaussBump is the hotspot term of the synthetic measured field.
+func gaussBump(q geostat.Point, cx, cy, s float64) float64 {
+	dx, dy := q.X-cx, q.Y-cy
+	return math.Exp(-(dx*dx + dy*dy) / (2 * s * s))
+}
+
+// ---- shared parameter plumbing ----
+
+// parseGrid reads the raster parameters (width, height, optional
+// bbox=minx,miny,maxx,maxy) and returns the evaluation grid. The default
+// window is the dataset's bounding box; an explicit bbox is how clients
+// request individual tiles of a larger surface.
+func parseGrid(d *geostat.Dataset, p *params) geostat.PixelGrid {
+	nx := p.intv("width", 128)
+	ny := p.intv("height", 128)
+	if nx < 1 || nx > 4096 || ny < 1 || ny > 4096 {
+		p.fail("width/height", "must be in [1, 4096]")
+		nx, ny = 1, 1
+	}
+	box := d.Bounds()
+	if raw := p.str("bbox", ""); raw != "" {
+		var minx, miny, maxx, maxy float64
+		if _, err := fmt.Sscanf(raw, "%f,%f,%f,%f", &minx, &miny, &maxx, &maxy); err != nil {
+			p.fail("bbox", "want minx,miny,maxx,maxy (%q)", raw)
+		} else if minx >= maxx || miny >= maxy {
+			p.fail("bbox", "empty box %q", raw)
+		} else {
+			box = geostat.BBox{MinX: minx, MinY: miny, MaxX: maxx, MaxY: maxy}
+		}
+	}
+	return geostat.NewPixelGrid(box, nx, ny)
+}
+
+// parseWeights builds the spatial weight matrix for the autocorrelation
+// tools: weights=knn (default, k=8) or weights=band (radius defaults to
+// 1/10 of the bbox diagonal). rowstd=true row-standardizes (Moran's I
+// convention; General G keeps binary weights by default).
+func (s *Server) parseWeights(d *geostat.Dataset, p *params, rowstd bool) (*geostat.SpatialWeights, error) {
+	var (
+		w   *geostat.SpatialWeights
+		err error
+	)
+	switch scheme := p.str("weights", "knn"); scheme {
+	case "knn":
+		w, err = geostat.KNNWeightsWorkers(d.Points, p.intv("k", 8), s.cfg.Workers)
+	case "band":
+		radius := p.floatv("radius", bboxDiag(d.Bounds())/10)
+		w, err = geostat.DistanceBandWeightsWorkers(d.Points, radius, s.cfg.Workers)
+	default:
+		return nil, fmt.Errorf("unknown weights scheme %q (knn|band)", scheme)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if p.boolv("rowstd", rowstd) {
+		w.RowStandardize()
+	}
+	return w, nil
+}
+
+func bboxDiag(b geostat.BBox) float64 {
+	return math.Hypot(b.Width(), b.Height())
+}
+
+// heatmapValue renders a computed surface as format=json (the full value
+// array plus summary stats) or format=png (heat-ramp raster).
+func heatmapValue(g *geostat.Heatmap, format, dataset, method string) (Value, error) {
+	switch format {
+	case "png":
+		var buf bytes.Buffer
+		if err := g.WritePNG(&buf, geostat.HeatRamp); err != nil {
+			return Value{}, err
+		}
+		return Value{Body: buf.Bytes(), ContentType: "image/png"}, nil
+	case "json", "":
+		lo, hi := g.MinMax()
+		return jsonValue(struct {
+			Dataset string    `json:"dataset"`
+			Method  string    `json:"method"`
+			Width   int       `json:"width"`
+			Height  int       `json:"height"`
+			Min     float64   `json:"min"`
+			Max     float64   `json:"max"`
+			Sum     float64   `json:"sum"`
+			Values  []float64 `json:"values"`
+		}{dataset, method, g.Spec.NX, g.Spec.NY, lo, hi, g.Sum(), g.Values})
+	default:
+		return Value{}, fmt.Errorf("unknown format %q (json|png)", format)
+	}
+}
+
+// ---- tool compute functions ----
+
+var kdvMethods = map[string]geostat.KDVMethod{
+	"auto":         geostat.KDVAuto,
+	"naive":        geostat.KDVNaive,
+	"grid-cutoff":  geostat.KDVGridCutoff,
+	"sweep-line":   geostat.KDVSweepLine,
+	"bound-approx": geostat.KDVBoundApprox,
+	"sampled":      geostat.KDVSampled,
+}
+
+// computeKDV serves GET /v1/kdv: a kernel density raster tile.
+// Parameters: kernel (default quartic), bandwidth (0 = Silverman's rule),
+// method (auto|naive|grid-cutoff|sweep-line|bound-approx|sampled),
+// width/height/bbox, epsilon/delta/seed for the approximate methods,
+// normalize, format=json|png.
+func (s *Server) computeKDV(ctx context.Context, d *geostat.Dataset, p *params) (Value, error) {
+	method, ok := kdvMethods[p.str("method", "auto")]
+	if !ok {
+		return Value{}, fmt.Errorf("unknown method %q", p.str("method", "auto"))
+	}
+	ktype, err := geostat.ParseKernel(p.str("kernel", "quartic"))
+	if err != nil {
+		return Value{}, err
+	}
+	bandwidth := p.floatv("bandwidth", 0)
+	if bandwidth == 0 {
+		if bandwidth, err = geostat.SilvermanBandwidth(d.Points); err != nil {
+			return Value{}, err
+		}
+	}
+	k, err := geostat.NewKernel(ktype, bandwidth)
+	if err != nil {
+		return Value{}, err
+	}
+	opt := geostat.KDVOptions{
+		Kernel:    k,
+		Grid:      parseGrid(d, p),
+		Method:    method,
+		Normalize: p.boolv("normalize", false),
+		Workers:   s.cfg.Workers,
+		Epsilon:   p.floatv("epsilon", 0.05),
+		Delta:     p.floatv("delta", 0.01),
+		Seed:      p.int64v("seed", 1),
+	}
+	if perr := p.err(); perr != nil {
+		return Value{}, perr
+	}
+	g, err := geostat.KDVCtx(ctx, d.Points, opt)
+	if err != nil {
+		return Value{}, err
+	}
+	return heatmapValue(g, p.str("format", "json"), p.str("dataset", ""), method.String())
+}
+
+// computeKFunction serves GET /v1/kfunction: the K-function plot with
+// Monte-Carlo CSR envelopes (Definition 3). Parameters: smax (default
+// quarter of the bbox diagonal), steps (default 10), sims (default 19 —
+// the p=0.05 convention), seed.
+func (s *Server) computeKFunction(ctx context.Context, d *geostat.Dataset, p *params) (Value, error) {
+	smax := p.floatv("smax", bboxDiag(d.Bounds())/4)
+	steps := p.intv("steps", 10)
+	sims := p.intv("sims", 19)
+	seed := p.int64v("seed", 1)
+	if err := p.err(); err != nil {
+		return Value{}, err
+	}
+	if steps < 1 || steps > 1000 {
+		return Value{}, fmt.Errorf("steps must be in [1, 1000]")
+	}
+	if sims < 1 || sims > 10000 {
+		return Value{}, fmt.Errorf("sims must be in [1, 10000]")
+	}
+	if !(smax > 0) {
+		return Value{}, fmt.Errorf("smax must be positive")
+	}
+	thresholds := make([]float64, steps)
+	for i := range thresholds {
+		thresholds[i] = smax * float64(i+1) / float64(steps)
+	}
+	plot, err := geostat.KFunctionPlot(d.Points, geostat.KPlotOptions{
+		Thresholds:  thresholds,
+		Simulations: sims,
+		Workers:     s.cfg.Workers,
+		Ctx:         ctx,
+	}, geostat.NewRand(seed))
+	if err != nil {
+		return Value{}, err
+	}
+	regimes := make([]string, len(plot.S))
+	for i := range regimes {
+		regimes[i] = plot.RegimeAt(i).String()
+	}
+	return jsonValue(struct {
+		Dataset string    `json:"dataset"`
+		S       []float64 `json:"s"`
+		K       []float64 `json:"k"`
+		Lo      []float64 `json:"lo"`
+		Hi      []float64 `json:"hi"`
+		Sims    int       `json:"sims"`
+		Regimes []string  `json:"regimes"`
+	}{p.str("dataset", ""), plot.S, plot.K, plot.Lo, plot.Hi, plot.Sim, regimes})
+}
+
+// computeMoran serves GET /v1/moran: global Moran's I with a permutation
+// test. Parameters: weights/k/radius/rowstd (see parseWeights), perms
+// (default 99), seed.
+func (s *Server) computeMoran(ctx context.Context, d *geostat.Dataset, p *params) (Value, error) {
+	w, err := s.parseWeights(d, p, true)
+	if err != nil {
+		return Value{}, err
+	}
+	opt := geostat.MoranOptions{
+		Perms:   p.intv("perms", 99),
+		Seed:    p.int64v("seed", 1),
+		Workers: s.cfg.Workers,
+		Ctx:     ctx,
+	}
+	if perr := p.err(); perr != nil {
+		return Value{}, perr
+	}
+	res, err := geostat.MoranIOpt(d.Values, w, opt)
+	if err != nil {
+		return Value{}, err
+	}
+	return jsonValue(struct {
+		Dataset  string  `json:"dataset"`
+		I        float64 `json:"i"`
+		Expected float64 `json:"expected"`
+		PermMean float64 `json:"perm_mean"`
+		PermStd  float64 `json:"perm_std"`
+		Z        float64 `json:"z"`
+		P        float64 `json:"p"`
+		Perms    int     `json:"perms"`
+	}{p.str("dataset", ""), res.I, res.Expected, res.PermMean, res.PermStd, res.Z, res.P, res.Perms})
+}
+
+// computeGeneralG serves GET /v1/generalg: Getis-Ord General G with a
+// permutation test. Weights stay binary by default (the statistic's
+// textbook form); pass rowstd=true to override.
+func (s *Server) computeGeneralG(ctx context.Context, d *geostat.Dataset, p *params) (Value, error) {
+	w, err := s.parseWeights(d, p, false)
+	if err != nil {
+		return Value{}, err
+	}
+	opt := geostat.GetisOrdOptions{
+		Perms:   p.intv("perms", 99),
+		Seed:    p.int64v("seed", 1),
+		Workers: s.cfg.Workers,
+		Ctx:     ctx,
+	}
+	if perr := p.err(); perr != nil {
+		return Value{}, perr
+	}
+	res, err := geostat.GeneralGOpt(d.Values, w, opt)
+	if err != nil {
+		return Value{}, err
+	}
+	return jsonValue(struct {
+		Dataset  string  `json:"dataset"`
+		G        float64 `json:"g"`
+		Expected float64 `json:"expected"`
+		PermMean float64 `json:"perm_mean"`
+		PermStd  float64 `json:"perm_std"`
+		Z        float64 `json:"z"`
+		P        float64 `json:"p"`
+		Perms    int     `json:"perms"`
+	}{p.str("dataset", ""), res.G, res.Expected, res.PermMean, res.PermStd, res.Z, res.P, res.Perms})
+}
+
+// computeIDW serves GET /v1/idw: inverse-distance-weighted interpolation
+// of the dataset's values. Parameters: power (default 2), method
+// (naive|knn|radius), k (knn, default 8), radius (radius method, default
+// 1/10 of the bbox diagonal), width/height/bbox, format=json|png.
+func (s *Server) computeIDW(ctx context.Context, d *geostat.Dataset, p *params) (Value, error) {
+	opt := geostat.IDWOptions{
+		Grid:    parseGrid(d, p),
+		Power:   p.floatv("power", 2),
+		Workers: s.cfg.Workers,
+		Ctx:     ctx,
+	}
+	method := p.str("method", "naive")
+	k := p.intv("k", 8)
+	radius := p.floatv("radius", bboxDiag(d.Bounds())/10)
+	if err := p.err(); err != nil {
+		return Value{}, err
+	}
+	var (
+		g   *geostat.Heatmap
+		err error
+	)
+	switch method {
+	case "naive":
+		g, err = geostat.IDW(d, opt)
+	case "knn":
+		g, err = geostat.IDWKNN(d, opt, k)
+	case "radius":
+		g, err = geostat.IDWRadius(d, opt, radius)
+	default:
+		return Value{}, fmt.Errorf("unknown method %q (naive|knn|radius)", method)
+	}
+	if err != nil {
+		return Value{}, err
+	}
+	return heatmapValue(g, p.str("format", "json"), p.str("dataset", ""), "idw-"+method)
+}

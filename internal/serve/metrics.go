@@ -1,0 +1,25 @@
+package serve
+
+import "expvar"
+
+// Process-wide request metrics, exported at /debug/vars. expvar panics on
+// duplicate registration, so these are package-level and registered
+// exactly once; every Server instance (including the many servers an
+// httptest suite spins up) shares them, and tests assert on deltas rather
+// than absolute values. Cache occupancy, by contrast, is per-server and
+// reported by /healthz.
+var (
+	// mRequests counts requests per tool ("kdv", "kfunction", ...).
+	mRequests = expvar.NewMap("geostatd.requests")
+	// mCacheHits / mCacheMisses count result-cache lookups across servers.
+	mCacheHits   = expvar.NewInt("geostatd.cache_hits")
+	mCacheMisses = expvar.NewInt("geostatd.cache_misses")
+	// mInFlight is the number of tool requests currently executing.
+	mInFlight = expvar.NewInt("geostatd.inflight")
+	// mCanceled counts requests abandoned by the client (HTTP 499).
+	mCanceled = expvar.NewInt("geostatd.canceled")
+	// mTimeouts counts requests killed by the per-request deadline (503).
+	mTimeouts = expvar.NewInt("geostatd.timeouts")
+	// mErrors counts requests rejected for any other reason (4xx).
+	mErrors = expvar.NewInt("geostatd.errors")
+)

@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"geostat"
+)
+
+// DatasetInfo is the registry's public view of one dataset.
+type DatasetInfo struct {
+	Name      string `json:"name"`
+	N         int    `json:"n"`
+	Version   uint64 `json:"version"`
+	HasTimes  bool   `json:"has_times"`
+	HasValues bool   `json:"has_values"`
+}
+
+type regEntry struct {
+	d       *geostat.Dataset
+	version uint64
+}
+
+// Registry is the in-memory dataset store behind geostatd. Each name maps
+// to an immutable dataset snapshot plus a registry-wide monotonic version:
+// re-uploading a name bumps the version, so cache keys built from
+// name@version can never serve results computed against stale data.
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]regEntry
+	version uint64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]regEntry)}
+}
+
+// Put stores (or replaces) a dataset under name after validating it.
+// Callers must not mutate d afterwards — concurrent requests read it
+// without copying.
+func (r *Registry) Put(name string, d *geostat.Dataset) (uint64, error) {
+	if name == "" {
+		return 0, fmt.Errorf("serve: empty dataset name")
+	}
+	if d == nil || d.N() == 0 {
+		return 0, fmt.Errorf("serve: dataset %q is empty", name)
+	}
+	if err := d.Validate(); err != nil {
+		return 0, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.version++
+	r.entries[name] = regEntry{d: d, version: r.version}
+	return r.version, nil
+}
+
+// Get returns the dataset and its version, or false if name is unknown.
+func (r *Registry) Get(name string) (*geostat.Dataset, uint64, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.entries[name]
+	return e.d, e.version, ok
+}
+
+// List returns every dataset's info, sorted by name.
+func (r *Registry) List() []DatasetInfo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.entries))
+	for name := range r.entries {
+		names = append(names, name) //lint:allow maporder names are sorted before use
+	}
+	sort.Strings(names)
+	out := make([]DatasetInfo, len(names))
+	for i, name := range names {
+		e := r.entries[name]
+		out[i] = DatasetInfo{
+			Name:      name,
+			N:         e.d.N(),
+			Version:   e.version,
+			HasTimes:  e.d.HasTimes(),
+			HasValues: e.d.HasValues(),
+		}
+	}
+	return out
+}

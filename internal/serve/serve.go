@@ -1,0 +1,235 @@
+// Package serve implements geostatd's HTTP serving layer: Table-1
+// analytics (KDV, K-function, Moran's I, General G, IDW) over JSON/PNG,
+// backed by an in-memory dataset registry and a sharded LRU result cache.
+//
+// Every tool request flows through the same harness (Server.handleTool):
+// count the request, try the cache, acquire an in-flight slot, bound the
+// computation with the per-request timeout, run it with the request
+// context threaded down into the worker pools, then map the outcome —
+// context.Canceled becomes 499 (client closed request),
+// context.DeadlineExceeded becomes 503 with Retry-After, anything else
+// becomes 400. Successful responses are cached by their canonical key
+// (see cacheKey) and replayed byte-identically.
+//
+// The geolint determinism rules apply here as everywhere: all randomness
+// enters through explicit seed parameters (geostat.NewRand), responses
+// are bit-identical for every worker count, and no goroutines are spawned
+// outside internal/parallel.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+	"time"
+
+	"geostat"
+)
+
+// StatusClientClosedRequest is the nginx-convention status for a request
+// abandoned by the client before the computation finished.
+const StatusClientClosedRequest = 499
+
+// Config configures a Server.
+type Config struct {
+	// Timeout bounds each tool computation; <= 0 means no deadline.
+	Timeout time.Duration
+	// MaxInFlight caps concurrently executing tool requests; <= 0 means
+	// unlimited. Requests beyond the cap wait (honouring their context)
+	// rather than failing fast.
+	MaxInFlight int
+	// CacheBytes bounds the result cache; <= 0 disables caching.
+	CacheBytes int64
+	// Workers is the parallelism handed to every tool invocation
+	// (0/1 serial, <0 GOMAXPROCS). Results are bit-identical for every
+	// value; this only trades latency for CPU.
+	Workers int
+	// MaxBodyBytes caps dataset upload bodies; <= 0 means 32 MiB.
+	MaxBodyBytes int64
+}
+
+// Server is the geostatd HTTP handler set. Create with NewServer; it is
+// safe for concurrent use.
+type Server struct {
+	cfg   Config
+	reg   *Registry
+	cache *Cache
+	sem   chan struct{} // nil = unlimited
+	mux   *http.ServeMux
+	start time.Time
+}
+
+// NewServer returns a Server with an empty registry.
+func NewServer(cfg Config) *Server {
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 32 << 20
+	}
+	s := &Server{
+		cfg:   cfg,
+		reg:   NewRegistry(),
+		cache: NewCache(cfg.CacheBytes),
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+	}
+	if cfg.MaxInFlight > 0 {
+		s.sem = make(chan struct{}, cfg.MaxInFlight)
+	}
+	s.routes()
+	return s
+}
+
+// Registry exposes the dataset registry (CLI preloading, tests).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.Handle("GET /debug/vars", expvar.Handler())
+	s.mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
+	s.mux.HandleFunc("POST /v1/datasets/{name}", s.handleUpload)
+	s.mux.HandleFunc("POST /v1/generate", s.handleGenerate)
+	s.mux.HandleFunc("GET /v1/kdv", s.toolHandler("kdv", s.computeKDV))
+	s.mux.HandleFunc("GET /v1/kfunction", s.toolHandler("kfunction", s.computeKFunction))
+	s.mux.HandleFunc("GET /v1/moran", s.toolHandler("moran", s.computeMoran))
+	s.mux.HandleFunc("GET /v1/generalg", s.toolHandler("generalg", s.computeGeneralG))
+	s.mux.HandleFunc("GET /v1/idw", s.toolHandler("idw", s.computeIDW))
+}
+
+// computeFunc runs one tool against a registered dataset and the
+// request's parsed parameters, returning the response payload. It must
+// honour ctx: the worker pools it drives check cancellation between
+// chunks.
+type computeFunc func(ctx context.Context, d *geostat.Dataset, p *params) (Value, error)
+
+// toolHandler wraps a computeFunc in the shared serving harness. The
+// "dataset" query parameter names the input; the canonical cache key is
+// derived from the tool, the dataset@version, and the full sorted query.
+func (s *Server) toolHandler(tool string, compute computeFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		mRequests.Add(tool, 1)
+		mInFlight.Add(1)
+		defer mInFlight.Add(-1)
+
+		name := r.URL.Query().Get("dataset")
+		if name == "" {
+			s.writeError(w, http.StatusBadRequest, "missing dataset parameter")
+			return
+		}
+		d, version, ok := s.reg.Get(name)
+		if !ok {
+			s.writeError(w, http.StatusNotFound, fmt.Sprintf("unknown dataset %q", name))
+			return
+		}
+
+		key := cacheKey(tool, name, version, r.URL.Query())
+		if v, ok := s.cache.Get(key); ok {
+			mCacheHits.Add(1)
+			writeValue(w, v, "hit")
+			return
+		}
+		mCacheMisses.Add(1)
+
+		ctx := r.Context()
+		if s.sem != nil {
+			select {
+			case s.sem <- struct{}{}:
+				defer func() { <-s.sem }()
+			case <-ctx.Done():
+				s.writeToolError(w, ctx.Err())
+				return
+			}
+		}
+		if s.cfg.Timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.cfg.Timeout)
+			defer cancel()
+		}
+
+		p := newParams(r.URL.Query())
+		v, err := compute(ctx, d, p)
+		if err == nil {
+			err = p.err()
+		}
+		if err != nil {
+			s.writeToolError(w, err)
+			return
+		}
+		s.cache.Put(key, v)
+		writeValue(w, v, "miss")
+	}
+}
+
+// writeToolError maps a compute failure to its HTTP status: 499 for a
+// client disconnect, 503 (+Retry-After) for the per-request deadline,
+// 400 for everything else (validation, bad parameters).
+func (s *Server) writeToolError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.Canceled):
+		mCanceled.Add(1)
+		s.writeError(w, StatusClientClosedRequest, "client closed request")
+	case errors.Is(err, context.DeadlineExceeded):
+		mTimeouts.Add(1)
+		w.Header().Set("Retry-After", "1")
+		s.writeError(w, http.StatusServiceUnavailable, "computation exceeded the per-request timeout")
+	default:
+		s.writeError(w, http.StatusBadRequest, err.Error())
+	}
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, msg string) {
+	if status >= http.StatusBadRequest && status != StatusClientClosedRequest &&
+		status != http.StatusServiceUnavailable {
+		mErrors.Add(1)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+// writeValue writes a cached-or-fresh payload. X-Cache tells clients (and
+// the integration tests) whether the bytes came from the result cache.
+func writeValue(w http.ResponseWriter, v Value, cache string) {
+	w.Header().Set("Content-Type", v.ContentType)
+	w.Header().Set("X-Cache", cache)
+	_, _ = w.Write(v.Body)
+}
+
+// jsonValue marshals a response payload into a cacheable Value. Struct
+// field order makes the encoding deterministic, so cache replays are
+// byte-identical to the first computation.
+func jsonValue(payload any) (Value, error) {
+	b, err := json.Marshal(payload)
+	if err != nil {
+		return Value{}, err
+	}
+	return Value{Body: b, ContentType: "application/json"}, nil
+}
+
+// healthzResponse is the /healthz payload.
+type healthzResponse struct {
+	Status       string     `json:"status"`
+	UptimeSec    float64    `json:"uptime_sec"`
+	Datasets     int        `json:"datasets"`
+	Cache        CacheStats `json:"cache"`
+	CacheHitRate float64    `json:"cache_hit_rate"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.cache.Stats()
+	resp := healthzResponse{
+		Status:       "ok",
+		UptimeSec:    time.Since(s.start).Seconds(),
+		Datasets:     len(s.reg.List()),
+		Cache:        st,
+		CacheHitRate: st.HitRate(),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}

@@ -1,0 +1,377 @@
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"geostat/internal/serve"
+)
+
+func newServer(t *testing.T, cfg serve.Config) *serve.Server {
+	t.Helper()
+	if cfg.Workers == 0 {
+		cfg.Workers = -1
+	}
+	return serve.NewServer(cfg)
+}
+
+// do runs one request through the handler stack and returns the recorder.
+func do(t *testing.T, srv *serve.Server, method, target string, body []byte) *httptest.ResponseRecorder {
+	t.Helper()
+	var r *http.Request
+	if body != nil {
+		r = httptest.NewRequest(method, target, bytes.NewReader(body))
+	} else {
+		r = httptest.NewRequest(method, target, nil)
+	}
+	rr := httptest.NewRecorder()
+	srv.ServeHTTP(rr, r)
+	return rr
+}
+
+// generate registers a synthetic dataset and fails the test on error.
+func generate(t *testing.T, srv *serve.Server, query string) {
+	t.Helper()
+	rr := do(t, srv, http.MethodPost, "/v1/generate?"+query, nil)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("generate %q: status %d: %s", query, rr.Code, rr.Body.String())
+	}
+}
+
+func TestKDVTileCachedByteIdentical(t *testing.T) {
+	srv := newServer(t, serve.Config{CacheBytes: 64 << 20})
+	generate(t, srv, "name=ev&kind=clusters&n=500&seed=7")
+
+	const tile = "/v1/kdv?dataset=ev&kernel=quartic&bandwidth=8&width=64&height=64&bbox=0,0,50,50"
+	first := do(t, srv, http.MethodGet, tile, nil)
+	if first.Code != http.StatusOK {
+		t.Fatalf("first KDV: status %d: %s", first.Code, first.Body.String())
+	}
+	if got := first.Header().Get("X-Cache"); got != "miss" {
+		t.Fatalf("first KDV: X-Cache = %q, want miss", got)
+	}
+	second := do(t, srv, http.MethodGet, tile, nil)
+	if second.Code != http.StatusOK {
+		t.Fatalf("second KDV: status %d", second.Code)
+	}
+	if got := second.Header().Get("X-Cache"); got != "hit" {
+		t.Fatalf("second KDV: X-Cache = %q, want hit", got)
+	}
+	if !bytes.Equal(first.Body.Bytes(), second.Body.Bytes()) {
+		t.Fatal("cached replay is not byte-identical to the first response")
+	}
+}
+
+func TestCacheInvalidatedOnReupload(t *testing.T) {
+	srv := newServer(t, serve.Config{CacheBytes: 64 << 20})
+	generate(t, srv, "name=a&kind=csr&n=200&seed=1")
+	const q = "/v1/kdv?dataset=a&bandwidth=10&width=16&height=16"
+	if rr := do(t, srv, http.MethodGet, q, nil); rr.Header().Get("X-Cache") != "miss" {
+		t.Fatalf("first request: X-Cache = %q, want miss", rr.Header().Get("X-Cache"))
+	}
+	// Re-registering the name bumps the registry version, so the same URL
+	// must not be served from the old entry.
+	generate(t, srv, "name=a&kind=csr&n=200&seed=2")
+	if rr := do(t, srv, http.MethodGet, q, nil); rr.Header().Get("X-Cache") != "miss" {
+		t.Fatalf("request after re-upload: X-Cache = %q, want miss", rr.Header().Get("X-Cache"))
+	}
+}
+
+// heavyKDV is a naive-method KDV request big enough that it cannot finish
+// before the cancellation tests fire (5.2e9 kernel evaluations), while
+// the worker pools still observe ctx between row chunks.
+const heavyKDV = "/v1/kdv?dataset=big&method=naive&kernel=gaussian&bandwidth=5&width=512&height=512"
+
+func TestCancelledRequestReturns499(t *testing.T) {
+	srv := newServer(t, serve.Config{CacheBytes: 64 << 20})
+	generate(t, srv, "name=big&kind=csr&n=20000&seed=3")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	time.AfterFunc(50*time.Millisecond, cancel)
+	defer cancel()
+	r := httptest.NewRequest(http.MethodGet, heavyKDV, nil).WithContext(ctx)
+	rr := httptest.NewRecorder()
+	start := time.Now()
+	srv.ServeHTTP(rr, r)
+	elapsed := time.Since(start)
+
+	if rr.Code != serve.StatusClientClosedRequest {
+		t.Fatalf("status = %d, want %d: %s", rr.Code, serve.StatusClientClosedRequest, rr.Body.String())
+	}
+	// The computation alone would run for minutes; returning within a few
+	// seconds proves the workers stopped at a chunk boundary.
+	if elapsed > 10*time.Second {
+		t.Fatalf("cancelled request took %s, want prompt return", elapsed)
+	}
+}
+
+func TestPreCancelledRequestReturns499(t *testing.T) {
+	srv := newServer(t, serve.Config{CacheBytes: 64 << 20, MaxInFlight: 2})
+	generate(t, srv, "name=big&kind=csr&n=20000&seed=3")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := httptest.NewRequest(http.MethodGet, heavyKDV, nil).WithContext(ctx)
+	rr := httptest.NewRecorder()
+	srv.ServeHTTP(rr, r)
+	if rr.Code != serve.StatusClientClosedRequest {
+		t.Fatalf("status = %d, want %d", rr.Code, serve.StatusClientClosedRequest)
+	}
+}
+
+func TestTimeoutReturns503WithRetryAfter(t *testing.T) {
+	srv := newServer(t, serve.Config{CacheBytes: 64 << 20, Timeout: 20 * time.Millisecond})
+	generate(t, srv, "name=big&kind=csr&n=20000&seed=3")
+	rr := do(t, srv, http.MethodGet, heavyKDV, nil)
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503: %s", rr.Code, rr.Body.String())
+	}
+	if rr.Header().Get("Retry-After") == "" {
+		t.Fatal("503 response is missing Retry-After")
+	}
+}
+
+func TestCancelledRequestsLeaveNoGoroutines(t *testing.T) {
+	srv := newServer(t, serve.Config{CacheBytes: 64 << 20})
+	generate(t, srv, "name=big&kind=csr&n=20000&seed=3")
+	baseline := runtime.NumGoroutine()
+
+	for i := 0; i < 3; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		time.AfterFunc(20*time.Millisecond, cancel)
+		r := httptest.NewRequest(http.MethodGet, heavyKDV, nil).WithContext(ctx)
+		rr := httptest.NewRecorder()
+		srv.ServeHTTP(rr, r)
+		cancel()
+		if rr.Code != serve.StatusClientClosedRequest {
+			t.Fatalf("request %d: status = %d, want %d", i, rr.Code, serve.StatusClientClosedRequest)
+		}
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines did not settle: baseline %d, now %d",
+				baseline, runtime.NumGoroutine())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestUploadCSV(t *testing.T) {
+	srv := newServer(t, serve.Config{})
+	csv := "x,y,value\n1,2,10\n3,4,20\n5,6,30\n"
+	rr := do(t, srv, http.MethodPost, "/v1/datasets/pts", []byte(csv))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("upload: status %d: %s", rr.Code, rr.Body.String())
+	}
+	var info struct {
+		Name      string `json:"name"`
+		N         int    `json:"n"`
+		HasValues bool   `json:"has_values"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Name != "pts" || info.N != 3 || !info.HasValues {
+		t.Fatalf("unexpected upload info: %+v", info)
+	}
+}
+
+func TestUploadGeoJSON(t *testing.T) {
+	srv := newServer(t, serve.Config{})
+	gj := `{"type":"FeatureCollection","features":[
+		{"type":"Feature","geometry":{"type":"Point","coordinates":[1,2]},"properties":{"value":10}},
+		{"type":"Feature","geometry":{"type":"Point","coordinates":[3,4]},"properties":{"value":20}}]}`
+	rr := do(t, srv, http.MethodPost, "/v1/datasets/gj", []byte(gj))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("upload: status %d: %s", rr.Code, rr.Body.String())
+	}
+	list := do(t, srv, http.MethodGet, "/v1/datasets", nil)
+	if !strings.Contains(list.Body.String(), `"name":"gj"`) {
+		t.Fatalf("dataset list missing gj: %s", list.Body.String())
+	}
+}
+
+func TestUnknownDatasetIs404(t *testing.T) {
+	srv := newServer(t, serve.Config{})
+	rr := do(t, srv, http.MethodGet, "/v1/kdv?dataset=nope", nil)
+	if rr.Code != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", rr.Code)
+	}
+}
+
+func TestBadParamsAre400(t *testing.T) {
+	srv := newServer(t, serve.Config{})
+	generate(t, srv, "name=d&kind=csr&n=100&seed=1")
+	for _, target := range []string{
+		"/v1/kdv?dataset=d&width=notanumber",
+		"/v1/kdv?dataset=d&method=wat",
+		"/v1/kdv?dataset=d&kernel=wat",
+		"/v1/kdv?dataset=d&bbox=1,2,3",
+		"/v1/idw?dataset=d&method=wat",
+		"/v1/kfunction?dataset=d&steps=0",
+		"/v1/kfunction?dataset=d&smax=-1",
+	} {
+		if rr := do(t, srv, http.MethodGet, target, nil); rr.Code != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", target, rr.Code)
+		}
+	}
+	if rr := do(t, srv, http.MethodPost, "/v1/generate?name=&kind=csr", nil); rr.Code != http.StatusBadRequest {
+		t.Errorf("generate without name: status = %d, want 400", rr.Code)
+	}
+}
+
+func TestAllToolsHappyPath(t *testing.T) {
+	srv := newServer(t, serve.Config{CacheBytes: 64 << 20})
+	generate(t, srv, "name=d&kind=clusters&n=300&seed=5&field=1")
+	for _, target := range []string{
+		"/v1/kdv?dataset=d&bandwidth=8&width=32&height=32",
+		"/v1/kfunction?dataset=d&smax=20&steps=5&sims=9&seed=2",
+		"/v1/moran?dataset=d&perms=49&seed=2&k=6",
+		"/v1/generalg?dataset=d&perms=49&seed=2&k=6",
+		"/v1/idw?dataset=d&method=knn&k=6&width=32&height=32",
+		"/v1/idw?dataset=d&method=radius&radius=25&width=16&height=16",
+		"/v1/idw?dataset=d&width=16&height=16",
+	} {
+		rr := do(t, srv, http.MethodGet, target, nil)
+		if rr.Code != http.StatusOK {
+			t.Errorf("%s: status = %d: %s", target, rr.Code, rr.Body.String())
+			continue
+		}
+		if !json.Valid(rr.Body.Bytes()) {
+			t.Errorf("%s: response is not valid JSON", target)
+		}
+	}
+}
+
+func TestKDVPNGFormat(t *testing.T) {
+	srv := newServer(t, serve.Config{CacheBytes: 64 << 20})
+	generate(t, srv, "name=d&kind=csr&n=200&seed=1")
+	rr := do(t, srv, http.MethodGet, "/v1/kdv?dataset=d&bandwidth=10&width=24&height=24&format=png", nil)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rr.Code, rr.Body.String())
+	}
+	if ct := rr.Header().Get("Content-Type"); ct != "image/png" {
+		t.Fatalf("Content-Type = %q, want image/png", ct)
+	}
+	if !bytes.HasPrefix(rr.Body.Bytes(), []byte("\x89PNG")) {
+		t.Fatal("body does not start with the PNG magic")
+	}
+}
+
+func TestHealthzReportsCacheStats(t *testing.T) {
+	srv := newServer(t, serve.Config{CacheBytes: 64 << 20})
+	generate(t, srv, "name=d&kind=csr&n=200&seed=1")
+	const q = "/v1/kdv?dataset=d&bandwidth=10&width=16&height=16"
+	do(t, srv, http.MethodGet, q, nil)
+	do(t, srv, http.MethodGet, q, nil)
+	rr := do(t, srv, http.MethodGet, "/healthz", nil)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("healthz: status %d", rr.Code)
+	}
+	var h struct {
+		Status string `json:"status"`
+		Cache  struct {
+			Hits    int64 `json:"hits"`
+			Entries int64 `json:"entries"`
+		} `json:"cache"`
+		CacheHitRate float64 `json:"cache_hit_rate"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Cache.Hits != 1 || h.Cache.Entries != 1 || h.CacheHitRate <= 0 {
+		t.Fatalf("unexpected healthz payload: %s", rr.Body.String())
+	}
+}
+
+func TestDebugVarsExposesMetrics(t *testing.T) {
+	srv := newServer(t, serve.Config{CacheBytes: 64 << 20})
+	generate(t, srv, "name=d&kind=csr&n=200&seed=1")
+	const q = "/v1/kdv?dataset=d&bandwidth=10&width=16&height=16&seed=42"
+
+	hitsBefore, _ := debugVar(t, srv, "geostatd.cache_hits")
+	do(t, srv, http.MethodGet, q, nil)
+	do(t, srv, http.MethodGet, q, nil)
+	hitsAfter, reqs := debugVar(t, srv, "geostatd.cache_hits")
+
+	// Metrics are process-wide (expvar), so assert on deltas.
+	if hitsAfter-hitsBefore != 1 {
+		t.Fatalf("cache_hits delta = %d, want 1", hitsAfter-hitsBefore)
+	}
+	if reqs == 0 {
+		t.Fatal("geostatd.requests has no kdv count")
+	}
+}
+
+// debugVar reads one counter and the kdv request count from /debug/vars.
+func debugVar(t *testing.T, srv *serve.Server, name string) (int64, int64) {
+	t.Helper()
+	rr := do(t, srv, http.MethodGet, "/debug/vars", nil)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("/debug/vars: status %d", rr.Code)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal(rr.Body.Bytes(), &vars); err != nil {
+		t.Fatal(err)
+	}
+	var v int64
+	if raw, ok := vars[name]; ok {
+		if err := json.Unmarshal(raw, &v); err != nil {
+			t.Fatalf("parse %s: %v", name, err)
+		}
+	}
+	var reqs struct {
+		KDV int64 `json:"kdv"`
+	}
+	if raw, ok := vars["geostatd.requests"]; ok {
+		_ = json.Unmarshal(raw, &reqs)
+	}
+	return v, reqs.KDV
+}
+
+func TestRealHTTPServerRoundTrip(t *testing.T) {
+	srv := newServer(t, serve.Config{CacheBytes: 64 << 20})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/generate?name=d&kind=csr&n=200&seed=1", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("generate over HTTP: status %d", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/v1/kdv?dataset=d&bandwidth=10&width=16&height=16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("kdv over HTTP: status %d", resp.StatusCode)
+	}
+}
+
+func TestMaxInFlightQueuesRatherThanFails(t *testing.T) {
+	srv := newServer(t, serve.Config{CacheBytes: 64 << 20, MaxInFlight: 1, Workers: 1})
+	generate(t, srv, "name=d&kind=csr&n=500&seed=1")
+	// With one slot and sequential requests every request must still run.
+	for i := 0; i < 3; i++ {
+		q := fmt.Sprintf("/v1/kdv?dataset=d&bandwidth=10&width=16&height=16&seed=%d", i)
+		if rr := do(t, srv, http.MethodGet, q, nil); rr.Code != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, rr.Code)
+		}
+	}
+}

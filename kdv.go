@@ -1,6 +1,7 @@
 package geostat
 
 import (
+	"context"
 	"fmt"
 
 	"geostat/internal/kde"
@@ -71,6 +72,19 @@ type KDVOptions struct {
 	// Weights optionally weights each event (severity, case counts).
 	// Supported by the exact methods; the approximate methods reject it.
 	Weights []float64
+	// Ctx optionally bounds the computation (per-request timeouts, client
+	// disconnects): raster workers check it between row chunks and KDV
+	// returns ctx.Err() with a nil surface when it fires. Nil means no
+	// cancellation. KDVCtx is a convenience wrapper that sets this field.
+	Ctx context.Context
+}
+
+// KDVCtx computes a kernel density surface that honors ctx: the
+// computation stops between row chunks once ctx is cancelled or times out
+// and the error is ctx.Err(). Equivalent to setting opt.Ctx.
+func KDVCtx(ctx context.Context, pts []Point, opt KDVOptions) (*Heatmap, error) {
+	opt.Ctx = ctx
+	return KDV(pts, opt)
 }
 
 // KDV computes a kernel density surface over opt.Grid.
@@ -81,6 +95,7 @@ func KDV(pts []Point, opt KDVOptions) (*Heatmap, error) {
 		Normalize: opt.Normalize,
 		Workers:   opt.Workers,
 		Weights:   opt.Weights,
+		Ctx:       opt.Ctx,
 	}
 	switch opt.Method {
 	case KDVAuto:

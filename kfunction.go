@@ -1,6 +1,7 @@
 package geostat
 
 import (
+	"context"
 	"math/rand"
 
 	"geostat/internal/kfunc"
@@ -44,6 +45,14 @@ func KFunctionRTree(pts []Point, s float64) int { return kfunc.RTreeIndexed(pts,
 // over the close pairs.
 func KFunctionCurve(pts []Point, thresholds []float64, workers int) ([]int, error) {
 	return kfunc.Curve(pts, thresholds, workers)
+}
+
+// KFunctionCurveCtx is KFunctionCurve with cooperative cancellation:
+// workers check ctx between chunks of the pair enumeration and the call
+// returns ctx.Err() (with a nil slice) when it fires. Plot construction is
+// cancellable too — set KPlotOptions.Ctx.
+func KFunctionCurveCtx(ctx context.Context, pts []Point, thresholds []float64, workers int) ([]int, error) {
+	return kfunc.CurveCtx(ctx, pts, thresholds, workers)
 }
 
 // KPlotOptions configures KFunctionPlot.
