@@ -9,7 +9,7 @@ RACE_PKGS = ./...
 # below this. Raise it when coverage improves; never lower it.
 COVER_RATCHET = 80.0
 
-.PHONY: check vet build test race lint cover fuzz-smoke bench
+.PHONY: check vet build test race lint cover fuzz-smoke bench bench-json smoke
 
 check: vet build test race lint
 
@@ -47,3 +47,27 @@ fuzz-smoke:
 
 bench:
 	$(GO) test -run NONE -bench . -benchmem .
+
+# Machine-readable benchmark snapshot: every geobench experiment's wall
+# clock as JSON. BENCH_baseline.json is the committed reference point;
+# regenerate it (on quiet hardware) when the perf profile changes.
+bench-json:
+	$(GO) run ./cmd/geobench -quick -json BENCH_baseline.json
+
+# End-to-end smoke: boot geostatd, drive one KDV request, and assert the
+# observability surfaces answer with well-formed output (Prometheus text
+# at /metrics, a span tree at /debug/trace/last).
+smoke:
+	$(GO) build -o /tmp/geostatd.smoke ./cmd/geostatd
+	@/tmp/geostatd.smoke -addr 127.0.0.1:18091 & pid=$$!; \
+	trap "kill $$pid 2>/dev/null" EXIT; \
+	ok=0; for i in $$(seq 1 50); do \
+	  curl -fs http://127.0.0.1:18091/healthz >/dev/null 2>&1 && { ok=1; break; }; sleep 0.1; \
+	done; \
+	[ $$ok = 1 ] || { echo "geostatd did not come up"; exit 1; }; \
+	curl -fs -X POST 'http://127.0.0.1:18091/v1/generate?name=smoke&kind=clusters&n=500&seed=1' >/dev/null && \
+	curl -fs 'http://127.0.0.1:18091/v1/kdv?dataset=smoke&bandwidth=8&width=32&height=32' >/dev/null && \
+	curl -fs http://127.0.0.1:18091/metrics | grep -q '# TYPE geostatd_request_seconds histogram' && \
+	curl -fs http://127.0.0.1:18091/metrics | grep -q 'geostatd_requests_total{tool="kdv"} 1' && \
+	curl -fs http://127.0.0.1:18091/debug/trace/last | grep -q 'kdv.compute' && \
+	echo "smoke OK"

@@ -10,17 +10,40 @@
 //	geobench -dir out/           # also write PNG/CSV artifacts
 //	geobench -workers 4          # bound parallelism (default: every core)
 //	geobench -list               # list experiment ids
+//	geobench -json bench.json    # also write a machine-readable run summary
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"geostat/internal/experiments"
 )
+
+// benchResult is one experiment's entry in the -json summary. ElapsedMS is
+// wall clock for the whole runner (dataset generation included), which is
+// what CI trend dashboards track between commits.
+type benchResult struct {
+	ID        string  `json:"id"`
+	Title     string  `json:"title"`
+	OK        bool    `json:"ok"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// benchSummary is the top-level -json document.
+type benchSummary struct {
+	GoVersion  string        `json:"go_version"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Seed       int64         `json:"seed"`
+	Quick      bool          `json:"quick"`
+	Workers    int           `json:"workers"`
+	Results    []benchResult `json:"results"`
+}
 
 func main() {
 	var (
@@ -30,6 +53,7 @@ func main() {
 		seed    = flag.Int64("seed", 42, "seed for all generators and simulations")
 		workers = flag.Int("workers", 0, "parallelism for every parallel-capable call (0: every core, 1: serial)")
 		list    = flag.Bool("list", false, "list experiments and exit")
+		jsonOut = flag.String("json", "", "write a machine-readable run summary to this file")
 	)
 	flag.Parse()
 
@@ -54,19 +78,47 @@ func main() {
 		}
 	}
 
+	summary := benchSummary{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Seed:       *seed,
+		Quick:      *quick,
+		Workers:    *workers,
+	}
 	failed := 0
 	for _, r := range selected {
 		fmt.Printf("=== %s: %s ===\n", r.ID, r.Title)
 		cfg := &experiments.Config{Out: os.Stdout, Dir: *dir, Seed: *seed, Quick: *quick, Workers: *workers}
 		start := time.Now()
-		if err := r.Run(cfg); err != nil {
+		err := r.Run(cfg)
+		elapsed := time.Since(start)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s FAILED: %v\n", r.ID, err)
 			failed++
 		}
-		fmt.Printf("[%s done in %v]\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("[%s done in %v]\n\n", r.ID, elapsed.Round(time.Millisecond))
+		summary.Results = append(summary.Results, benchResult{
+			ID: r.ID, Title: r.Title, OK: err == nil,
+			ElapsedMS: float64(elapsed.Nanoseconds()) / 1e6,
+		})
+	}
+	if *jsonOut != "" {
+		if err := writeSummary(*jsonOut, summary); err != nil {
+			fmt.Fprintf(os.Stderr, "geobench: write %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
 	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "geobench: %d experiment(s) failed\n", failed)
 		os.Exit(1)
 	}
+}
+
+func writeSummary(path string, s benchSummary) error {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
 }

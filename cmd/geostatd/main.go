@@ -6,6 +6,14 @@
 //
 //	geostatd [-addr :8080] [-timeout 30s] [-max-inflight 16]
 //	         [-cache-mb 64] [-workers -1] [-load name=path ...]
+//	         [-slow-ms 0] [-debug-addr addr]
+//
+// Observability: GET /metrics serves Prometheus text (per-tool latency
+// histograms, cache hit/miss/eviction counters, in-flight gauge) and
+// GET /debug/trace/last the span tree of the last tool request.
+// -slow-ms N logs the full stage tree of any request slower than N ms.
+// -debug-addr starts a second listener with net/http/pprof — opt-in so
+// profiling endpoints never share the public port.
 //
 // -load preloads CSV datasets at startup (repeatable); more datasets can
 // be uploaded or generated at runtime via POST /v1/datasets/{name} and
@@ -19,6 +27,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -45,23 +54,26 @@ func main() {
 		maxInFlight = flag.Int("max-inflight", 16, "max concurrently executing tool requests (0 = unlimited)")
 		cacheMB     = flag.Int64("cache-mb", 64, "result cache size in MiB (0 disables caching)")
 		workers     = flag.Int("workers", -1, "worker goroutines per computation (-1 = all cores)")
+		slowMS      = flag.Int64("slow-ms", 0, "log the stage tree of requests slower than this many ms (0 disables)")
+		debugAddr   = flag.String("debug-addr", "", "optional second listen address serving net/http/pprof (empty disables)")
 		loads       loadFlags
 	)
 	flag.Var(&loads, "load", "preload a CSV dataset as name=path (repeatable)")
 	flag.Parse()
 
-	if err := run(*addr, *timeout, *maxInFlight, *cacheMB, *workers, loads); err != nil {
+	if err := run(*addr, *timeout, *maxInFlight, *cacheMB, *workers, *slowMS, *debugAddr, loads); err != nil {
 		fmt.Fprintln(os.Stderr, "geostatd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, timeout time.Duration, maxInFlight int, cacheMB int64, workers int, loads []string) error {
+func run(addr string, timeout time.Duration, maxInFlight int, cacheMB int64, workers int, slowMS int64, debugAddr string, loads []string) error {
 	srv := serve.NewServer(serve.Config{
-		Timeout:     timeout,
-		MaxInFlight: maxInFlight,
-		CacheBytes:  cacheMB << 20,
-		Workers:     workers,
+		Timeout:       timeout,
+		MaxInFlight:   maxInFlight,
+		CacheBytes:    cacheMB << 20,
+		Workers:       workers,
+		SlowThreshold: time.Duration(slowMS) * time.Millisecond,
 	})
 	for _, spec := range loads {
 		name, path, ok := strings.Cut(spec, "=")
@@ -80,6 +92,23 @@ func run(addr string, timeout time.Duration, maxInFlight int, cacheMB int64, wor
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		ds := &http.Server{Addr: debugAddr, Handler: dmux, ReadHeaderTimeout: 5 * time.Second}
+		go func() { //lint:allow norawgoroutine debug listener lives for the process; killed on exit
+			log.Printf("pprof listening on %s", debugAddr)
+			if err := ds.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("pprof listener: %v", err)
+			}
+		}()
+		defer ds.Close()
+	}
 
 	hs := &http.Server{
 		Addr:              addr,

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// update rewrites the golden files instead of comparing against them:
+//
+//	go test ./cmd/nkdv -run Golden -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// elapsedRE matches the wall-clock durations the CLI prints; they are the
+// only nondeterministic part of the output and are scrubbed before the
+// golden comparison.
+var elapsedRE = regexp.MustCompile(`\d+(\.\d+)?(ns|µs|ms|s)\b`)
+
+func scrubElapsed(s string) string { return elapsedRE.ReplaceAllString(s, "<elapsed>") }
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and returns
+// everything it printed.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	runErr := fn()
+	os.Stdout = old
+	w.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runErr != nil {
+		t.Fatalf("run failed: %v\noutput so far:\n%s", runErr, out)
+	}
+	return string(out)
+}
+
+func compareGolden(t *testing.T, path, got string) {
+	t.Helper()
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+func sha256File(t *testing.T, path string) string {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// TestGoldenOutput locks down the CLI's stdout and the lixel CSV for the
+// demo grid network with a fixed event set, and proves both are bit-stable
+// across worker counts: NKDV fans out one Dijkstra per event, so any
+// accumulation-order dependence would show up here as a golden diff.
+func TestGoldenOutput(t *testing.T) {
+	_, events := writeInputs(t)
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			out := filepath.Join(t.TempDir(), "density.csv")
+			stdout := captureStdout(t, func() error {
+				// Empty network path selects the demo grid; bandwidth and
+				// lixel length are fixed so defaults can evolve freely.
+				return run("", events, out, "quartic", "", 150, 25, workers, false)
+			})
+			// The temp output path is the only other nondeterministic token.
+			stdout = strings.ReplaceAll(stdout, out, "<out>")
+			// One golden pair serves every worker count — that is the
+			// determinism claim under test.
+			compareGolden(t, filepath.Join("testdata", "golden", "nkdv.stdout"), scrubElapsed(stdout))
+			compareGolden(t, filepath.Join("testdata", "golden", "nkdv.csv.sha256"), sha256File(t, out)+"\n")
+		})
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"geostat/internal/geom"
 	"geostat/internal/index/balltree"
+	"geostat/internal/obs"
 	"geostat/internal/raster"
 )
 
@@ -33,10 +34,13 @@ func BoundApprox(pts []geom.Point, opt Options, eps float64) (*raster.Grid, erro
 	if opt.Weights != nil {
 		return nil, fmt.Errorf("kde: BoundApprox does not support event weights; use an exact method")
 	}
+	_, span := obs.Trace(opt.context(), "kde.index_build")
+	tree := balltree.New(pts)
+	span.End()
 	bc := &boundComputer{
 		opt:  &opt,
 		eps:  eps,
-		tree: balltree.New(pts),
+		tree: tree,
 	}
 	return run(bc, &opt, len(pts))
 }

@@ -5,6 +5,7 @@ import (
 
 	"geostat/internal/geom"
 	gridindex "geostat/internal/index/grid"
+	"geostat/internal/obs"
 	"geostat/internal/raster"
 )
 
@@ -28,7 +29,9 @@ func GridCutoff(pts []geom.Point, opt Options) (*raster.Grid, error) {
 	if err := opt.validateWeights(len(pts)); err != nil {
 		return nil, err
 	}
+	_, span := obs.Trace(opt.context(), "kde.index_build")
 	idx := gridindex.New(pts, opt.Kernel.Bandwidth())
+	span.End()
 	return run(&cutoffComputer{idx: idx, opt: &opt}, &opt, len(pts))
 }
 

@@ -29,6 +29,7 @@ import (
 
 	"geostat/internal/geom"
 	"geostat/internal/kernel"
+	"geostat/internal/obs"
 	"geostat/internal/parallel"
 	"geostat/internal/raster"
 )
@@ -128,7 +129,10 @@ func run(rc rowComputer, opt *Options, n int) (*raster.Grid, error) {
 	out := raster.NewGrid(opt.Grid)
 	scale := opt.scale(n)
 	nx, ny := opt.Grid.NX, opt.Grid.NY
-	if err := parallel.ForCtx(opt.context(), ny, opt.Workers, func(iy int) {
+	ctx, span := obs.Trace(opt.context(), "kde.evaluate")
+	defer span.End()
+	span.SetAttrInt("points", int64(n))
+	if err := parallel.ForCtx(ctx, ny, opt.Workers, func(iy int) {
 		rc.computeRow(iy, out.Values[iy*nx:(iy+1)*nx])
 	}); err != nil {
 		return nil, err

@@ -12,7 +12,9 @@
 //     code (zero sentinels and NaN self-compares are allowed);
 //   - maporder — no result assembly driven by map iteration order;
 //   - workersopt — every exported entry point that accepts a Workers
-//     option actually threads it into the parallel engine.
+//     option actually threads it into the parallel engine;
+//   - obsname — every obs metric/span name literal follows the
+//     documented tool_stage_unit / tool.stage naming convention.
 //
 // A curated set of general passes rides along: shadow, copylocks,
 // loopclosure and unusedresult (stdlib-only reimplementations of the
@@ -42,6 +44,7 @@ func Analyzers() []*analysis.Analyzer {
 		FloatEq,
 		MapOrder,
 		WorkersOpt,
+		ObsName,
 		Shadow,
 		CopyLocks,
 		LoopClosure,

@@ -1,0 +1,48 @@
+// Fixture for the obsname analyzer: every string literal handed to an
+// obs registration or Trace call must follow the documented naming
+// convention. Dynamic names are invisible to the analyzer and fail at
+// runtime instead.
+package fixture
+
+import (
+	"context"
+
+	"geostat/internal/obs"
+)
+
+func metrics(r *obs.Registry) {
+	// Conforming names pass silently.
+	r.Counter("geostatd_requests_total", "requests").Inc()
+	r.Gauge("geostatd_requests_inflight", "in flight").Add(1)
+	r.Histogram("geostatd_request_seconds", "latency", nil).Observe(0)
+	r.CounterFunc("geostatd_cache_hits_total", "hits", func() int64 { return 0 })
+	r.GaugeFunc("geostatd_cache_bytes", "bytes", func() int64 { return 0 })
+
+	r.Counter("geostatd_requests", "no unit suffix").Inc()           // want `counter name "geostatd_requests" must end in _total`
+	r.Counter("Geostatd_Requests_total", "upper case").Inc()         // want `not a valid metric name`
+	r.Gauge("geostatd_inflight_total", "counter unit on a gauge")    // want `gauge name "geostatd_inflight_total" must end in`
+	r.Histogram("geostatd_request_total", "bad unit", nil)           // want `histogram name "geostatd_request_total" must end in`
+	r.CounterFunc("hits", "single segment", func() int64 { return 0 }) // want `not a valid metric name`
+
+	// A provably-fine case the analyzer cannot see is suppressed with the
+	// standard directive (here: exercising the suppression path).
+	r.Counter("geostatd_requests", "suppressed").Inc() //lint:allow obsname fixture exercises the suppression path
+}
+
+func spans(ctx context.Context) {
+	// Conforming span names pass silently.
+	ctx, root := obs.NewTrace(ctx, "request")
+	_, sp := obs.Trace(ctx, "kdv.compute")
+	sp.End()
+	root.End()
+
+	_, bad := obs.Trace(ctx, "KDV.Compute") // want `not a valid span name`
+	bad.End()
+	_, deep := obs.Trace(ctx, "a.b.c.d") // want `not a valid span name`
+	deep.End()
+
+	// Dynamic names are skipped statically (validated at runtime).
+	tool := "kdv"
+	_, dyn := obs.Trace(ctx, tool+".parse")
+	dyn.End()
+}

@@ -19,11 +19,13 @@
 package nkdv
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"geostat/internal/kernel"
 	"geostat/internal/network"
+	"geostat/internal/obs"
 	"geostat/internal/parallel"
 )
 
@@ -35,6 +37,18 @@ type Options struct {
 	LixelLength float64
 	// Workers parallelises the outer loop; 0/1 serial, <0 GOMAXPROCS.
 	Workers int
+	// Ctx optionally bounds the computation: workers check it between
+	// chunks and the entry point returns ctx.Err() (with a nil surface)
+	// when it fires. Nil means no cancellation (context.Background()).
+	Ctx context.Context
+}
+
+// context returns the effective context of the computation.
+func (o *Options) context() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 func (o *Options) validate() error {
@@ -89,7 +103,10 @@ func Naive(g *network.Graph, events []network.Position, opt Options) (*Surface, 
 	if err := opt.validate(); err != nil {
 		return nil, err
 	}
+	ctx := opt.context()
+	_, lspan := obs.Trace(ctx, "nkdv.lixelize")
 	lixels, edgeOff := network.Lixelize(g, opt.LixelLength)
+	lspan.End()
 	s := &Surface{Lixels: lixels, EdgeOff: edgeOff, Values: make([]float64, len(lixels))}
 	b := opt.Kernel.Bandwidth()
 
@@ -99,7 +116,9 @@ func Naive(g *network.Graph, events []network.Position, opt Options) (*Surface, 
 	// Each lixel writes only its own value, so workers share nothing but
 	// their Dijkstra engine; dynamic chunking rebalances the skew between
 	// lixels in dense and sparse network regions.
-	parallel.ForScratch(len(lixels), opt.Workers,
+	ectx, espan := obs.Trace(ctx, "nkdv.evaluate")
+	defer espan.End()
+	_, err := parallel.ForScratchCtx(ectx, len(lixels), opt.Workers,
 		func() *network.Dijkstra { return network.NewDijkstra(g) },
 		func(dij *network.Dijkstra, li int) {
 			center := lixels[li].Position()
@@ -127,6 +146,9 @@ func Naive(g *network.Graph, events []network.Position, opt Options) (*Surface, 
 			}
 			s.Values[li] = sum
 		})
+	if err != nil {
+		return nil, err
+	}
 	return s, nil
 }
 
@@ -154,11 +176,16 @@ func Forward(g *network.Graph, events []network.Position, opt Options) (*Surface
 	if err := opt.validate(); err != nil {
 		return nil, err
 	}
+	ctx := opt.context()
+	_, lspan := obs.Trace(ctx, "nkdv.lixelize")
 	lixels, edgeOff := network.Lixelize(g, opt.LixelLength)
+	lspan.End()
 	s := &Surface{Lixels: lixels, EdgeOff: edgeOff, Values: make([]float64, len(lixels))}
 	b := opt.Kernel.Bandwidth()
 
-	partials := parallel.ForScratch(len(events), opt.Workers,
+	ectx, espan := obs.Trace(ctx, "nkdv.evaluate")
+	defer espan.End()
+	partials, err := parallel.ForScratchCtx(ectx, len(events), opt.Workers,
 		func() *fwdScratch { return newFwdScratch(g, len(lixels)) },
 		func(sc *fwdScratch, i int) {
 			ev := events[i]
@@ -181,6 +208,9 @@ func Forward(g *network.Graph, events []network.Position, opt Options) (*Surface
 				g.Neighbors(u, func(_, ei int32, _ float64) { spread(ei) })
 			}
 		})
+	if err != nil {
+		return nil, err
+	}
 	for _, sc := range partials {
 		for i, v := range sc.values {
 			s.Values[i] += v

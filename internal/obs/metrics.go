@@ -1,0 +1,39 @@
+package obs
+
+import "sync/atomic"
+
+// Counter is a monotonically increasing int64. The zero value is usable,
+// but counters are normally created through Registry.Counter so they show
+// up in /metrics.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n; n must be non-negative (counters only go up). Negative
+// deltas are dropped rather than silently corrupting rate queries.
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an int64 that can go up and down (in-flight requests, cache
+// occupancy).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Add adds n (which may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }

@@ -1,0 +1,84 @@
+// Package obs is the repository's observability layer: lock-cheap
+// fixed-bucket latency histograms, monotonic counters and gauges behind a
+// Registry exported in Prometheus text format, and lightweight span
+// tracing threaded through context.Context. It is stdlib-only and owns no
+// goroutines; everything here is safe for concurrent use.
+//
+// The paper's §2.4 asks for geospatial software whose performance claims
+// are measurable; this package is how the serving layer (internal/serve)
+// and the parallel engine (internal/parallel) expose per-stage timings and
+// latency distributions without pulling in an external metrics dependency.
+//
+// # Naming convention (enforced by the geolint `obsname` analyzer)
+//
+// Metric names are lowercase snake_case, subsystem first, unit last:
+//
+//	<subsystem>_<stage...>_<unit>     e.g. geostatd_request_seconds
+//
+// The unit suffix is mandatory and constrained per metric kind:
+//
+//   - counters end in _total;
+//   - gauges end in _inflight, _bytes, _count, _ratio or _seconds;
+//   - histograms end in _seconds or _bytes.
+//
+// Variable dimensions (the tool name, an error kind) are labels, never
+// name segments: one family `geostatd_request_seconds{tool="kdv"}`, not
+// five families.
+//
+// Span names are dotted lowercase `tool.stage` paths of one to three
+// segments, e.g. "kdv.compute", "kde.index_build", "parallel.for". The
+// first segment names the subsystem that owns the stage; stages stay
+// stable across algorithm variants so traces of a baseline and an
+// accelerated method line up.
+//
+// See DESIGN.md ("Observability") for the full contract.
+package obs
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+)
+
+// metricNameRE is the shape rule shared by every metric kind: at least two
+// lowercase snake_case segments (subsystem plus unit).
+var metricNameRE = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)+$`)
+
+// spanNameRE matches dotted span names: 1–3 lowercase segments.
+var spanNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*){0,2}$`)
+
+// unitSuffixes lists the allowed unit suffixes per metric kind.
+var unitSuffixes = map[string][]string{
+	"counter":   {"_total"},
+	"gauge":     {"_inflight", "_bytes", "_count", "_ratio", "_seconds"},
+	"histogram": {"_seconds", "_bytes"},
+}
+
+// ValidMetricName checks name against the naming convention for the given
+// kind ("counter", "gauge" or "histogram"). It is the single source of
+// truth used both by Registry (which panics at registration time) and by
+// the geolint obsname analyzer (which flags violations statically).
+func ValidMetricName(kind, name string) error {
+	suffixes, ok := unitSuffixes[kind]
+	if !ok {
+		return fmt.Errorf("obs: unknown metric kind %q", kind)
+	}
+	if !metricNameRE.MatchString(name) {
+		return fmt.Errorf("obs: %q is not a valid metric name (want lowercase snake_case: subsystem_stage_unit)", name)
+	}
+	for _, s := range suffixes {
+		if strings.HasSuffix(name, s) {
+			return nil
+		}
+	}
+	return fmt.Errorf("obs: %s name %q must end in %s", kind, name, strings.Join(suffixes, "|"))
+}
+
+// ValidSpanName checks name against the span naming convention: dotted
+// lowercase `tool.stage`, one to three segments.
+func ValidSpanName(name string) error {
+	if !spanNameRE.MatchString(name) {
+		return fmt.Errorf("obs: %q is not a valid span name (want dotted lowercase tool.stage, 1-3 segments)", name)
+	}
+	return nil
+}

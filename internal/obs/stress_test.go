@@ -1,0 +1,128 @@
+package obs_test
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"geostat/internal/obs"
+)
+
+// TestRegistryConcurrentStress hammers one registry from many goroutines —
+// get-or-create races, hot-path observations, and concurrent scrapes —
+// and is meant to run under -race. Raw goroutines are fine here: test
+// code is outside the norawgoroutine invariant, and the point is maximal
+// scheduling chaos.
+func TestRegistryConcurrentStress(t *testing.T) {
+	r := obs.NewRegistry()
+	tools := []string{"kdv", "kfunction", "moran", "generalg", "idw"}
+	const (
+		goroutines = 16
+		ops        = 2000
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				tool := tools[(g+i)%len(tools)]
+				switch i % 4 {
+				case 0:
+					r.Counter("geostatd_requests_total", "req", obs.L("tool", tool)).Inc()
+				case 1:
+					r.Histogram("geostatd_request_seconds", "lat", nil, obs.L("tool", tool)).
+						Observe(time.Duration(i) * time.Microsecond)
+				case 2:
+					r.Gauge("geostatd_requests_inflight", "now").Add(1)
+					r.Gauge("geostatd_requests_inflight", "now").Add(-1)
+				case 3:
+					if err := r.WritePrometheus(io.Discard); err != nil {
+						t.Errorf("scrape: %v", err)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	var total int64
+	for _, tool := range tools {
+		total += r.Counter("geostatd_requests_total", "req", obs.L("tool", tool)).Value()
+	}
+	if want := int64(goroutines * ops / 4); total != want {
+		t.Fatalf("requests_total across tools = %d, want %d", total, want)
+	}
+	if got := r.Gauge("geostatd_requests_inflight", "now").Value(); got != 0 {
+		t.Fatalf("inflight gauge = %d, want 0 after balanced adds", got)
+	}
+	var hcount int64
+	for _, tool := range tools {
+		hcount += r.Histogram("geostatd_request_seconds", "lat", nil, obs.L("tool", tool)).Count()
+	}
+	if want := int64(goroutines * ops / 4); hcount != want {
+		t.Fatalf("histogram count = %d, want %d", hcount, want)
+	}
+}
+
+// TestHistogramConcurrentObserve checks that lock-free observation loses
+// nothing under contention.
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := obs.NewHistogram(nil)
+	const (
+		goroutines = 8
+		ops        = 10000
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				h.Observe(time.Duration(g*ops+i) * time.Microsecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := h.Count(); got != goroutines*ops {
+		t.Fatalf("count = %d, want %d", got, goroutines*ops)
+	}
+}
+
+// TestTraceConcurrentChildren attaches children to one root from many
+// goroutines while another goroutine snapshots the tree — the shape the
+// serving layer produces when a request's compute stage fans out.
+func TestTraceConcurrentChildren(t *testing.T) {
+	ctx, root := obs.NewTrace(context.Background(), "request")
+	const goroutines = 8
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			_ = root.Tree().StageNames()
+		}
+	}()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				cctx, sp := obs.Trace(ctx, fmt.Sprintf("stage.g%d", g))
+				_, inner := obs.Trace(cctx, "parallel.for")
+				inner.End()
+				sp.End()
+			}
+		}(g)
+	}
+	wg.Wait()
+	<-done
+	root.End()
+	tree := root.Tree()
+	if got := len(tree.Children); got != goroutines*50 {
+		t.Fatalf("children = %d, want %d", got, goroutines*50)
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"sync"
 	"sync/atomic"
+
+	"geostat/internal/obs"
 )
 
 // This file holds the context-aware core of the engine. Every legacy entry
@@ -35,6 +37,21 @@ func bg(ctx context.Context) context.Context {
 	return ctx
 }
 
+// trace opens one obs span per engine invocation (never per chunk — the
+// cancellation checks stay allocation-free) annotated with the loop shape.
+// When no trace is active in ctx this is a single context-value lookup and
+// the returned span is a nil no-op, keeping the uninstrumented hot path
+// within noise of the pre-obs engine.
+func trace(ctx context.Context, name string, n, workers, chunk int) (context.Context, *obs.Span) {
+	ctx, span := obs.Trace(ctx, name)
+	if span != nil {
+		span.SetAttrInt("n", int64(n))
+		span.SetAttrInt("workers", int64(workers))
+		span.SetAttrInt("chunk", int64(chunk))
+	}
+	return ctx, span
+}
+
 // ForCtx is For with cooperative cancellation: fn(i) runs for every i in
 // [0, n) unless ctx is cancelled first, in which case remaining chunks are
 // abandoned and ctx.Err() is returned. See the file-level contract.
@@ -44,8 +61,11 @@ func ForCtx(ctx context.Context, n, workers int, fn func(i int)) error {
 	if nw > n {
 		nw = n
 	}
+	var span *obs.Span
 	if nw <= 1 {
 		chunk := chunkSize(n, 1)
+		ctx, span = trace(ctx, "parallel.for", n, 1, chunk)
+		defer span.End()
 		for lo := 0; lo < n; lo += chunk {
 			if err := ctx.Err(); err != nil {
 				return err
@@ -61,6 +81,8 @@ func ForCtx(ctx context.Context, n, workers int, fn func(i int)) error {
 		return nil
 	}
 	chunk := chunkSize(n, nw)
+	ctx, span = trace(ctx, "parallel.for", n, nw, chunk)
+	defer span.End()
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < nw; w++ {
@@ -93,8 +115,11 @@ func ForRangeCtx(ctx context.Context, n, workers int, fn func(lo, hi int)) error
 	if nw > n {
 		nw = n
 	}
+	var span *obs.Span
 	if nw <= 1 {
 		chunk := chunkSize(n, 1)
+		ctx, span = trace(ctx, "parallel.for_range", n, 1, chunk)
+		defer span.End()
 		for lo := 0; lo < n; lo += chunk {
 			if err := ctx.Err(); err != nil {
 				return err
@@ -108,6 +133,8 @@ func ForRangeCtx(ctx context.Context, n, workers int, fn func(lo, hi int)) error
 		return nil
 	}
 	chunk := chunkSize(n, nw)
+	ctx, span = trace(ctx, "parallel.for_range", n, nw, chunk)
+	defer span.End()
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < nw; w++ {
@@ -139,6 +166,7 @@ func ForScratchCtx[S any](ctx context.Context, n, workers int, newScratch func()
 	if nw > n {
 		nw = n
 	}
+	var span *obs.Span
 	if nw <= 1 {
 		if n == 0 {
 			return nil, ctx.Err()
@@ -146,6 +174,8 @@ func ForScratchCtx[S any](ctx context.Context, n, workers int, newScratch func()
 		var s S
 		created := false
 		chunk := chunkSize(n, 1)
+		ctx, span = trace(ctx, "parallel.for_scratch", n, 1, chunk)
+		defer span.End()
 		for lo := 0; lo < n; lo += chunk {
 			if err := ctx.Err(); err != nil {
 				if !created {
@@ -168,6 +198,8 @@ func ForScratchCtx[S any](ctx context.Context, n, workers int, newScratch func()
 		return []S{s}, nil
 	}
 	chunk := chunkSize(n, nw)
+	ctx, span = trace(ctx, "parallel.for_scratch", n, nw, chunk)
+	defer span.End()
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	var mu sync.Mutex
@@ -211,6 +243,8 @@ func ForScratchCtx[S any](ctx context.Context, n, workers int, newScratch func()
 // unspecified subset of tasks never ran, so per-task outputs must be
 // discarded.
 func MonteCarloCtx(ctx context.Context, n, workers int, seed int64, fn func(rng *rand.Rand, i int)) error {
+	ctx, span := obs.Trace(bg(ctx), "parallel.monte_carlo")
+	defer span.End()
 	_, err := ForScratchCtx(ctx, n, workers,
 		func() *rand.Rand { return rand.New(rand.NewSource(1)) },
 		func(rng *rand.Rand, i int) {
@@ -223,6 +257,8 @@ func MonteCarloCtx(ctx context.Context, n, workers int, seed int64, fn func(rng 
 // MonteCarloScratchCtx is MonteCarloScratch with cooperative cancellation
 // (see MonteCarloCtx for the partial-result contract).
 func MonteCarloScratchCtx[S any](ctx context.Context, n, workers int, seed int64, newScratch func() S, fn func(rng *rand.Rand, s S, i int)) ([]S, error) {
+	ctx, span := obs.Trace(bg(ctx), "parallel.monte_carlo")
+	defer span.End()
 	ms, err := ForScratchCtx(ctx, n, workers,
 		func() *mcScratch[S] {
 			return &mcScratch[S]{rng: rand.New(rand.NewSource(1)), s: newScratch()}

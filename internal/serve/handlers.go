@@ -9,6 +9,7 @@ import (
 	"net/http"
 
 	"geostat"
+	"geostat/internal/obs"
 )
 
 // ---- dataset management ----
@@ -158,6 +159,11 @@ func parseGrid(d *geostat.Dataset, p *params) geostat.PixelGrid {
 		var minx, miny, maxx, maxy float64
 		if _, err := fmt.Sscanf(raw, "%f,%f,%f,%f", &minx, &miny, &maxx, &maxy); err != nil {
 			p.fail("bbox", "want minx,miny,maxx,maxy (%q)", raw)
+		} else if !finite(minx) || !finite(miny) || !finite(maxx) || !finite(maxy) {
+			// NaN compares false against everything, so without this check a
+			// bbox like "NaN,0,10,10" would sail through the emptiness test
+			// below and poison the whole raster.
+			p.fail("bbox", "coordinates must be finite (%q)", raw)
 		} else if minx >= maxx || miny >= maxy {
 			p.fail("bbox", "empty box %q", raw)
 		} else {
@@ -196,6 +202,11 @@ func (s *Server) parseWeights(d *geostat.Dataset, p *params, rowstd bool) (*geos
 
 func bboxDiag(b geostat.BBox) float64 {
 	return math.Hypot(b.Width(), b.Height())
+}
+
+// finite reports whether v is neither NaN nor ±Inf.
+func finite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
 }
 
 // heatmapValue renders a computed surface as format=json (the full value
@@ -242,6 +253,8 @@ var kdvMethods = map[string]geostat.KDVMethod{
 // width/height/bbox, epsilon/delta/seed for the approximate methods,
 // normalize, format=json|png.
 func (s *Server) computeKDV(ctx context.Context, d *geostat.Dataset, p *params) (Value, error) {
+	_, parse := obs.Trace(ctx, "kdv.parse")
+	defer parse.End()
 	method, ok := kdvMethods[p.str("method", "auto")]
 	if !ok {
 		return Value{}, fmt.Errorf("unknown method %q", p.str("method", "auto"))
@@ -273,10 +286,18 @@ func (s *Server) computeKDV(ctx context.Context, d *geostat.Dataset, p *params) 
 	if perr := p.err(); perr != nil {
 		return Value{}, perr
 	}
-	g, err := geostat.KDVCtx(ctx, d.Points, opt)
+	parse.End()
+
+	cctx, compute := obs.Trace(ctx, "kdv.compute")
+	defer compute.End()
+	g, err := geostat.KDVCtx(cctx, d.Points, opt)
+	compute.End()
 	if err != nil {
 		return Value{}, err
 	}
+
+	_, encode := obs.Trace(ctx, "kdv.encode")
+	defer encode.End()
 	return heatmapValue(g, p.str("format", "json"), p.str("dataset", ""), method.String())
 }
 
@@ -285,6 +306,8 @@ func (s *Server) computeKDV(ctx context.Context, d *geostat.Dataset, p *params) 
 // quarter of the bbox diagonal), steps (default 10), sims (default 19 —
 // the p=0.05 convention), seed.
 func (s *Server) computeKFunction(ctx context.Context, d *geostat.Dataset, p *params) (Value, error) {
+	_, parse := obs.Trace(ctx, "kfunction.parse")
+	defer parse.End()
 	smax := p.floatv("smax", bboxDiag(d.Bounds())/4)
 	steps := p.intv("steps", 10)
 	sims := p.intv("sims", 19)
@@ -305,15 +328,23 @@ func (s *Server) computeKFunction(ctx context.Context, d *geostat.Dataset, p *pa
 	for i := range thresholds {
 		thresholds[i] = smax * float64(i+1) / float64(steps)
 	}
+	parse.End()
+
+	cctx, compute := obs.Trace(ctx, "kfunction.compute")
+	defer compute.End()
 	plot, err := geostat.KFunctionPlot(d.Points, geostat.KPlotOptions{
 		Thresholds:  thresholds,
 		Simulations: sims,
 		Workers:     s.cfg.Workers,
-		Ctx:         ctx,
+		Ctx:         cctx,
 	}, geostat.NewRand(seed))
+	compute.End()
 	if err != nil {
 		return Value{}, err
 	}
+
+	_, encode := obs.Trace(ctx, "kfunction.encode")
+	defer encode.End()
 	regimes := make([]string, len(plot.S))
 	for i := range regimes {
 		regimes[i] = plot.RegimeAt(i).String()
@@ -333,23 +364,36 @@ func (s *Server) computeKFunction(ctx context.Context, d *geostat.Dataset, p *pa
 // test. Parameters: weights/k/radius/rowstd (see parseWeights), perms
 // (default 99), seed.
 func (s *Server) computeMoran(ctx context.Context, d *geostat.Dataset, p *params) (Value, error) {
+	_, weights := obs.Trace(ctx, "moran.weights")
+	defer weights.End()
 	w, err := s.parseWeights(d, p, true)
+	weights.End()
 	if err != nil {
 		return Value{}, err
 	}
+	_, parse := obs.Trace(ctx, "moran.parse")
+	defer parse.End()
 	opt := geostat.MoranOptions{
 		Perms:   p.intv("perms", 99),
 		Seed:    p.int64v("seed", 1),
 		Workers: s.cfg.Workers,
-		Ctx:     ctx,
 	}
 	if perr := p.err(); perr != nil {
 		return Value{}, perr
 	}
+	parse.End()
+
+	cctx, compute := obs.Trace(ctx, "moran.compute")
+	defer compute.End()
+	opt.Ctx = cctx
 	res, err := geostat.MoranIOpt(d.Values, w, opt)
+	compute.End()
 	if err != nil {
 		return Value{}, err
 	}
+
+	_, encode := obs.Trace(ctx, "moran.encode")
+	defer encode.End()
 	return jsonValue(struct {
 		Dataset  string  `json:"dataset"`
 		I        float64 `json:"i"`
@@ -366,23 +410,36 @@ func (s *Server) computeMoran(ctx context.Context, d *geostat.Dataset, p *params
 // permutation test. Weights stay binary by default (the statistic's
 // textbook form); pass rowstd=true to override.
 func (s *Server) computeGeneralG(ctx context.Context, d *geostat.Dataset, p *params) (Value, error) {
+	_, weights := obs.Trace(ctx, "generalg.weights")
+	defer weights.End()
 	w, err := s.parseWeights(d, p, false)
+	weights.End()
 	if err != nil {
 		return Value{}, err
 	}
+	_, parse := obs.Trace(ctx, "generalg.parse")
+	defer parse.End()
 	opt := geostat.GetisOrdOptions{
 		Perms:   p.intv("perms", 99),
 		Seed:    p.int64v("seed", 1),
 		Workers: s.cfg.Workers,
-		Ctx:     ctx,
 	}
 	if perr := p.err(); perr != nil {
 		return Value{}, perr
 	}
+	parse.End()
+
+	cctx, compute := obs.Trace(ctx, "generalg.compute")
+	defer compute.End()
+	opt.Ctx = cctx
 	res, err := geostat.GeneralGOpt(d.Values, w, opt)
+	compute.End()
 	if err != nil {
 		return Value{}, err
 	}
+
+	_, encode := obs.Trace(ctx, "generalg.encode")
+	defer encode.End()
 	return jsonValue(struct {
 		Dataset  string  `json:"dataset"`
 		G        float64 `json:"g"`
@@ -400,11 +457,12 @@ func (s *Server) computeGeneralG(ctx context.Context, d *geostat.Dataset, p *par
 // (naive|knn|radius), k (knn, default 8), radius (radius method, default
 // 1/10 of the bbox diagonal), width/height/bbox, format=json|png.
 func (s *Server) computeIDW(ctx context.Context, d *geostat.Dataset, p *params) (Value, error) {
+	_, parse := obs.Trace(ctx, "idw.parse")
+	defer parse.End()
 	opt := geostat.IDWOptions{
 		Grid:    parseGrid(d, p),
 		Power:   p.floatv("power", 2),
 		Workers: s.cfg.Workers,
-		Ctx:     ctx,
 	}
 	method := p.str("method", "naive")
 	k := p.intv("k", 8)
@@ -412,6 +470,11 @@ func (s *Server) computeIDW(ctx context.Context, d *geostat.Dataset, p *params) 
 	if err := p.err(); err != nil {
 		return Value{}, err
 	}
+	parse.End()
+
+	cctx, compute := obs.Trace(ctx, "idw.compute")
+	defer compute.End()
+	opt.Ctx = cctx
 	var (
 		g   *geostat.Heatmap
 		err error
@@ -426,8 +489,12 @@ func (s *Server) computeIDW(ctx context.Context, d *geostat.Dataset, p *params) 
 	default:
 		return Value{}, fmt.Errorf("unknown method %q (naive|knn|radius)", method)
 	}
+	compute.End()
 	if err != nil {
 		return Value{}, err
 	}
+
+	_, encode := obs.Trace(ctx, "idw.encode")
+	defer encode.End()
 	return heatmapValue(g, p.str("format", "json"), p.str("dataset", ""), "idw-"+method)
 }

@@ -1,0 +1,147 @@
+package serve_test
+
+import (
+	"net/http"
+	"testing"
+
+	"geostat/internal/serve"
+)
+
+// TestToolParamEdgeCases asserts the exact 400 body for every malformed-
+// parameter class: unknown enum values, out-of-range and non-numeric
+// numbers, NaN coordinates, and oversized grids. Bodies are part of the
+// API contract (clients pattern-match them), so the assertions are exact
+// string equality, not substring checks.
+func TestToolParamEdgeCases(t *testing.T) {
+	srv := newServer(t, serve.Config{CacheBytes: 1 << 20})
+	// field=true attaches values so the interpolation/autocorrelation
+	// tools get past dataset validation and into parameter parsing.
+	generate(t, srv, "name=d&kind=csr&n=100&seed=1&field=true")
+
+	cases := []struct {
+		name   string
+		target string
+		want   string // exact error message
+	}{
+		{
+			name:   "unknown kernel",
+			target: "/v1/kdv?dataset=d&kernel=bogus",
+			want:   `kernel: unknown kernel "bogus"`,
+		},
+		{
+			name:   "negative bandwidth",
+			target: "/v1/kdv?dataset=d&bandwidth=-2",
+			want:   `kernel: bandwidth must be positive and finite, got -2`,
+		},
+		{
+			name:   "NaN bandwidth",
+			target: "/v1/kdv?dataset=d&bandwidth=NaN",
+			want:   `kernel: bandwidth must be positive and finite, got NaN`,
+		},
+		{
+			name:   "non-numeric bandwidth",
+			target: "/v1/kdv?dataset=d&bandwidth=abc",
+			want:   `invalid parameters: bandwidth: not a number ("abc")`,
+		},
+		{
+			name:   "unknown KDV method",
+			target: "/v1/kdv?dataset=d&method=warp",
+			want:   `unknown method "warp"`,
+		},
+		{
+			name:   "zero grid width",
+			target: "/v1/kdv?dataset=d&bandwidth=5&width=0",
+			want:   `invalid parameters: width/height: must be in [1, 4096]`,
+		},
+		{
+			name:   "oversized grid height",
+			target: "/v1/kdv?dataset=d&bandwidth=5&height=5000",
+			want:   `invalid parameters: width/height: must be in [1, 4096]`,
+		},
+		{
+			name:   "non-integer width",
+			target: "/v1/kdv?dataset=d&bandwidth=5&width=abc",
+			want:   `invalid parameters: width: not an integer ("abc")`,
+		},
+		{
+			name:   "NaN bbox coordinate",
+			target: "/v1/kdv?dataset=d&bandwidth=5&bbox=NaN,0,10,10",
+			want:   `invalid parameters: bbox: coordinates must be finite ("NaN,0,10,10")`,
+		},
+		{
+			name:   "infinite bbox coordinate",
+			target: "/v1/kdv?dataset=d&bandwidth=5&bbox=0,0,%2BInf,10",
+			want:   `invalid parameters: bbox: coordinates must be finite ("0,0,+Inf,10")`,
+		},
+		{
+			name:   "empty bbox",
+			target: "/v1/kdv?dataset=d&bandwidth=5&bbox=5,5,1,1",
+			want:   `invalid parameters: bbox: empty box "5,5,1,1"`,
+		},
+		{
+			name:   "malformed bbox",
+			target: "/v1/kdv?dataset=d&bandwidth=5&bbox=1,2,3",
+			want:   `invalid parameters: bbox: want minx,miny,maxx,maxy ("1,2,3")`,
+		},
+		{
+			name:   "multiple errors joined in read order",
+			target: "/v1/kdv?dataset=d&bandwidth=abc&width=xyz",
+			want:   `invalid parameters: bandwidth: not a number ("abc"); width: not an integer ("xyz")`,
+		},
+		{
+			name:   "kfunction zero steps",
+			target: "/v1/kfunction?dataset=d&steps=0",
+			want:   `steps must be in [1, 1000]`,
+		},
+		{
+			name:   "kfunction oversized sims",
+			target: "/v1/kfunction?dataset=d&sims=20000",
+			want:   `sims must be in [1, 10000]`,
+		},
+		{
+			name:   "kfunction negative smax",
+			target: "/v1/kfunction?dataset=d&smax=-1",
+			want:   `smax must be positive`,
+		},
+		{
+			name:   "kfunction NaN smax",
+			target: "/v1/kfunction?dataset=d&smax=NaN",
+			want:   `smax must be positive`,
+		},
+		{
+			name:   "moran unknown weights scheme",
+			target: "/v1/moran?dataset=d&weights=foo",
+			want:   `unknown weights scheme "foo" (knn|band)`,
+		},
+		{
+			name:   "idw unknown method",
+			target: "/v1/idw?dataset=d&method=x",
+			want:   `unknown method "x" (naive|knn|radius)`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rr := do(t, srv, http.MethodGet, tc.target, nil)
+			if rr.Code != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400 (body %s)", rr.Code, rr.Body.String())
+			}
+			wantBody := `{"error":"` + jsonEscape(tc.want) + `"}` + "\n"
+			if got := rr.Body.String(); got != wantBody {
+				t.Fatalf("body:\n got %s\nwant %s", got, wantBody)
+			}
+		})
+	}
+}
+
+// jsonEscape escapes the characters json.Encoder escapes inside the
+// expected error strings (quotes only; the messages contain no others).
+func jsonEscape(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] == '"' {
+			out = append(out, '\\')
+		}
+		out = append(out, s[i])
+	}
+	return string(out)
+}

@@ -24,9 +24,11 @@ import (
 	"expvar"
 	"fmt"
 	"net/http"
+	"sync/atomic"
 	"time"
 
 	"geostat"
+	"geostat/internal/obs"
 )
 
 // StatusClientClosedRequest is the nginx-convention status for a request
@@ -49,17 +51,27 @@ type Config struct {
 	Workers int
 	// MaxBodyBytes caps dataset upload bodies; <= 0 means 32 MiB.
 	MaxBodyBytes int64
+	// SlowThreshold logs the full span tree of any tool request that takes
+	// at least this long; <= 0 disables slow-request logging.
+	SlowThreshold time.Duration
+	// Logf receives slow-request logs; nil means the standard logger.
+	Logf func(format string, args ...any)
 }
 
 // Server is the geostatd HTTP handler set. Create with NewServer; it is
 // safe for concurrent use.
 type Server struct {
-	cfg   Config
-	reg   *Registry
-	cache *Cache
-	sem   chan struct{} // nil = unlimited
-	mux   *http.ServeMux
-	start time.Time
+	cfg     Config
+	reg     *Registry
+	cache   *Cache
+	sem     chan struct{} // nil = unlimited
+	mux     *http.ServeMux
+	start   time.Time
+	metrics *obs.Registry
+
+	// lastTrace is the span tree of the most recently completed tool
+	// request, served at /debug/trace/last.
+	lastTrace atomic.Pointer[obs.SpanTree]
 }
 
 // NewServer returns a Server with an empty registry.
@@ -68,15 +80,17 @@ func NewServer(cfg Config) *Server {
 		cfg.MaxBodyBytes = 32 << 20
 	}
 	s := &Server{
-		cfg:   cfg,
-		reg:   NewRegistry(),
-		cache: NewCache(cfg.CacheBytes),
-		mux:   http.NewServeMux(),
-		start: time.Now(),
+		cfg:     cfg,
+		reg:     NewRegistry(),
+		cache:   NewCache(cfg.CacheBytes),
+		mux:     http.NewServeMux(),
+		start:   time.Now(),
+		metrics: obs.NewRegistry(),
 	}
 	if cfg.MaxInFlight > 0 {
 		s.sem = make(chan struct{}, cfg.MaxInFlight)
 	}
+	s.registerObs()
 	s.routes()
 	return s
 }
@@ -92,6 +106,8 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.Handle("GET /debug/vars", expvar.Handler())
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debug/trace/last", s.handleTraceLast)
 	s.mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
 	s.mux.HandleFunc("POST /v1/datasets/{name}", s.handleUpload)
 	s.mux.HandleFunc("POST /v1/generate", s.handleGenerate)
@@ -116,27 +132,42 @@ func (s *Server) toolHandler(tool string, compute computeFunc) http.HandlerFunc 
 		mRequests.Add(tool, 1)
 		mInFlight.Add(1)
 		defer mInFlight.Add(-1)
+		s.metrics.Counter("geostatd_requests_total",
+			"tool requests served", obs.L("tool", tool)).Inc()
+		inflight := s.metrics.Gauge("geostatd_requests_inflight",
+			"tool requests executing now")
+		inflight.Add(1)
+		defer inflight.Add(-1)
+
+		ctx, root := obs.NewTrace(r.Context(), "request")
+		root.SetAttr("tool", tool)
+		defer s.finishTrace(tool, root)
 
 		name := r.URL.Query().Get("dataset")
 		if name == "" {
 			s.writeError(w, http.StatusBadRequest, "missing dataset parameter")
 			return
 		}
+		_, lookup := obs.Trace(ctx, "request.lookup")
 		d, version, ok := s.reg.Get(name)
+		lookup.End()
 		if !ok {
 			s.writeError(w, http.StatusNotFound, fmt.Sprintf("unknown dataset %q", name))
 			return
 		}
 
 		key := cacheKey(tool, name, version, r.URL.Query())
-		if v, ok := s.cache.Get(key); ok {
+		_, probe := obs.Trace(ctx, "request.cache")
+		v, hit := s.cache.Get(key)
+		probe.End()
+		if hit {
 			mCacheHits.Add(1)
+			root.SetAttr("cache", "hit")
 			writeValue(w, v, "hit")
 			return
 		}
 		mCacheMisses.Add(1)
 
-		ctx := r.Context()
 		if s.sem != nil {
 			select {
 			case s.sem <- struct{}{}:
@@ -187,6 +218,10 @@ func (s *Server) writeError(w http.ResponseWriter, status int, msg string) {
 	if status >= http.StatusBadRequest && status != StatusClientClosedRequest &&
 		status != http.StatusServiceUnavailable {
 		mErrors.Add(1)
+	}
+	if status >= http.StatusBadRequest {
+		s.metrics.Counter("geostatd_errors_total",
+			"error responses by kind", obs.L("kind", errorKind(status))).Inc()
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
