@@ -3,6 +3,7 @@ package obs_test
 import (
 	"context"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -142,6 +143,90 @@ func TestRegistryRejectsBadNames(t *testing.T) {
 				r.Histogram(tc.name, "", nil)
 			}
 		}()
+	}
+}
+
+// TestRegistryConcurrentFirstTouch is the regression test for the
+// get-or-create race: creation used to happen after the registry lock was
+// released, so two goroutines first-touching one series could each create
+// (and one overwrite) the metric, losing increments. Run under -race.
+func TestRegistryConcurrentFirstTouch(t *testing.T) {
+	for iter := 0; iter < 50; iter++ {
+		r := obs.NewRegistry()
+		const goroutines = 8
+		var wg sync.WaitGroup
+		counters := make([]*obs.Counter, goroutines)
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				c := r.Counter("geostatd_requests_total", "requests", obs.L("tool", "kdv"))
+				c.Inc()
+				counters[g] = c
+			}(g)
+		}
+		wg.Wait()
+		for g := 1; g < goroutines; g++ {
+			if counters[g] != counters[0] {
+				t.Fatal("concurrent first touch created distinct counters")
+			}
+		}
+		if got := counters[0].Value(); got != goroutines {
+			t.Fatalf("counter = %d, want %d (lost increments)", got, goroutines)
+		}
+	}
+}
+
+func TestRegistryRejectsHelpMismatch(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Counter("geostatd_requests_total", "requests")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering with different help did not panic")
+		}
+	}()
+	r.Counter("geostatd_requests_total", "something else")
+}
+
+func TestRegistryHistogramFamilyBuckets(t *testing.T) {
+	r := obs.NewRegistry()
+	a := r.Histogram("geostatd_request_seconds", "latency", []float64{0.1, 1}, obs.L("tool", "kdv"))
+	// nil buckets on a later series reuse the family's bounds.
+	b := r.Histogram("geostatd_request_seconds", "latency", nil, obs.L("tool", "idw"))
+	a.Observe(500 * time.Millisecond)
+	b.Observe(500 * time.Millisecond)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range []string{
+		`geostatd_request_seconds_bucket{tool="kdv",le="1"} 1`,
+		`geostatd_request_seconds_bucket{tool="idw",le="1"} 1`,
+	} {
+		if !strings.Contains(sb.String(), line+"\n") {
+			t.Errorf("exposition missing %q:\n%s", line, sb.String())
+		}
+	}
+	// Matching non-nil bounds are accepted; differing bounds panic.
+	r.Histogram("geostatd_request_seconds", "latency", []float64{0.1, 1}, obs.L("tool", "moran"))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering with different buckets did not panic")
+		}
+	}()
+	r.Histogram("geostatd_request_seconds", "latency", []float64{0.2, 2}, obs.L("tool", "idw"))
+}
+
+func TestWritePrometheusEscapesHelp(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Counter("geostatd_requests_total", "line one\nwith \\ backslash")
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP geostatd_requests_total line one\nwith \\ backslash` + "\n"
+	if !strings.Contains(b.String(), want) {
+		t.Errorf("HELP line not escaped:\n%s", b.String())
 	}
 }
 

@@ -36,7 +36,8 @@ type Registry struct {
 
 type family struct {
 	name, help string
-	kind       string // "counter", "gauge" or "histogram"
+	kind       string    // "counter", "gauge" or "histogram"
+	buckets    []float64 // histogram families only: bounds fixed at first registration
 	series     map[string]*series
 }
 
@@ -56,48 +57,40 @@ func NewRegistry() *Registry {
 // Counter returns the counter for (name, labels), creating it on first
 // use.
 func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
-	s := r.series("counter", name, help, labels)
-	if s.c == nil {
-		s.c = &Counter{}
-	}
-	return s.c
+	return r.series("counter", name, help, nil, nil, labels).c
 }
 
 // Gauge returns the gauge for (name, labels), creating it on first use.
 func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
-	s := r.series("gauge", name, help, labels)
-	if s.g == nil {
-		s.g = &Gauge{}
-	}
-	return s.g
+	return r.series("gauge", name, help, nil, nil, labels).g
 }
 
-// Histogram returns the histogram for (name, labels), creating it with
-// the given bucket bounds (nil = LatencyBuckets) on first use. All series
-// of one family share the first registration's bounds.
+// Histogram returns the histogram for (name, labels), creating it on
+// first use. All series of one family share the bucket bounds of the
+// family's first registration (nil = LatencyBuckets); later calls may
+// pass nil to reuse them, and panic on differing non-nil bounds.
 func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
-	s := r.series("histogram", name, help, labels)
-	if s.h == nil {
-		s.h = NewHistogram(buckets)
-	}
-	return s.h
+	return r.series("histogram", name, help, buckets, nil, labels).h
 }
 
 // CounterFunc registers a counter whose value is read from fn at scrape
 // time — for monotonic counts owned elsewhere (e.g. cache eviction totals
 // kept by the cache itself). fn must be safe for concurrent use.
 func (r *Registry) CounterFunc(name, help string, fn func() int64, labels ...Label) {
-	r.series("counter", name, help, labels).fn = fn
+	r.series("counter", name, help, nil, fn, labels)
 }
 
 // GaugeFunc registers a gauge read from fn at scrape time.
 func (r *Registry) GaugeFunc(name, help string, fn func() int64, labels ...Label) {
-	r.series("gauge", name, help, labels).fn = fn
+	r.series("gauge", name, help, nil, fn, labels)
 }
 
 // series returns the series for (name, labels) under the family of the
-// given kind, creating family and series as needed.
-func (r *Registry) series(kind, name, help string, labels []Label) *series {
+// given kind, creating family and series as needed. Lookup, contract
+// checks, and creation all happen under r.mu so concurrent first touches
+// of one series resolve to a single metric — the returned series is
+// fully initialized (c/g/h set per kind, or fn for Func variants).
+func (r *Registry) series(kind, name, help string, buckets []float64, fn func() int64, labels []Label) *series {
 	if err := ValidMetricName(kind, name); err != nil {
 		panic(err)
 	}
@@ -110,16 +103,55 @@ func (r *Registry) series(kind, name, help string, labels []Label) *series {
 	f, ok := r.families[name]
 	if !ok {
 		f = &family{name: name, help: help, kind: kind, series: make(map[string]*series)}
+		if kind == "histogram" {
+			if buckets == nil {
+				buckets = LatencyBuckets
+			}
+			f.buckets = append([]float64(nil), buckets...)
+		}
 		r.families[name] = f
-	} else if f.kind != kind {
-		panic(fmt.Errorf("obs: %s registered as %s, requested as %s", name, f.kind, kind))
+	} else {
+		if f.kind != kind {
+			panic(fmt.Errorf("obs: %s registered as %s, requested as %s", name, f.kind, kind))
+		}
+		if f.help != help {
+			panic(fmt.Errorf("obs: %s registered with help %q, requested with %q", name, f.help, help))
+		}
+		if kind == "histogram" && buckets != nil && !equalBounds(f.buckets, buckets) {
+			panic(fmt.Errorf("obs: %s registered with buckets %v, requested with %v", name, f.buckets, buckets))
+		}
 	}
 	s, ok := f.series[key]
 	if !ok {
 		s = &series{labels: ls}
 		f.series[key] = s
 	}
+	if fn != nil {
+		s.fn = fn
+		return s
+	}
+	switch {
+	case kind == "counter" && s.c == nil:
+		s.c = &Counter{}
+	case kind == "gauge" && s.g == nil:
+		s.g = &Gauge{}
+	case kind == "histogram" && s.h == nil:
+		s.h = NewHistogram(f.buckets)
+	}
 	return s
+}
+
+// equalBounds reports whether two bucket ladders are identical.
+func equalBounds(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] { //lint:allow floateq bounds are config literals; identity, not arithmetic, is compared
+			return false
+		}
+	}
+	return true
 }
 
 // labelKey is the canonical identity of a label set (keys pre-sorted).
@@ -148,7 +180,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	for _, name := range names {
 		f := r.families[name]
 		if f.help != "" {
-			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
 				return err
 			}
 		}
@@ -232,6 +264,13 @@ func labelString(ls []Label, extra ...Label) string {
 func escapeLabel(v string) string {
 	v = strings.ReplaceAll(v, `\`, `\\`)
 	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// escapeHelp escapes backslash and newline in HELP text per the
+// exposition format (quotes are legal there, unlike in label values).
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
 	return strings.ReplaceAll(v, "\n", `\n`)
 }
 
