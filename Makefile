@@ -9,7 +9,7 @@ RACE_PKGS = ./...
 # below this. Raise it when coverage improves; never lower it.
 COVER_RATCHET = 80.0
 
-.PHONY: check vet build test race lint cover fuzz-smoke bench bench-json smoke
+.PHONY: check vet build test race lint cover fuzz-smoke bench bench-json bench-diff smoke
 
 check: vet build test race lint
 
@@ -53,6 +53,13 @@ bench:
 # regenerate it (on quiet hardware) when the perf profile changes.
 bench-json:
 	$(GO) run ./cmd/geobench -quick -json BENCH_baseline.json
+
+# Regression gate: run a fresh quick snapshot and diff it against the
+# committed baseline. Fails when any experiment slowed down >15%
+# (experiments under the 25ms noise floor are exempt).
+bench-diff:
+	$(GO) run ./cmd/geobench -quick -json BENCH_new.json
+	$(GO) run ./cmd/geobench -compare BENCH_baseline.json BENCH_new.json
 
 # End-to-end smoke: boot geostatd, drive one KDV request, and assert the
 # observability surfaces answer with well-formed output (Prometheus text

@@ -125,8 +125,8 @@ func BenchmarkNKDVEqualSplit(b *testing.B) {
 // Bivariate K and the Knox space-time screen.
 func BenchmarkCrossK(b *testing.B) {
 	r := rand.New(rand.NewSource(2))
-	a := UniformCSR(r, 20000, benchBox).Points
-	bb := UniformCSR(r, 2000, benchBox).Points
+	a := UniformCSR(r, 20000, benchBox).Points()
+	bb := UniformCSR(r, 2000, benchBox).Points()
 	thresholds := []float64{1, 2, 4, 8}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
@@ -143,7 +143,7 @@ func BenchmarkKnox(b *testing.B) {
 		b.Run(fmt.Sprintf("perms=%d", perms), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := KnoxTest(d.Points, d.Times, 4, 8, perms, 1, r); err != nil {
+				if _, err := KnoxTest(d.Points(), d.Times(), 4, 8, perms, 1, r); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -155,13 +155,13 @@ func BenchmarkGeary(b *testing.B) {
 	r := rand.New(rand.NewSource(4))
 	d := UniformCSR(r, 5000, benchBox)
 	WithField(r, d, func(p Point) float64 { return p.X }, 1)
-	w, err := KNNWeights(d.Points, 8)
+	w, err := KNNWeights(d.Points(), 8)
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := GearyC(d.Values, w, 99, r); err != nil {
+		if _, err := GearyC(d.Values(), w, 99, r); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -27,7 +27,7 @@ func benchPoints(n int) []Point {
 	return GaussianClusters(rng, n, benchBox, []GaussianCluster{
 		{Center: Point{X: 30, Y: 60}, Sigma: 8, Weight: 2},
 		{Center: Point{X: 70, Y: 25}, Sigma: 5, Weight: 1},
-	}, 0.3).Points
+	}, 0.3).Points()
 }
 
 // T2: one exact KDV per kernel type (auto-dispatched algorithm).
@@ -293,7 +293,7 @@ func BenchmarkSTKFunction(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			for _, s := range sTh {
 				for _, t := range tTh {
-					STKFunction(d.Points, d.Times, s, t)
+					STKFunction(d.Points(), d.Times(), s, t)
 				}
 			}
 		}
@@ -301,7 +301,7 @@ func BenchmarkSTKFunction(b *testing.B) {
 	b.Run("surface-one-pass", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, err := STKFunctionSurface(d.Points, d.Times, sTh, tTh, 0); err != nil {
+			if _, err := STKFunctionSurface(d.Points(), d.Times(), sTh, tTh, 0); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -370,7 +370,7 @@ func BenchmarkMoran(b *testing.B) {
 	rng := rand.New(rand.NewSource(8))
 	d := UniformCSR(rng, 5000, benchBox)
 	WithField(rng, d, func(p Point) float64 { return p.X }, 1)
-	w, err := KNNWeights(d.Points, 8)
+	w, err := KNNWeights(d.Points(), 8)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -378,7 +378,7 @@ func BenchmarkMoran(b *testing.B) {
 		b.Run(fmt.Sprintf("perms=%d", perms), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := MoranI(d.Values, w, perms, rng); err != nil {
+				if _, err := MoranI(d.Values(), w, perms, rng); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -391,13 +391,13 @@ func BenchmarkGetisOrd(b *testing.B) {
 	rng := rand.New(rand.NewSource(9))
 	d := UniformCSR(rng, 5000, benchBox)
 	WithField(rng, d, func(p Point) float64 { return p.X + 100 }, 1)
-	w, err := KNNWeights(d.Points, 8)
+	w, err := KNNWeights(d.Points(), 8)
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.Run("generalG-perms99", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := GeneralG(d.Values, w, 99, 7); err != nil {
+			if _, err := GeneralG(d.Values(), w, 99, 7); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -405,7 +405,7 @@ func BenchmarkGetisOrd(b *testing.B) {
 	b.Run("localGstar", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, err := LocalGStar(d.Values, w); err != nil {
+			if _, err := LocalGStar(d.Values(), w); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -479,7 +479,7 @@ func BenchmarkMoranParallel(b *testing.B) {
 	rng := rand.New(rand.NewSource(11))
 	d := UniformCSR(rng, 20000, benchBox)
 	WithField(rng, d, func(p Point) float64 { return p.X }, 1)
-	w, err := KNNWeights(d.Points, 8)
+	w, err := KNNWeights(d.Points(), 8)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -488,7 +488,7 @@ func BenchmarkMoranParallel(b *testing.B) {
 			opt := MoranOptions{Perms: 999, Seed: 11, Workers: workers}
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := MoranIOpt(d.Values, w, opt); err != nil {
+				if _, err := MoranIOpt(d.Values(), w, opt); err != nil {
 					b.Fatal(err)
 				}
 			}

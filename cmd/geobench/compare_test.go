@@ -1,0 +1,85 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func summaryOf(results ...benchResult) benchSummary {
+	return benchSummary{Results: results}
+}
+
+func TestCompareSummaries(t *testing.T) {
+	oldS := summaryOf(
+		benchResult{ID: "A", OK: true, ElapsedMS: 100},
+		benchResult{ID: "B", OK: true, ElapsedMS: 200},
+		benchResult{ID: "C", OK: true, ElapsedMS: 5},
+		benchResult{ID: "D", OK: true, ElapsedMS: 50},
+		benchResult{ID: "E", OK: false, ElapsedMS: 10},
+		benchResult{ID: "GONE", OK: true, ElapsedMS: 1},
+	)
+	newS := summaryOf(
+		benchResult{ID: "A", OK: true, ElapsedMS: 130},  // +30% → regressed
+		benchResult{ID: "B", OK: true, ElapsedMS: 150},  // -25% → faster
+		benchResult{ID: "C", OK: true, ElapsedMS: 9},    // +80% but under floor → ok
+		benchResult{ID: "D", OK: false, ElapsedMS: 48},  // stopped passing → broke
+		benchResult{ID: "E", OK: true, ElapsedMS: 12},   // started passing → fixed
+		benchResult{ID: "NEW", OK: true, ElapsedMS: 10}, // no baseline → new
+	)
+	rows, regressions := compareSummaries(oldS, newS, 0.15, 25)
+	if regressions != 2 {
+		t.Fatalf("regressions = %d, want 2 (A slowed, D broke)", regressions)
+	}
+	status := map[string]string{}
+	for _, r := range rows {
+		status[r.ID] = r.Status
+	}
+	want := map[string]string{
+		"A": "REGRESSED", "B": "faster", "C": "ok", "D": "BROKE",
+		"E": "fixed", "NEW": "new", "GONE": "removed",
+	}
+	for id, ws := range want {
+		if status[id] != ws {
+			t.Errorf("%s: status %q, want %q", id, status[id], ws)
+		}
+	}
+}
+
+func TestCompareThresholdBoundary(t *testing.T) {
+	oldS := summaryOf(benchResult{ID: "X", OK: true, ElapsedMS: 100})
+	// Exactly at the threshold is NOT a regression (strictly greater).
+	newS := summaryOf(benchResult{ID: "X", OK: true, ElapsedMS: 115})
+	if _, n := compareSummaries(oldS, newS, 0.15, 25); n != 0 {
+		t.Errorf("delta == threshold flagged as regression")
+	}
+	newS = summaryOf(benchResult{ID: "X", OK: true, ElapsedMS: 115.2})
+	if _, n := compareSummaries(oldS, newS, 0.15, 25); n != 1 {
+		t.Errorf("delta just above threshold not flagged")
+	}
+}
+
+func TestCompareFloorUsesEitherSide(t *testing.T) {
+	// old is under the floor but new crossed it: still a regression —
+	// a benchmark that grew from 10ms to 40ms quadrupled.
+	oldS := summaryOf(benchResult{ID: "X", OK: true, ElapsedMS: 10})
+	newS := summaryOf(benchResult{ID: "X", OK: true, ElapsedMS: 40})
+	if _, n := compareSummaries(oldS, newS, 0.15, 25); n != 1 {
+		t.Errorf("regression crossing the floor not flagged")
+	}
+}
+
+func TestWriteCompareTable(t *testing.T) {
+	rows := []compareRow{
+		{ID: "A", OldMS: 100, NewMS: 130, Delta: 0.3, Status: "REGRESSED"},
+		{ID: "NEW", NewMS: 10, Status: "new"},
+		{ID: "GONE", OldMS: 5, Status: "removed"},
+	}
+	var sb strings.Builder
+	writeCompareTable(&sb, rows)
+	out := sb.String()
+	for _, want := range []string{"REGRESSED", "+30.0%", "new", "removed", "130.0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -11,6 +11,8 @@
 //	geobench -workers 4          # bound parallelism (default: every core)
 //	geobench -list               # list experiment ids
 //	geobench -json bench.json    # also write a machine-readable run summary
+//	geobench -compare old.json new.json
+//	                             # diff two run summaries; exit 1 on regression
 package main
 
 import (
@@ -54,8 +56,20 @@ func main() {
 		workers = flag.Int("workers", 0, "parallelism for every parallel-capable call (0: every core, 1: serial)")
 		list    = flag.Bool("list", false, "list experiments and exit")
 		jsonOut = flag.String("json", "", "write a machine-readable run summary to this file")
+
+		compare   = flag.Bool("compare", false, "compare two -json summaries (old new) instead of running")
+		threshold = flag.Float64("threshold", 0.15, "with -compare: fractional slowdown that counts as a regression")
+		minMS     = flag.Float64("min-ms", 25, "with -compare: ignore slowdowns where both runs are faster than this")
 	)
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "geobench: -compare needs exactly two summary files: old.json new.json")
+			os.Exit(2)
+		}
+		os.Exit(runCompare(flag.Arg(0), flag.Arg(1), *threshold, *minMS))
+	}
 
 	if *list {
 		for _, r := range experiments.All() {

@@ -56,8 +56,8 @@ func TestRunDeterministic(t *testing.T) {
 	}
 	da, _ := geostat.ReadCSVFile(a)
 	db, _ := geostat.ReadCSVFile(b)
-	for i := range da.Points {
-		if da.Points[i] != db.Points[i] {
+	for i := range da.Points() {
+		if da.Points()[i] != db.Points()[i] {
 			t.Fatal("same seed produced different data")
 		}
 	}

@@ -83,7 +83,7 @@ func run(networkPath, eventsPath, out, kernelArg, geoOut string, bandwidth, lixe
 	// Snap planar events onto the network.
 	events := make([]geostat.NetworkPosition, d.N())
 	worstSnap := 0.0
-	for i, p := range d.Points {
+	for i, p := range d.Points() {
 		pos, dist := geostat.SnapToNetwork(g, p)
 		events[i] = pos
 		if dist > worstSnap {

@@ -53,8 +53,17 @@ func WithField(rng *rand.Rand, d *Dataset, field func(Point) float64, noiseSigma
 	return dataset.WithField(rng, d, field, noiseSigma)
 }
 
-// FromPoints wraps points in a Dataset without copying.
+// FromPoints builds a Dataset from points. The input slice is copied into
+// the dataset's columnar storage and is not retained; callers may reuse or
+// mutate pts afterwards.
 func FromPoints(pts []Point) *Dataset { return dataset.FromPoints(pts) }
+
+// NewDataset builds a Dataset from points plus optional parallel times and
+// values columns (nil to omit). Column lengths must match len(pts) and all
+// entries must be finite.
+func NewDataset(pts []Point, times, values []float64) (*Dataset, error) {
+	return dataset.New(pts, times, values)
+}
 
 // SampleFromIntensity draws n points from an unnormalised intensity
 // surface (e.g. a fitted Heatmap's Values) — the simulator behind

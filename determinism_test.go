@@ -21,12 +21,12 @@ func detValued(n int) *Dataset {
 
 func TestMoranGlobalWorkerInvariance(t *testing.T) {
 	d := detValued(300)
-	w, err := KNNWeights(d.Points, 6)
+	w, err := KNNWeights(d.Points(), 6)
 	if err != nil {
 		t.Fatal(err)
 	}
 	run := func(workers int) *MoranResult {
-		res, err := MoranIOpt(d.Values, w, MoranOptions{Perms: 199, Seed: detSeed, Workers: workers})
+		res, err := MoranIOpt(d.Values(), w, MoranOptions{Perms: 199, Seed: detSeed, Workers: workers})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -40,12 +40,12 @@ func TestMoranGlobalWorkerInvariance(t *testing.T) {
 
 func TestMoranLocalWorkerInvariance(t *testing.T) {
 	d := detValued(200)
-	w, err := KNNWeights(d.Points, 6)
+	w, err := KNNWeights(d.Points(), 6)
 	if err != nil {
 		t.Fatal(err)
 	}
 	run := func(workers int) []LocalMoranResult {
-		out, err := LocalMoranOpt(d.Values, w, MoranOptions{Perms: 99, Seed: detSeed, Workers: workers})
+		out, err := LocalMoranOpt(d.Values(), w, MoranOptions{Perms: 99, Seed: detSeed, Workers: workers})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -61,12 +61,12 @@ func TestMoranLocalWorkerInvariance(t *testing.T) {
 
 func TestGearyWorkerInvariance(t *testing.T) {
 	d := detValued(300)
-	w, err := KNNWeights(d.Points, 6)
+	w, err := KNNWeights(d.Points(), 6)
 	if err != nil {
 		t.Fatal(err)
 	}
 	run := func(workers int) *GearyResult {
-		res, err := GearyCOpt(d.Values, w, MoranOptions{Perms: 199, Seed: detSeed, Workers: workers})
+		res, err := GearyCOpt(d.Values(), w, MoranOptions{Perms: 199, Seed: detSeed, Workers: workers})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -80,12 +80,12 @@ func TestGearyWorkerInvariance(t *testing.T) {
 
 func TestGeneralGWorkerInvariance(t *testing.T) {
 	d := detValued(300)
-	w, err := DistanceBandWeights(d.Points, 8)
+	w, err := DistanceBandWeights(d.Points(), 8)
 	if err != nil {
 		t.Fatal(err)
 	}
 	run := func(workers int) *GeneralGResult {
-		res, err := GeneralGOpt(d.Values, w, GetisOrdOptions{Perms: 199, Seed: detSeed, Workers: workers})
+		res, err := GeneralGOpt(d.Values(), w, GetisOrdOptions{Perms: 199, Seed: detSeed, Workers: workers})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -101,7 +101,7 @@ func TestKPlotWorkerInvariance(t *testing.T) {
 	d := hotspotData(detSeed, 300)
 	run := func(workers int) *KPlot {
 		// Same rng seed each run so the envelope seed matches.
-		p, err := KFunctionPlot(d.Points, KPlotOptions{
+		p, err := KFunctionPlot(d.Points(), KPlotOptions{
 			Thresholds:  []float64{2, 5, 10},
 			Simulations: 19,
 			Window:      box,
@@ -163,8 +163,8 @@ func TestNetworkKPlotWorkerInvariance(t *testing.T) {
 
 func TestCrossPlotAndKnoxWorkerInvariance(t *testing.T) {
 	r := rand.New(rand.NewSource(detSeed))
-	a := UniformCSR(r, 120, box).Points
-	b := UniformCSR(r, 40, box).Points
+	a := UniformCSR(r, 120, box).Points()
+	b := UniformCSR(r, 40, box).Points()
 	runCross := func(workers int) *KPlot {
 		p, err := CrossKFunctionPlot(a, b, []float64{2, 6, 12}, 19, workers,
 			rand.New(rand.NewSource(detSeed)))
@@ -184,7 +184,7 @@ func TestCrossPlotAndKnoxWorkerInvariance(t *testing.T) {
 		{Center: Point{X: 40, Y: 40}, Sigma: 6, TimeMean: 50, TimeSigma: 10, Weight: 1},
 	}, 0.3)
 	runKnox := func(workers int) *KnoxResult {
-		res, err := KnoxTest(d.Points, d.Times, 5, 10, 199, workers,
+		res, err := KnoxTest(d.Points(), d.Times(), 5, 10, 199, workers,
 			rand.New(rand.NewSource(detSeed)))
 		if err != nil {
 			t.Fatal(err)
@@ -218,22 +218,22 @@ func TestWeightsWorkerInvariance(t *testing.T) {
 		}
 		return true
 	}
-	k1, err := KNNWeightsWorkers(d.Points, 6, 1)
+	k1, err := KNNWeightsWorkers(d.Points(), 6, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	k8, err := KNNWeightsWorkers(d.Points, 6, 8)
+	k8, err := KNNWeightsWorkers(d.Points(), 6, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !sameMatrix(k1, k8) {
 		t.Error("KNN weights differ across worker counts")
 	}
-	b1, err := DistanceBandWeightsWorkers(d.Points, 7, 1)
+	b1, err := DistanceBandWeightsWorkers(d.Points(), 7, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b8, err := DistanceBandWeightsWorkers(d.Points, 7, 8)
+	b8, err := DistanceBandWeightsWorkers(d.Points(), 7, 8)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -15,7 +15,7 @@ func ExampleKDV() {
 		{Center: geostat.Point{X: 30, Y: 70}, Sigma: 5, Weight: 1},
 	}, 0.2)
 
-	heat, err := geostat.KDV(data.Points, geostat.KDVOptions{
+	heat, err := geostat.KDV(data.Points(), geostat.KDVOptions{
 		Kernel: geostat.MustKernel(geostat.Quartic, 8),
 		Grid:   geostat.NewPixelGrid(region, 100, 100),
 	})
@@ -41,8 +41,8 @@ func ExampleKFunctionPlot() {
 		Simulations: 19,
 		Window:      region,
 	}
-	p1, _ := geostat.KFunctionPlot(clustered.Points, opt, rng)
-	p2, _ := geostat.KFunctionPlot(random.Points, opt, rng)
+	p1, _ := geostat.KFunctionPlot(clustered.Points(), opt, rng)
+	p2, _ := geostat.KFunctionPlot(random.Points(), opt, rng)
 	fmt.Println("Matérn process:", p1.RegimeAt(0))
 	fmt.Println("uniform process:", p2.RegimeAt(0))
 	// Output:
@@ -57,8 +57,8 @@ func ExampleMoranI() {
 	sensors := geostat.UniformCSR(rng, 500, region)
 	geostat.WithField(rng, sensors, func(p geostat.Point) float64 { return p.X / 10 }, 0.5)
 
-	w, _ := geostat.KNNWeights(sensors.Points, 8)
-	res, _ := geostat.MoranI(sensors.Values, w, 99, rng)
+	w, _ := geostat.KNNWeights(sensors.Points(), 8)
+	res, _ := geostat.MoranI(sensors.Values(), w, 99, rng)
 	fmt.Printf("positive autocorrelation: %v (p < 0.05: %v)\n", res.I > 0.5, res.P < 0.05)
 	// Output: positive autocorrelation: true (p < 0.05: true)
 }

@@ -29,15 +29,15 @@ func main() {
 	fmt.Printf("%d sensors over a %gx%g km region\n", sensors.N(), region.Width(), region.Height())
 
 	// Step 1 — is the field spatially structured at all?
-	w, err := geostat.KNNWeights(sensors.Points, 8)
+	w, err := geostat.KNNWeights(sensors.Points(), 8)
 	if err != nil {
 		log.Fatal(err)
 	}
-	mi, err := geostat.MoranI(sensors.Values, w, 199, rng)
+	mi, err := geostat.MoranI(sensors.Values(), w, 199, rng)
 	if err != nil {
 		log.Fatal(err)
 	}
-	gg, err := geostat.GeneralG(sensors.Values, w, 199, 5)
+	gg, err := geostat.GeneralG(sensors.Values(), w, 199, 5)
 	if err != nil {
 		log.Fatal(err)
 	}

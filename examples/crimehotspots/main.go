@@ -23,13 +23,14 @@ func main() {
 		{Center: geostat.Point{X: 150, Y: 40}, Sigma: 9, Weight: 2},
 		{Center: geostat.Point{X: 110, Y: 100}, Sigma: 4, Weight: 1},
 	}, 0.35)
+	pts := incidents.Points()
 	fmt.Printf("analyzing %d incidents over a %gx%g km city\n",
 		incidents.N(), city.Width(), city.Height())
 
 	// Step 1 — significance first (Figure 2's workflow): without this, any
 	// dataset produces a colourful heatmap.
 	thresholds := []float64{1, 2, 4, 6, 8, 12, 16}
-	plot, err := geostat.KFunctionPlot(incidents.Points, geostat.KPlotOptions{
+	plot, err := geostat.KFunctionPlot(pts, geostat.KPlotOptions{
 		Thresholds:  thresholds,
 		Simulations: 19,
 		Window:      city,
@@ -54,7 +55,7 @@ func main() {
 	fmt.Printf("clustered at every tested scale; using bandwidth %.1f for KDV\n", bandwidth)
 
 	// Step 2 — density surface (exact sweep line under the hood).
-	heat, err := geostat.KDV(incidents.Points, geostat.KDVOptions{
+	heat, err := geostat.KDV(pts, geostat.KDVOptions{
 		Kernel:  geostat.MustKernel(geostat.Quartic, bandwidth),
 		Grid:    geostat.NewPixelGrid(city, 400, 300),
 		Workers: -1,
@@ -68,7 +69,7 @@ func main() {
 	fmt.Println("wrote crime_heatmap.png")
 
 	// Step 3 — delineate hotspot areas with DBSCAN at the chosen scale.
-	labels, err := geostat.DBSCAN(incidents.Points, 1.2, 30)
+	labels, err := geostat.DBSCAN(pts, 1.2, 30)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -81,7 +82,7 @@ func main() {
 			continue
 		}
 		counts[l]++
-		sums[l] = sums[l].Add(incidents.Points[i])
+		sums[l] = sums[l].Add(pts[i])
 	}
 	for c := 0; c < nClusters; c++ {
 		if counts[c] < 500 {
@@ -95,7 +96,7 @@ func main() {
 	// Step 4 — hot-spot z-scores: aggregate incidents to a coarse grid and
 	// run Getis-Ord Gi* (the ArcGIS "Hot Spot Analysis" equivalent).
 	coarse := geostat.NewPixelGrid(city, 20, 15)
-	cellCounts := geostat.CountGrid(incidents.Points, coarse).Values
+	cellCounts := geostat.CountGrid(pts, coarse).Values
 	var cellCenters []geostat.Point
 	for iy := 0; iy < coarse.NY; iy++ {
 		for ix := 0; ix < coarse.NX; ix++ {
@@ -138,7 +139,7 @@ func main() {
 			X: c.X + rng.NormFloat64()*5, Y: c.Y + rng.NormFloat64()*5,
 		})
 	}
-	cross, err := geostat.CrossKFunctionPlot(incidents.Points, venues, []float64{2, 5, 10}, 19, -1, rng)
+	cross, err := geostat.CrossKFunctionPlot(pts, venues, []float64{2, 5, 10}, 19, -1, rng)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -13,18 +13,18 @@ func TestGearyFacade(t *testing.T) {
 	r := rand.New(rand.NewSource(60))
 	d := UniformCSR(r, 300, box)
 	WithField(r, d, func(p Point) float64 { return p.X }, 0.5)
-	w, err := KNNWeights(d.Points, 6)
+	w, err := KNNWeights(d.Points(), 6)
 	if err != nil {
 		t.Fatal(err)
 	}
-	g, err := GearyC(d.Values, w, 99, r)
+	g, err := GearyC(d.Values(), w, 99, r)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if g.C >= 1 {
 		t.Errorf("gradient Geary C = %v, want < 1", g.C)
 	}
-	q, err := MoranQuadrants(d.Values, w)
+	q, err := MoranQuadrants(d.Values(), w)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +45,7 @@ func TestGearyFacade(t *testing.T) {
 
 func TestCrossKAndKnoxFacade(t *testing.T) {
 	r := rand.New(rand.NewSource(61))
-	bars := UniformCSR(r, 20, box).Points
+	bars := UniformCSR(r, 20, box).Points()
 	var crimes []Point
 	for len(crimes) < 200 {
 		c := bars[r.Intn(len(bars))]
@@ -76,7 +76,7 @@ func TestCrossKAndKnoxFacade(t *testing.T) {
 		{Center: Point{X: 30, Y: 30}, Sigma: 5, TimeMean: 25, TimeSigma: 6, Weight: 1},
 		{Center: Point{X: 70, Y: 70}, Sigma: 5, TimeMean: 75, TimeSigma: 6, Weight: 1},
 	}, 0.2)
-	knox, err := KnoxTest(d.Points, d.Times, 5, 10, 99, 1, r)
+	knox, err := KnoxTest(d.Points(), d.Times(), 5, 10, 99, 1, r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +108,7 @@ func TestStreamingFacade(t *testing.T) {
 
 	r := rand.New(rand.NewSource(62))
 	d2 := SpatioTemporalOutbreak(r, 200, box, 0, 50, nil, 1)
-	w, err := NewKDVWindowStream(k, grid, d2.Points, d2.Times, 10)
+	w, err := NewKDVWindowStream(k, grid, d2.Points(), d2.Times(), 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +119,7 @@ func TestStreamingFacade(t *testing.T) {
 }
 
 func TestContourFacade(t *testing.T) {
-	pts := hotspotData(63, 3000).Points
+	pts := hotspotData(63, 3000).Points()
 	grid := NewPixelGrid(box, 100, 100)
 	hm, err := KDV(pts, KDVOptions{Kernel: MustKernel(Quartic, 8), Grid: grid})
 	if err != nil {
@@ -149,7 +149,7 @@ func TestContourFacade(t *testing.T) {
 
 func TestContourLevelSets(t *testing.T) {
 	// Nested contours: higher levels enclose smaller areas.
-	pts := hotspotData(64, 2000).Points
+	pts := hotspotData(64, 2000).Points()
 	grid := NewPixelGrid(box, 80, 80)
 	hm, err := KDV(pts, KDVOptions{Kernel: MustKernel(Quartic, 10), Grid: grid})
 	if err != nil {

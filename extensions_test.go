@@ -12,12 +12,12 @@ func TestMultiBandwidthFacade(t *testing.T) {
 	d := hotspotData(40, 400)
 	grid := NewPixelGrid(box, 20, 20)
 	bw := []float64{4, 8, 16}
-	surfaces, err := KDVMultiBandwidth(d.Points, grid, Quartic, bw, 0)
+	surfaces, err := KDVMultiBandwidth(d.Points(), grid, Quartic, bw, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i, b := range bw {
-		want, err := KDV(d.Points, KDVOptions{Kernel: MustKernel(Quartic, b), Grid: grid})
+		want, err := KDV(d.Points(), KDVOptions{Kernel: MustKernel(Quartic, b), Grid: grid})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -34,11 +34,11 @@ func TestAdaptiveFacade(t *testing.T) {
 	// Pixel pitch 2; keep the bandwidth floor above it so dense-cluster
 	// points (tiny kNN distances) still cover pixel centers.
 	grid := NewPixelGrid(box, 50, 50)
-	bw, err := AdaptiveBandwidths(d.Points, 10, 1.0, 3)
+	bw, err := AdaptiveBandwidths(d.Points(), 10, 1.0, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	hm, err := KDVAdaptive(d.Points, bw, Quartic, grid, -1)
+	hm, err := KDVAdaptive(d.Points(), bw, Quartic, grid, -1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,14 +51,14 @@ func TestAdaptiveFacade(t *testing.T) {
 
 func TestBandwidthSelectionFacade(t *testing.T) {
 	d := hotspotData(42, 600)
-	b, err := SilvermanBandwidth(d.Points)
+	b, err := SilvermanBandwidth(d.Points())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if b <= 0 || b > 50 {
 		t.Errorf("Silverman = %v", b)
 	}
-	best, err := SelectBandwidthCV(d.Points, Quartic, []float64{b / 4, b, b * 4}, 4, 1)
+	best, err := SelectBandwidthCV(d.Points(), Quartic, []float64{b / 4, b, b * 4}, 4, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,14 +75,14 @@ func TestBandwidthSelectionFacade(t *testing.T) {
 
 func TestCSRTestsFacade(t *testing.T) {
 	d := hotspotData(43, 1200)
-	q, err := QuadratTest(d.Points, box, 5, 5)
+	q, err := QuadratTest(d.Points(), box, 5, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if q.Regime(0.05) != RegimeClustered {
 		t.Errorf("quadrat regime = %v (p=%v vmr=%v)", q.Regime(0.05), q.P, q.VMR)
 	}
-	ce, err := ClarkEvans(d.Points, box)
+	ce, err := ClarkEvans(d.Points(), box)
 	if err != nil {
 		t.Fatal(err)
 	}

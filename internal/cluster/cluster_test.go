@@ -16,7 +16,7 @@ func blobs(seed int64, n int) []geom.Point {
 		{Center: geom.Point{X: 20, Y: 20}, Sigma: 2, Weight: 1},
 		{Center: geom.Point{X: 80, Y: 30}, Sigma: 2, Weight: 1},
 		{Center: geom.Point{X: 50, Y: 80}, Sigma: 2, Weight: 1},
-	}, 0).Points
+	}, 0).Points()
 }
 
 func TestDBSCANValidation(t *testing.T) {

@@ -1,0 +1,126 @@
+package dataset
+
+import (
+	"geostat/internal/geom"
+)
+
+// ChunkSize is the number of points per storage chunk. 4096 points is
+// 32 KiB per coordinate column — two columns stream through L1/L2 while a
+// raster row's accumulators stay register- or cache-resident, which is the
+// cache-blocking grain the columnar evaluation loops in internal/kde,
+// internal/kfunc and internal/idw are built around. Chunk boundaries are
+// also the natural slicing grain for tile sharding and append-only
+// versioning (ROADMAP items 1 and 4).
+const ChunkSize = 4096
+
+// Chunk is the metadata of one fixed-size storage chunk: the half-open
+// column range [Lo, Hi) it covers plus precomputed aggregates that let
+// distance-bounded tools reject the whole chunk without touching points.
+type Chunk struct {
+	// Lo and Hi bound the chunk's half-open slice of the columns.
+	Lo, Hi int
+	// BBox is the bounding box of the chunk's points. A query point
+	// farther than the kernel support from BBox cannot receive any
+	// contribution from this chunk.
+	BBox geom.BBox
+	// WeightSum is the sum of the chunk's weights (the point count when
+	// the dataset is unweighted) — the mass a coarse evaluation assigns
+	// to the whole chunk.
+	WeightSum float64
+	// Centroid is the weighted mean position of the chunk's points — the
+	// attachment point for coreset/sketch layers built over chunks.
+	Centroid geom.Point
+}
+
+// Columns is the structure-of-arrays view of a point set: coordinate
+// columns (plus an optional weight column) with per-chunk aggregates.
+// The inner loops of the analytic tools iterate these slices directly.
+//
+// The fields are read-only outside internal/dataset: writing them (or
+// re-slicing and writing through them) silently breaks the chunk
+// aggregates and the X/Y length invariant. The geolint colaccess analyzer
+// rejects such writes at lint time.
+type Columns struct {
+	// X and Y are the coordinate columns; len(X) == len(Y).
+	X, Y []float64
+	// W is the optional per-point weight column (nil means all weights 1).
+	W []float64
+	// Chunks partitions [0, len(X)) into ChunkSize-sized ranges with
+	// precomputed aggregates.
+	Chunks []Chunk
+}
+
+// N returns the number of points in the columns.
+func (c Columns) N() int { return len(c.X) }
+
+// Bounds returns the bounding box of the columns, computed from the chunk
+// aggregates (O(chunks), not O(n)).
+func (c Columns) Bounds() geom.BBox {
+	b := geom.EmptyBBox()
+	for _, ch := range c.Chunks {
+		b = b.Union(ch.BBox)
+	}
+	return b
+}
+
+// WeightAt returns the weight of point i (1 when unweighted).
+func (c Columns) WeightAt(i int) float64 {
+	if c.W == nil {
+		return 1
+	}
+	return c.W[i]
+}
+
+// MakeColumns builds a chunked SoA view of pts with optional per-point
+// weights. The coordinates are copied into fresh columns; w is aliased,
+// not copied (it is already a column). This is the adapter the
+// []geom.Point entry points of the analytic tools use to reach the
+// columnar inner loops.
+func MakeColumns(pts []geom.Point, w []float64) Columns {
+	x := make([]float64, len(pts))
+	y := make([]float64, len(pts))
+	for i, p := range pts {
+		x[i] = p.X
+		y[i] = p.Y
+	}
+	return Columns{X: x, Y: y, W: w, Chunks: buildChunks(x, y, w)}
+}
+
+// buildChunks computes the per-chunk aggregates over the given columns.
+func buildChunks(x, y, w []float64) []Chunk {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	chunks := make([]Chunk, 0, (n+ChunkSize-1)/ChunkSize)
+	for lo := 0; lo < n; lo += ChunkSize {
+		hi := lo + ChunkSize
+		if hi > n {
+			hi = n
+		}
+		chunks = append(chunks, makeChunk(x, y, w, lo, hi))
+	}
+	return chunks
+}
+
+// makeChunk computes one chunk's aggregates over columns[lo:hi).
+func makeChunk(x, y, w []float64, lo, hi int) Chunk {
+	ch := Chunk{Lo: lo, Hi: hi, BBox: geom.EmptyBBox()}
+	var sx, sy float64
+	for i := lo; i < hi; i++ {
+		ch.BBox = ch.BBox.ExtendPoint(geom.Point{X: x[i], Y: y[i]})
+		wi := 1.0
+		if w != nil {
+			wi = w[i]
+		}
+		ch.WeightSum += wi
+		sx += wi * x[i]
+		sy += wi * y[i]
+	}
+	if ch.WeightSum != 0 {
+		ch.Centroid = geom.Point{X: sx / ch.WeightSum, Y: sy / ch.WeightSum}
+	} else {
+		ch.Centroid = ch.BBox.Center()
+	}
+	return ch
+}

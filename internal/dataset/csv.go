@@ -38,14 +38,15 @@ func WriteCSV(w io.Writer, d *Dataset) error {
 		return err
 	}
 	row := make([]string, 0, 4)
-	for i, p := range d.Points {
+	for i := 0; i < d.N(); i++ {
+		x, y := d.XY(i)
 		row = row[:0]
-		row = append(row, formatF(p.X), formatF(p.Y))
+		row = append(row, formatF(x), formatF(y))
 		if d.HasTimes() {
-			row = append(row, formatF(d.Times[i]))
+			row = append(row, formatF(d.times[i]))
 		}
 		if d.HasValues() {
-			row = append(row, formatF(d.Values[i]))
+			row = append(row, formatF(d.values[i]))
 		}
 		if err := cw.Write(row); err != nil {
 			return err
@@ -67,12 +68,16 @@ func ReadCSV(r io.Reader) (*Dataset, error) {
 	if err != nil {
 		return nil, err
 	}
-	d := &Dataset{}
+	var (
+		pts    []geom.Point
+		times  []float64
+		values []float64
+	)
 	if hasT {
-		d.Times = []float64{}
+		times = []float64{}
 	}
 	if hasV {
-		d.Values = []float64{}
+		values = []float64{}
 	}
 	for line := 2; ; line++ {
 		rec, err := cr.Read()
@@ -91,19 +96,16 @@ func ReadCSV(r io.Reader) (*Dataset, error) {
 			vals[i] = v
 		}
 		col := 2
-		d.Points = append(d.Points, pointXY(vals[0], vals[1]))
+		pts = append(pts, pointXY(vals[0], vals[1]))
 		if hasT {
-			d.Times = append(d.Times, vals[col])
+			times = append(times, vals[col])
 			col++
 		}
 		if hasV {
-			d.Values = append(d.Values, vals[col])
+			values = append(values, vals[col])
 		}
 	}
-	if err := d.Validate(); err != nil {
-		return nil, err
-	}
-	return d, nil
+	return New(pts, times, values)
 }
 
 // ReadCSVFile reads a dataset from the named file.

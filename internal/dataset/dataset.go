@@ -4,6 +4,16 @@
 // the paper's access-gated real datasets (Hong Kong COVID-19, Chicago
 // crime, NYC taxi — see DESIGN.md's substitution table), and CSV I/O for
 // the CLIs.
+//
+// Storage is a chunked structure-of-arrays: separate x/y (plus optional
+// weight/time/value) columns, partitioned into ChunkSize ranges whose
+// bounding box, weight sum and centroid are precomputed (see Columns).
+// Distance-bounded tools reject whole chunks against the kernel support
+// before touching points, and the columnar layout is what the
+// cache-blocked inner loops in internal/kde, internal/kfunc and
+// internal/idw iterate. Point order is insertion order — chunking never
+// reorders points, so results that sum per-point contributions are
+// bit-identical to a flat array-of-structs evaluation.
 package dataset
 
 import (
@@ -13,116 +23,274 @@ import (
 	"geostat/internal/geom"
 )
 
-// Dataset is a location dataset: points with optional per-point event times
-// and values. Times power the spatiotemporal tools (STKDV, spatiotemporal
-// K-function); Values power the interpolation (IDW, Kriging) and
-// autocorrelation (Moran's I, Getis-Ord) tools, which are defined on
-// measured attributes rather than bare events.
+// Dataset is a location dataset: points with optional per-point event
+// times, measured values and weights. Times power the spatiotemporal tools
+// (STKDV, spatiotemporal K-function); Values power the interpolation (IDW,
+// Kriging) and autocorrelation (Moran's I, Getis-Ord) tools, which are
+// defined on measured attributes rather than bare events; Weights scale
+// each event's mass in density tools (severity, case counts).
 //
-// Invariants (checked by Validate): Times and Values are either nil or have
-// exactly len(Points) entries, and no coordinate is NaN/Inf.
+// Invariants (checked by Validate): the optional columns are either nil or
+// have exactly N() entries, and no stored number is NaN/Inf.
+//
+// The zero value is an empty dataset. Construct with New, FromPoints or
+// the generators; read coordinates through XY/Point/Points and the column
+// accessors. The internal columns are not addressable from outside this
+// package, so the chunk aggregates can never drift from the data.
 type Dataset struct {
-	Points []geom.Point
-	Times  []float64 // event timestamps, arbitrary units; nil if purely spatial
-	Values []float64 // measured attribute at each point; nil if pure events
+	x, y    []float64
+	chunks  []Chunk
+	times   []float64 // event timestamps, arbitrary units; nil if purely spatial
+	values  []float64 // measured attribute at each point; nil if pure events
+	weights []float64 // per-event mass; nil means all 1
+}
+
+// New assembles a dataset from points and optional times/values columns
+// (either may be nil). The coordinates are copied into columnar storage;
+// times and values are retained without copying and must not be mutated by
+// the caller afterwards.
+func New(pts []geom.Point, times, values []float64) (*Dataset, error) {
+	d := FromPoints(pts)
+	d.times = times
+	d.values = values
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// FromPoints builds a dataset over pts. The coordinates are copied into
+// the chunked columnar storage: unlike the pre-columnar version of this
+// API, the input slice is NOT retained, so callers may reuse or mutate pts
+// freely afterwards (the old aliasing footgun is gone by construction).
+func FromPoints(pts []geom.Point) *Dataset {
+	c := MakeColumns(pts, nil)
+	return &Dataset{x: c.X, y: c.Y, chunks: c.Chunks}
+}
+
+// fromColumns wraps already-built coordinate columns, taking ownership.
+func fromColumns(x, y []float64) *Dataset {
+	return &Dataset{x: x, y: y, chunks: buildChunks(x, y, nil)}
 }
 
 // N returns the number of points.
-func (d *Dataset) N() int { return len(d.Points) }
+func (d *Dataset) N() int { return len(d.x) }
+
+// XY returns the coordinates of point i.
+func (d *Dataset) XY(i int) (x, y float64) { return d.x[i], d.y[i] }
+
+// Point returns point i.
+func (d *Dataset) Point(i int) geom.Point { return geom.Point{X: d.x[i], Y: d.y[i]} }
+
+// Points materialises the points as a fresh array-of-structs slice — an
+// O(n) copy for APIs shaped around []geom.Point. Hot paths should use
+// Columns instead and iterate the coordinate slices directly.
+func (d *Dataset) Points() []geom.Point {
+	pts := make([]geom.Point, len(d.x))
+	for i := range pts {
+		pts[i] = geom.Point{X: d.x[i], Y: d.y[i]}
+	}
+	return pts
+}
+
+// Columns returns the chunked SoA view of the dataset (coordinates, the
+// optional weight column, and per-chunk aggregates). The returned slices
+// alias the dataset's storage and are read-only: writing through them
+// breaks the chunk aggregates (the geolint colaccess analyzer enforces
+// this outside internal/dataset).
+func (d *Dataset) Columns() Columns {
+	return Columns{X: d.x, Y: d.y, W: d.weights, Chunks: d.chunks}
+}
+
+// Chunks returns the per-chunk metadata (see Chunk).
+func (d *Dataset) Chunks() []Chunk { return d.chunks }
+
+// Times returns the event-time column (nil if purely spatial). The slice
+// aliases the dataset's storage; treat it as read-only.
+func (d *Dataset) Times() []float64 { return d.times }
+
+// Values returns the measured-value column (nil if pure events). The
+// slice aliases the dataset's storage; treat it as read-only.
+func (d *Dataset) Values() []float64 { return d.values }
+
+// Weights returns the per-event weight column (nil means all 1). The
+// slice aliases the dataset's storage; treat it as read-only.
+func (d *Dataset) Weights() []float64 { return d.weights }
 
 // HasTimes reports whether the dataset carries event times.
-func (d *Dataset) HasTimes() bool { return d.Times != nil }
+func (d *Dataset) HasTimes() bool { return d.times != nil }
 
 // HasValues reports whether the dataset carries measured values.
-func (d *Dataset) HasValues() bool { return d.Values != nil }
+func (d *Dataset) HasValues() bool { return d.values != nil }
 
-// Bounds returns the bounding box of the points.
-func (d *Dataset) Bounds() geom.BBox { return geom.NewBBox(d.Points) }
+// HasWeights reports whether the dataset carries per-event weights.
+func (d *Dataset) HasWeights() bool { return d.weights != nil }
+
+// SetTimes attaches (or with nil, removes) the event-time column. The
+// slice is retained without copying; the caller must not mutate it
+// afterwards.
+func (d *Dataset) SetTimes(times []float64) error {
+	if err := checkColumn("time", times, d.N()); err != nil {
+		return err
+	}
+	d.times = times
+	return nil
+}
+
+// SetValues attaches (or with nil, removes) the measured-value column.
+// The slice is retained without copying; the caller must not mutate it
+// afterwards.
+func (d *Dataset) SetValues(values []float64) error {
+	if err := checkColumn("value", values, d.N()); err != nil {
+		return err
+	}
+	d.values = values
+	return nil
+}
+
+// SetWeights attaches (or with nil, removes) the per-event weight column
+// and recomputes the per-chunk weight aggregates. The slice is retained
+// without copying; the caller must not mutate it afterwards.
+func (d *Dataset) SetWeights(weights []float64) error {
+	if err := checkColumn("weight", weights, d.N()); err != nil {
+		return err
+	}
+	d.weights = weights
+	d.chunks = buildChunks(d.x, d.y, d.weights)
+	return nil
+}
+
+// checkColumn validates an optional column against the point count: nil is
+// allowed, otherwise the length must match and every entry be finite.
+func checkColumn(what string, col []float64, n int) error {
+	if col == nil {
+		return nil
+	}
+	if len(col) != n {
+		return fmt.Errorf("dataset: %d points but %d %ss", n, len(col), what)
+	}
+	for i, v := range col {
+		if !finite(v) {
+			return fmt.Errorf("dataset: %s %d is non-finite (%v)", what, i, v)
+		}
+	}
+	return nil
+}
+
+// Bounds returns the bounding box of the points, from the precomputed
+// chunk aggregates (O(chunks)).
+func (d *Dataset) Bounds() geom.BBox {
+	b := geom.EmptyBBox()
+	for _, ch := range d.chunks {
+		b = b.Union(ch.BBox)
+	}
+	return b
+}
 
 // TimeRange returns the min and max event time. It returns (0, 0, false)
 // if the dataset has no times or no points.
 func (d *Dataset) TimeRange() (lo, hi float64, ok bool) {
-	if !d.HasTimes() || len(d.Times) == 0 {
+	if !d.HasTimes() || len(d.times) == 0 {
 		return 0, 0, false
 	}
-	lo, hi = d.Times[0], d.Times[0]
-	for _, t := range d.Times[1:] {
+	lo, hi = d.times[0], d.times[0]
+	for _, t := range d.times[1:] {
 		lo = math.Min(lo, t)
 		hi = math.Max(hi, t)
 	}
 	return lo, hi, true
 }
 
-// Validate checks the dataset invariants.
+// Validate checks the dataset invariants: matched column lengths and no
+// NaN/Inf anywhere (coordinates, times, values, weights).
 func (d *Dataset) Validate() error {
-	if d.Times != nil && len(d.Times) != len(d.Points) {
-		return fmt.Errorf("dataset: %d points but %d times", len(d.Points), len(d.Times))
+	if len(d.x) != len(d.y) {
+		return fmt.Errorf("dataset: %d x coordinates but %d y coordinates", len(d.x), len(d.y))
 	}
-	if d.Values != nil && len(d.Values) != len(d.Points) {
-		return fmt.Errorf("dataset: %d points but %d values", len(d.Points), len(d.Values))
-	}
-	for i, p := range d.Points {
-		if !finite(p.X) || !finite(p.Y) {
-			return fmt.Errorf("dataset: point %d has non-finite coordinate %v", i, p)
+	for i := range d.x {
+		if !finite(d.x[i]) || !finite(d.y[i]) {
+			return fmt.Errorf("dataset: point %d has non-finite coordinate (%g, %g)", i, d.x[i], d.y[i])
 		}
 	}
-	for i, t := range d.Times {
-		if !finite(t) {
-			return fmt.Errorf("dataset: time %d is non-finite (%v)", i, t)
-		}
+	if err := checkColumn("time", d.times, d.N()); err != nil {
+		return err
 	}
-	for i, v := range d.Values {
-		if !finite(v) {
-			return fmt.Errorf("dataset: value %d is non-finite (%v)", i, v)
-		}
+	if err := checkColumn("value", d.values, d.N()); err != nil {
+		return err
+	}
+	if err := checkColumn("weight", d.weights, d.N()); err != nil {
+		return err
 	}
 	return nil
 }
 
 // Clone returns a deep copy of d.
 func (d *Dataset) Clone() *Dataset {
-	c := &Dataset{Points: append([]geom.Point(nil), d.Points...)}
-	if d.Times != nil {
-		c.Times = append([]float64(nil), d.Times...)
+	c := &Dataset{
+		x:      append([]float64(nil), d.x...),
+		y:      append([]float64(nil), d.y...),
+		chunks: append([]Chunk(nil), d.chunks...),
 	}
-	if d.Values != nil {
-		c.Values = append([]float64(nil), d.Values...)
+	if d.times != nil {
+		c.times = append([]float64(nil), d.times...)
+	}
+	if d.values != nil {
+		c.values = append([]float64(nil), d.values...)
+	}
+	if d.weights != nil {
+		c.weights = append([]float64(nil), d.weights...)
 	}
 	return c
 }
 
 // Subset returns a new dataset holding the points at the given indices,
-// carrying times/values along when present.
+// carrying times/values/weights along when present.
 func (d *Dataset) Subset(idx []int) *Dataset {
-	s := &Dataset{Points: make([]geom.Point, len(idx))}
-	if d.Times != nil {
-		s.Times = make([]float64, len(idx))
-	}
-	if d.Values != nil {
-		s.Values = make([]float64, len(idx))
-	}
+	x := make([]float64, len(idx))
+	y := make([]float64, len(idx))
 	for j, i := range idx {
-		s.Points[j] = d.Points[i]
-		if d.Times != nil {
-			s.Times[j] = d.Times[i]
-		}
-		if d.Values != nil {
-			s.Values[j] = d.Values[i]
-		}
+		x[j], y[j] = d.x[i], d.y[i]
+	}
+	s := fromColumns(x, y)
+	s.times = subsetColumn(d.times, idx)
+	s.values = subsetColumn(d.values, idx)
+	if d.weights != nil {
+		s.weights = subsetColumn(d.weights, idx)
+		s.chunks = buildChunks(s.x, s.y, s.weights)
 	}
 	return s
 }
 
-// FromPoints wraps points in a Dataset without copying.
-func FromPoints(pts []geom.Point) *Dataset { return &Dataset{Points: pts} }
+func subsetColumn(col []float64, idx []int) []float64 {
+	if col == nil {
+		return nil
+	}
+	out := make([]float64, len(idx))
+	for j, i := range idx {
+		out[j] = col[i]
+	}
+	return out
+}
 
 // FilterBox returns a new dataset with only the points inside box
-// (boundary inclusive), carrying times/values along.
+// (boundary inclusive), carrying the optional columns along. Chunks whose
+// bounding box misses box entirely are skipped without per-point tests.
 func (d *Dataset) FilterBox(box geom.BBox) *Dataset {
 	var idx []int
-	for i, p := range d.Points {
-		if box.Contains(p) {
-			idx = append(idx, i)
+	for _, ch := range d.chunks {
+		if !box.Intersects(ch.BBox) {
+			continue
+		}
+		if box.ContainsBox(ch.BBox) {
+			for i := ch.Lo; i < ch.Hi; i++ {
+				idx = append(idx, i)
+			}
+			continue
+		}
+		for i := ch.Lo; i < ch.Hi; i++ {
+			if box.Contains(geom.Point{X: d.x[i], Y: d.y[i]}) {
+				idx = append(idx, i)
+			}
 		}
 	}
 	return d.Subset(idx)
@@ -135,7 +303,7 @@ func (d *Dataset) FilterTime(t0, t1 float64) (*Dataset, error) {
 		return nil, fmt.Errorf("dataset: FilterTime on a dataset without times")
 	}
 	var idx []int
-	for i, t := range d.Times {
+	for i, t := range d.times {
 		if t >= t0 && t <= t1 {
 			idx = append(idx, i)
 		}

@@ -13,18 +13,26 @@ import (
 
 var box = geom.BBox{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}
 
+// raw builds a dataset directly from columns WITHOUT validation, so tests
+// can construct deliberately malformed datasets.
+func raw(pts []geom.Point, times, values []float64) *Dataset {
+	d := FromPoints(pts)
+	d.times, d.values = times, values
+	return d
+}
+
 func TestValidate(t *testing.T) {
-	d := &Dataset{Points: []geom.Point{{X: 1, Y: 2}, {X: 3, Y: 4}}}
+	d := raw([]geom.Point{{X: 1, Y: 2}, {X: 3, Y: 4}}, nil, nil)
 	if err := d.Validate(); err != nil {
 		t.Fatalf("valid dataset rejected: %v", err)
 	}
 	bad := []*Dataset{
-		{Points: []geom.Point{{X: 1, Y: 2}}, Times: []float64{1, 2}},
-		{Points: []geom.Point{{X: 1, Y: 2}}, Values: []float64{}},
-		{Points: []geom.Point{{X: math.NaN(), Y: 2}}},
-		{Points: []geom.Point{{X: 1, Y: math.Inf(1)}}},
-		{Points: []geom.Point{{X: 1, Y: 2}}, Times: []float64{math.NaN()}},
-		{Points: []geom.Point{{X: 1, Y: 2}}, Values: []float64{math.Inf(-1)}},
+		raw([]geom.Point{{X: 1, Y: 2}}, []float64{1, 2}, nil),
+		raw([]geom.Point{{X: 1, Y: 2}}, nil, []float64{}),
+		raw([]geom.Point{{X: math.NaN(), Y: 2}}, nil, nil),
+		raw([]geom.Point{{X: 1, Y: math.Inf(1)}}, nil, nil),
+		raw([]geom.Point{{X: 1, Y: 2}}, []float64{math.NaN()}, nil),
+		raw([]geom.Point{{X: 1, Y: 2}}, nil, []float64{math.Inf(-1)}),
 	}
 	for i, b := range bad {
 		if err := b.Validate(); err == nil {
@@ -34,26 +42,25 @@ func TestValidate(t *testing.T) {
 }
 
 func TestCloneAndSubset(t *testing.T) {
-	d := &Dataset{
-		Points: []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 1}, {X: 2, Y: 2}},
-		Times:  []float64{10, 20, 30},
-		Values: []float64{-1, -2, -3},
-	}
+	d := raw(
+		[]geom.Point{{X: 0, Y: 0}, {X: 1, Y: 1}, {X: 2, Y: 2}},
+		[]float64{10, 20, 30},
+		[]float64{-1, -2, -3},
+	)
 	c := d.Clone()
-	c.Points[0].X = 99
-	c.Times[0] = 99
-	c.Values[0] = 99
-	if d.Points[0].X == 99 || d.Times[0] == 99 || d.Values[0] == 99 {
+	c.Times()[0] = 99
+	c.Values()[0] = 99
+	if d.Times()[0] == 99 || d.Values()[0] == 99 {
 		t.Fatal("Clone aliases the original")
 	}
 	s := d.Subset([]int{2, 0})
-	if s.N() != 2 || s.Points[0] != (geom.Point{X: 2, Y: 2}) || s.Times[1] != 10 || s.Values[0] != -3 {
+	if s.N() != 2 || s.Points()[0] != (geom.Point{X: 2, Y: 2}) || s.Times()[1] != 10 || s.Values()[0] != -3 {
 		t.Fatalf("Subset = %+v", s)
 	}
 }
 
 func TestTimeRange(t *testing.T) {
-	d := &Dataset{Points: []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 1}}, Times: []float64{5, -2}}
+	d := raw([]geom.Point{{X: 0, Y: 0}, {X: 1, Y: 1}}, []float64{5, -2}, nil)
 	lo, hi, ok := d.TimeRange()
 	if !ok || lo != -2 || hi != 5 {
 		t.Errorf("TimeRange = %v %v %v", lo, hi, ok)
@@ -72,14 +79,14 @@ func TestUniformCSR(t *testing.T) {
 	if err := d.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	for _, p := range d.Points {
+	for _, p := range d.Points() {
 		if !box.Contains(p) {
 			t.Fatalf("point %v outside box", p)
 		}
 	}
 	// Quadrant counts should be roughly balanced under CSR.
 	var q [4]int
-	for _, p := range d.Points {
+	for _, p := range d.Points() {
 		i := 0
 		if p.X > 50 {
 			i |= 1
@@ -108,7 +115,7 @@ func TestGaussianClustersConcentration(t *testing.T) {
 	}
 	near := func(c geom.Point) int {
 		n := 0
-		for _, p := range d.Points {
+		for _, p := range d.Points() {
 			if p.Dist(c) < 10 {
 				n++
 			}
@@ -133,14 +140,14 @@ func TestMaternCluster(t *testing.T) {
 	if err := d.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	for _, p := range d.Points {
+	for _, p := range d.Points() {
 		if !box.Contains(p) {
 			t.Fatalf("point %v outside box", p)
 		}
 	}
 	// Clustered data: mean nearest-neighbour distance is far below the CSR
 	// expectation 0.5/sqrt(density).
-	mnn := meanNearestNeighbour(d.Points)
+	mnn := meanNearestNeighbour(d.Points())
 	csr := 0.5 / math.Sqrt(float64(d.N())/box.Area())
 	if mnn > csr*0.8 {
 		t.Errorf("Matérn mean NN dist %v not clustered vs CSR %v", mnn, csr)
@@ -157,7 +164,7 @@ func TestDispersed(t *testing.T) {
 	violations := 0
 	for i := 0; i < d.N(); i++ {
 		for j := i + 1; j < d.N(); j++ {
-			if d.Points[i].Dist(d.Points[j]) < minDist {
+			if d.Points()[i].Dist(d.Points()[j]) < minDist {
 				violations++
 			}
 		}
@@ -167,7 +174,7 @@ func TestDispersed(t *testing.T) {
 	if violations > 3 {
 		t.Errorf("%d pairs violate the inhibition distance", violations)
 	}
-	mnn := meanNearestNeighbour(d.Points)
+	mnn := meanNearestNeighbour(d.Points())
 	csr := 0.5 / math.Sqrt(float64(d.N())/box.Area())
 	if mnn < csr {
 		t.Errorf("dispersed mean NN dist %v should exceed CSR %v", mnn, csr)
@@ -201,9 +208,9 @@ func TestWithField(t *testing.T) {
 	r := rand.New(rand.NewSource(6))
 	d := UniformCSR(r, 500, box)
 	WithField(r, d, func(p geom.Point) float64 { return p.X }, 0)
-	for i, p := range d.Points {
-		if d.Values[i] != p.X {
-			t.Fatalf("value %d = %v, want %v", i, d.Values[i], p.X)
+	for i, p := range d.Points() {
+		if d.Values()[i] != p.X {
+			t.Fatalf("value %d = %v, want %v", i, d.Values()[i], p.X)
 		}
 	}
 }
@@ -219,7 +226,7 @@ func TestResize(t *testing.T) {
 	if big.N() != 250 {
 		t.Errorf("grow N = %d", big.N())
 	}
-	for _, p := range big.Points {
+	for _, p := range big.Points() {
 		if !box.Contains(p) {
 			t.Fatalf("grown point %v outside bounds", p)
 		}
@@ -228,10 +235,10 @@ func TestResize(t *testing.T) {
 
 func TestCSVRoundTrip(t *testing.T) {
 	cases := []*Dataset{
-		{Points: []geom.Point{{X: 1.5, Y: -2.25}, {X: 0, Y: 7}}},
-		{Points: []geom.Point{{X: 1, Y: 2}}, Times: []float64{3.5}},
-		{Points: []geom.Point{{X: 1, Y: 2}}, Values: []float64{-9}},
-		{Points: []geom.Point{{X: 1, Y: 2}, {X: 3, Y: 4}}, Times: []float64{0, 1}, Values: []float64{5, 6}},
+		raw([]geom.Point{{X: 1.5, Y: -2.25}, {X: 0, Y: 7}}, nil, nil),
+		raw([]geom.Point{{X: 1, Y: 2}}, []float64{3.5}, nil),
+		raw([]geom.Point{{X: 1, Y: 2}}, nil, []float64{-9}),
+		raw([]geom.Point{{X: 1, Y: 2}, {X: 3, Y: 4}}, []float64{0, 1}, []float64{5, 6}),
 	}
 	for i, d := range cases {
 		var buf bytes.Buffer
@@ -245,14 +252,14 @@ func TestCSVRoundTrip(t *testing.T) {
 		if got.N() != d.N() || got.HasTimes() != d.HasTimes() || got.HasValues() != d.HasValues() {
 			t.Fatalf("case %d shape mismatch: %+v vs %+v", i, got, d)
 		}
-		for j := range d.Points {
-			if got.Points[j] != d.Points[j] {
-				t.Errorf("case %d point %d: %v != %v", i, j, got.Points[j], d.Points[j])
+		for j := range d.Points() {
+			if got.Points()[j] != d.Points()[j] {
+				t.Errorf("case %d point %d: %v != %v", i, j, got.Points()[j], d.Points()[j])
 			}
-			if d.HasTimes() && got.Times[j] != d.Times[j] {
+			if d.HasTimes() && got.Times()[j] != d.Times()[j] {
 				t.Errorf("case %d time %d mismatch", i, j)
 			}
-			if d.HasValues() && got.Values[j] != d.Values[j] {
+			if d.HasValues() && got.Values()[j] != d.Values()[j] {
 				t.Errorf("case %d value %d mismatch", i, j)
 			}
 		}
@@ -311,8 +318,9 @@ func meanNearestNeighbour(pts []geom.Point) float64 {
 func centroidByTime(d *Dataset, t0, t1 float64) geom.Point {
 	var c geom.Point
 	n := 0
-	for i, p := range d.Points {
-		if d.Times[i] >= t0 && d.Times[i] <= t1 {
+	ts := d.Times()
+	for i, p := range d.Points() {
+		if ts[i] >= t0 && ts[i] <= t1 {
 			c = c.Add(p)
 			n++
 		}
@@ -324,13 +332,13 @@ func centroidByTime(d *Dataset, t0, t1 float64) geom.Point {
 }
 
 func TestFilterBox(t *testing.T) {
-	d := &Dataset{
-		Points: []geom.Point{{X: 1, Y: 1}, {X: 5, Y: 5}, {X: 9, Y: 9}},
-		Times:  []float64{1, 2, 3},
-		Values: []float64{10, 20, 30},
-	}
+	d := raw(
+		[]geom.Point{{X: 1, Y: 1}, {X: 5, Y: 5}, {X: 9, Y: 9}},
+		[]float64{1, 2, 3},
+		[]float64{10, 20, 30},
+	)
 	f := d.FilterBox(geom.BBox{MinX: 0, MinY: 0, MaxX: 5, MaxY: 5})
-	if f.N() != 2 || f.Times[1] != 2 || f.Values[1] != 20 {
+	if f.N() != 2 || f.Times()[1] != 2 || f.Values()[1] != 20 {
 		t.Fatalf("FilterBox = %+v", f)
 	}
 	if empty := d.FilterBox(geom.EmptyBBox()); empty.N() != 0 {
@@ -339,18 +347,19 @@ func TestFilterBox(t *testing.T) {
 }
 
 func TestFilterTime(t *testing.T) {
-	d := &Dataset{
-		Points: []geom.Point{{X: 1, Y: 1}, {X: 2, Y: 2}, {X: 3, Y: 3}},
-		Times:  []float64{10, 20, 30},
-	}
+	d := raw(
+		[]geom.Point{{X: 1, Y: 1}, {X: 2, Y: 2}, {X: 3, Y: 3}},
+		[]float64{10, 20, 30},
+		nil,
+	)
 	f, err := d.FilterTime(15, 30)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if f.N() != 2 || f.Times[0] != 20 {
+	if f.N() != 2 || f.Times()[0] != 20 {
 		t.Fatalf("FilterTime = %+v", f)
 	}
-	if _, err := FromPoints(d.Points).FilterTime(0, 1); err == nil {
+	if _, err := FromPoints(d.Points()).FilterTime(0, 1); err == nil {
 		t.Error("FilterTime on timeless dataset accepted")
 	}
 }
@@ -365,7 +374,7 @@ func TestSampleFromIntensity(t *testing.T) {
 		t.Fatal(err)
 	}
 	inBL := 0
-	for _, p := range d.Points {
+	for _, p := range d.Points() {
 		if !spec.Box.Contains(p) {
 			t.Fatalf("point %v outside grid", p)
 		}
@@ -386,5 +395,91 @@ func TestSampleFromIntensity(t *testing.T) {
 	}
 	if _, err := SampleFromIntensity(r, spec, []float64{1, -1, 0, 0}, 5); err == nil {
 		t.Error("negative intensity accepted")
+	}
+}
+
+func TestChunkAggregates(t *testing.T) {
+	// Chunks must partition [0, n) in order, and every aggregate (bbox,
+	// weight sum, centroid) must match a brute-force recomputation — both
+	// at construction and after SetWeights rebuilds them.
+	r := rand.New(rand.NewSource(31))
+	n := 2*ChunkSize + 137 // three chunks, last one ragged
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: r.Float64() * 100, Y: r.Float64() * 100}
+	}
+	d := FromPoints(pts)
+
+	check := func(w []float64) {
+		t.Helper()
+		chunks := d.Chunks()
+		if len(chunks) != 3 {
+			t.Fatalf("len(chunks) = %d, want 3", len(chunks))
+		}
+		next := 0
+		for ci, ch := range chunks {
+			if ch.Lo != next || ch.Hi <= ch.Lo {
+				t.Fatalf("chunk %d covers [%d,%d), want start %d", ci, ch.Lo, ch.Hi, next)
+			}
+			next = ch.Hi
+			wsum, sx, sy := 0.0, 0.0, 0.0
+			bb := geom.EmptyBBox()
+			for i := ch.Lo; i < ch.Hi; i++ {
+				wi := 1.0
+				if w != nil {
+					wi = w[i]
+				}
+				wsum += wi
+				sx += wi * pts[i].X
+				sy += wi * pts[i].Y
+				bb = bb.ExtendPoint(pts[i])
+			}
+			if ch.BBox != bb {
+				t.Fatalf("chunk %d bbox = %+v, want %+v", ci, ch.BBox, bb)
+			}
+			if math.Abs(ch.WeightSum-wsum) > 1e-9 {
+				t.Fatalf("chunk %d weight sum = %v, want %v", ci, ch.WeightSum, wsum)
+			}
+			if math.Abs(ch.Centroid.X-sx/wsum) > 1e-9 || math.Abs(ch.Centroid.Y-sy/wsum) > 1e-9 {
+				t.Fatalf("chunk %d centroid = %+v", ci, ch.Centroid)
+			}
+		}
+		if next != n {
+			t.Fatalf("chunks end at %d, want %d", next, n)
+		}
+	}
+
+	check(nil)
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 0.25 + r.Float64()
+	}
+	if err := d.SetWeights(w); err != nil {
+		t.Fatal(err)
+	}
+	check(w)
+}
+
+func TestFromPointsCopies(t *testing.T) {
+	// The copy contract: FromPoints does not retain the input slice, so
+	// mutating it afterwards cannot corrupt the dataset.
+	pts := []geom.Point{{X: 1, Y: 2}, {X: 3, Y: 4}}
+	d := FromPoints(pts)
+	pts[0] = geom.Point{X: -99, Y: -99}
+	if d.Point(0) != (geom.Point{X: 1, Y: 2}) {
+		t.Fatalf("dataset aliases the input slice: point 0 = %+v", d.Point(0))
+	}
+}
+
+func TestSetWeightsRejectsBadColumns(t *testing.T) {
+	d := FromPoints([]geom.Point{{X: 1, Y: 2}, {X: 3, Y: 4}})
+	if err := d.SetWeights([]float64{1}); err == nil {
+		t.Error("mismatched weight column length accepted")
+	}
+	if err := d.SetWeights([]float64{1, math.NaN()}); err == nil {
+		t.Error("NaN weight accepted")
+	}
+	if err := d.SetWeights([]float64{1, math.Inf(1)}); err == nil {
+		t.Error("Inf weight accepted")
 	}
 }

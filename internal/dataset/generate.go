@@ -31,7 +31,7 @@ func UniformCSR(r *rand.Rand, n int, box geom.BBox) *Dataset {
 	for i := range pts {
 		pts[i] = uniformPoint(r, box)
 	}
-	return &Dataset{Points: pts}
+	return FromPoints(pts)
 }
 
 // Cluster describes one Gaussian hotspot for GaussianClusters.
@@ -74,7 +74,7 @@ func GaussianClusters(r *rand.Rand, n int, box geom.BBox, clusters []Cluster, no
 			pts = append(pts, p)
 		}
 	}
-	return &Dataset{Points: pts}
+	return FromPoints(pts)
 }
 
 // MaternCluster returns a Matérn cluster process: parent points from a
@@ -98,7 +98,7 @@ func MaternCluster(r *rand.Rand, box geom.BBox, kappa, mu, radius float64) *Data
 			}
 		}
 	}
-	return &Dataset{Points: pts}
+	return FromPoints(pts)
 }
 
 // Dispersed returns n points from a simple sequential inhibition process:
@@ -130,7 +130,7 @@ func Dispersed(r *rand.Rand, n int, box geom.BBox, minDist float64) *Dataset {
 			pts = append(pts, uniformPoint(r, box))
 		}
 	}
-	return &Dataset{Points: pts}
+	return FromPoints(pts)
 }
 
 // Wave describes one outbreak wave for TwoWaveOutbreak: a spatial hotspot
@@ -152,14 +152,12 @@ func SpatioTemporalOutbreak(r *rand.Rand, n int, box geom.BBox, t0, t1 float64, 
 	for _, w := range waves {
 		total += w.Weight
 	}
-	d := &Dataset{
-		Points: make([]geom.Point, 0, n),
-		Times:  make([]float64, 0, n),
-	}
-	for d.N() < n {
+	pts := make([]geom.Point, 0, n)
+	times := make([]float64, 0, n)
+	for len(pts) < n {
 		if len(waves) == 0 || r.Float64() < noise {
-			d.Points = append(d.Points, uniformPoint(r, box))
-			d.Times = append(d.Times, t0+r.Float64()*(t1-t0))
+			pts = append(pts, uniformPoint(r, box))
+			times = append(times, t0+r.Float64()*(t1-t0))
 			continue
 		}
 		u := r.Float64() * total
@@ -177,10 +175,12 @@ func SpatioTemporalOutbreak(r *rand.Rand, n int, box geom.BBox, t0, t1 float64, 
 		}
 		t := w.TimeMean + r.NormFloat64()*w.TimeSigma
 		if box.Contains(p) && t >= t0 && t <= t1 {
-			d.Points = append(d.Points, p)
-			d.Times = append(d.Times, t)
+			pts = append(pts, p)
+			times = append(times, t)
 		}
 	}
+	d := FromPoints(pts)
+	d.times = times
 	return d
 }
 
@@ -189,10 +189,11 @@ func SpatioTemporalOutbreak(r *rand.Rand, n int, box geom.BBox, t0, t1 float64, 
 // interpolation (IDW/Kriging) and autocorrelation (Moran/Getis-Ord) tools
 // need. It returns d for chaining.
 func WithField(r *rand.Rand, d *Dataset, field func(geom.Point) float64, noiseSigma float64) *Dataset {
-	d.Values = make([]float64, d.N())
-	for i, p := range d.Points {
-		d.Values[i] = field(p) + r.NormFloat64()*noiseSigma
+	values := make([]float64, d.N())
+	for i := range values {
+		values[i] = field(d.Point(i)) + r.NormFloat64()*noiseSigma
 	}
+	d.values = values
 	return d
 }
 
@@ -212,15 +213,21 @@ func Resize(r *rand.Rand, d *Dataset, n int) *Dataset {
 		box = geom.BBox{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}
 	}
 	for c.N() < n {
-		c.Points = append(c.Points, uniformPoint(r, box))
-		if c.Times != nil {
+		p := uniformPoint(r, box)
+		c.x = append(c.x, p.X)
+		c.y = append(c.y, p.Y)
+		if c.times != nil {
 			lo, hi, _ := d.TimeRange()
-			c.Times = append(c.Times, lo+r.Float64()*(hi-lo))
+			c.times = append(c.times, lo+r.Float64()*(hi-lo))
 		}
-		if c.Values != nil {
-			c.Values = append(c.Values, 0)
+		if c.values != nil {
+			c.values = append(c.values, 0)
+		}
+		if c.weights != nil {
+			c.weights = append(c.weights, 1)
 		}
 	}
+	c.chunks = buildChunks(c.x, c.y, c.weights)
 	return c
 }
 
@@ -268,7 +275,7 @@ func SampleFromIntensity(r *rand.Rand, spec geom.PixelGrid, values []float64, n 
 			Y: spec.Box.MinY + (float64(iy)+r.Float64())*ch,
 		}
 	}
-	return &Dataset{Points: pts}, nil
+	return FromPoints(pts), nil
 }
 
 func uniformPoint(r *rand.Rand, box geom.BBox) geom.Point {

@@ -17,7 +17,7 @@ import (
 // The sweep line is shown for context: it is this repository's fastest
 // per-bandwidth exact method and bounds what any scan-sharing can achieve.
 func RunA1(cfg *Config) error {
-	pts := hkLikeOutbreak(cfg, 60000).Points
+	pts := hkLikeOutbreak(cfg, 60000).Points()
 	grid := geostat.NewPixelGrid(studyBox, 128, 128)
 	bandwidths := []float64{9, 10, 11, 12, 13, 14, 15, 16}
 	tb := newTable("bandwidths m", "cutoff ×m", "sweep-line ×m", "shared one-pass", "speedup vs cutoff")
@@ -72,7 +72,7 @@ func RunA2(cfg *Config) error {
 	pts := geostat.GaussianClusters(rng, cfg.scale(20000), studyBox, []geostat.GaussianCluster{
 		{Center: geostat.Point{X: 25, Y: 50}, Sigma: 1.5, Weight: 1}, // tight
 		{Center: geostat.Point{X: 70, Y: 50}, Sigma: 12, Weight: 1},  // wide
-	}, 0.1).Points
+	}, 0.1).Points()
 	grid := geostat.NewPixelGrid(studyBox, 128, 128)
 	bw, err := geostat.AdaptiveBandwidths(pts, 16, 1.0, 1.0)
 	if err != nil {

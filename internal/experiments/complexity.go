@@ -20,7 +20,7 @@ func RunC1(cfg *Config) error {
 		sizes = []int{500, 1000, 2000}
 	}
 	for _, n := range sizes {
-		pts := geostat.UniformCSR(rng, n, studyBox).Points
+		pts := geostat.UniformCSR(rng, n, studyBox).Points()
 		const s = 4.0
 		var naive, grid, kdt, curve int
 		tNaive := medianOf3(func() { naive = geostat.KFunctionNaive(pts, s) })
@@ -55,7 +55,7 @@ func RunC2(cfg *Config) error {
 	}
 	grid := geostat.NewPixelGrid(studyBox, 128, 128)
 	for _, n := range sizes {
-		pts := geostat.UniformCSR(rng, n, studyBox).Points
+		pts := geostat.UniformCSR(rng, n, studyBox).Points()
 		var tNaive, tCut, tSweep = timeKDV(pts, k, grid, geostat.KDVNaive),
 			timeKDV(pts, k, grid, geostat.KDVGridCutoff),
 			timeKDV(pts, k, grid, geostat.KDVSweepLine)
@@ -65,7 +65,7 @@ func RunC2(cfg *Config) error {
 
 	fmt.Fprintln(cfg.Out, "\nsweep over raster size (n fixed 10000, b=4):")
 	tb = newTable("pixels", "naive", "grid-cutoff", "sweep-line")
-	pts := geostat.UniformCSR(rng, cfg.scale(10000), studyBox).Points
+	pts := geostat.UniformCSR(rng, cfg.scale(10000), studyBox).Points()
 	dims := []int{64, 128, 256}
 	if cfg.Quick {
 		dims = []int{32, 64}
@@ -96,7 +96,7 @@ func RunC3(cfg *Config) error {
 	rng := cfg.rng()
 	pts := geostat.GaussianClusters(rng, cfg.scale(20000), studyBox, []geostat.GaussianCluster{
 		{Center: geostat.Point{X: 40, Y: 40}, Sigma: 10, Weight: 1},
-	}, 0.3).Points
+	}, 0.3).Points()
 	k := geostat.MustKernel(geostat.Gaussian, 8)
 	grid := geostat.NewPixelGrid(studyBox, 64, 64)
 	exact, err := geostat.KDV(pts, geostat.KDVOptions{Kernel: k, Grid: grid, Method: geostat.KDVNaive})
@@ -152,7 +152,7 @@ func RunC4(cfg *Config) error {
 		sizes = []int{5000, 20000}
 	}
 	for _, n := range sizes {
-		pts := geostat.UniformCSR(rng, n, studyBox).Points
+		pts := geostat.UniformCSR(rng, n, studyBox).Points()
 		exact, err := geostat.KDV(pts, geostat.KDVOptions{Kernel: k, Grid: grid})
 		if err != nil {
 			return err
@@ -191,7 +191,7 @@ func RunC4(cfg *Config) error {
 // RunC5 measures goroutine-parallel speedup for KDV and the K-curve.
 func RunC5(cfg *Config) error {
 	rng := cfg.rng()
-	pts := geostat.UniformCSR(rng, cfg.scale(50000), studyBox).Points
+	pts := geostat.UniformCSR(rng, cfg.scale(50000), studyBox).Points()
 	k := geostat.MustKernel(geostat.Quartic, 4)
 	grid := geostat.NewPixelGrid(studyBox, 256, 256)
 	thresholds := []float64{1, 2, 4, 8}
@@ -298,17 +298,17 @@ func RunC8(cfg *Config) error {
 	tb.write(cfg.Out)
 
 	fmt.Fprintln(cfg.Out, "\nMoran's I / General G (kNN weights k=8):")
-	w, err := geostat.KNNWeightsWorkers(d.Points, 8, cfg.workers())
+	w, err := geostat.KNNWeightsWorkers(d.Points(), 8, cfg.workers())
 	if err != nil {
 		return err
 	}
-	pos := make([]float64, len(d.Values))
-	copy(pos, d.Values)
+	pos := make([]float64, d.N())
+	copy(pos, d.Values())
 	tb = newTable("perms", "Moran's I", "General G")
 	for _, perms := range []int{99, 999} {
 		tMoran := timeIt(func() {
 			opt := geostat.MoranOptions{Perms: perms, Seed: rng.Int63(), Workers: cfg.workers()}
-			if _, err := geostat.MoranIOpt(d.Values, w, opt); err != nil {
+			if _, err := geostat.MoranIOpt(d.Values(), w, opt); err != nil {
 				panic(err)
 			}
 		})
@@ -329,7 +329,7 @@ func RunC8(cfg *Config) error {
 		sizes = []int{500, 2000}
 	}
 	for _, dn := range sizes {
-		pts := geostat.UniformCSR(rng, dn, studyBox).Points
+		pts := geostat.UniformCSR(rng, dn, studyBox).Points()
 		tNaive := medianOf3(func() { _, _ = geostat.DBSCANNaive(pts, 2, 5) })
 		tGrid := medianOf3(func() { _, _ = geostat.DBSCAN(pts, 2, 5) })
 		tb.add(dn, tNaive, tGrid, speedup(tNaive, tGrid))

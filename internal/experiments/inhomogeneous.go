@@ -53,14 +53,14 @@ func RunA4(cfg *Config) error {
 			if serr != nil {
 				panic(serr)
 			}
-			return sim.Points
+			return sim.Points()
 		})
 		if err != nil {
 			return "", "", err
 		}
 		return regimeSummary(p1), regimeSummary(p2), nil
 	}
-	c1, i1, err := verdicts(noInteraction.Points)
+	c1, i1, err := verdicts(noInteraction.Points())
 	if err != nil {
 		return err
 	}

@@ -69,34 +69,68 @@ func (o *Options) validate(d *dataset.Dataset) error {
 // coincident with a sample and takes its value exactly (avoids 1/0).
 const epsCoincident = 1e-18
 
-// Naive interpolates every pixel from every sample: O(XYn).
+// Naive interpolates every pixel from every sample: O(XYn). The inner loop
+// streams the dataset's coordinate columns with the power specialised
+// outside the loop, in sample order — results are bit-identical to the
+// array-of-structs loop it replaces.
 func Naive(d *dataset.Dataset, opt Options) (*raster.Grid, error) {
 	if err := opt.validate(d); err != nil {
 		return nil, err
 	}
+	cols := d.Columns()
+	vals := d.Values()
 	return runRows(&opt, func(iy int, row []float64) {
 		qy := opt.Grid.CenterY(iy)
 		for ix := range row {
-			q := geom.Point{X: opt.Grid.CenterX(ix), Y: qy}
-			num, den := 0.0, 0.0
-			exact := math.NaN()
-			for i, p := range d.Points {
-				d2 := p.Dist2(q)
-				if d2 < epsCoincident {
-					exact = d.Values[i]
-					break
-				}
-				w := weight(d2, opt.Power)
-				num += w * d.Values[i]
-				den += w
-			}
-			if !math.IsNaN(exact) {
-				row[ix] = exact
-			} else {
-				row[ix] = num / den
-			}
+			row[ix] = naivePixel(cols.X, cols.Y, vals, opt.Grid.CenterX(ix), qy, opt.Power)
 		}
 	})
+}
+
+// naivePixel interpolates one pixel from every sample. A sample coincident
+// with the pixel short-circuits with its value (first coincident sample
+// wins, matching scan order).
+func naivePixel(xs, ys, vals []float64, qx, qy, power float64) float64 {
+	num, den := 0.0, 0.0
+	switch power {
+	case 2:
+		for i, x := range xs {
+			dx := x - qx
+			dy := ys[i] - qy
+			d2 := dx*dx + dy*dy
+			if d2 < epsCoincident {
+				return vals[i]
+			}
+			w := 1 / d2
+			num += w * vals[i]
+			den += w
+		}
+	case 4:
+		for i, x := range xs {
+			dx := x - qx
+			dy := ys[i] - qy
+			d2 := dx*dx + dy*dy
+			if d2 < epsCoincident {
+				return vals[i]
+			}
+			w := 1 / (d2 * d2)
+			num += w * vals[i]
+			den += w
+		}
+	default:
+		for i, x := range xs {
+			dx := x - qx
+			dy := ys[i] - qy
+			d2 := dx*dx + dy*dy
+			if d2 < epsCoincident {
+				return vals[i]
+			}
+			w := math.Pow(d2, -power/2)
+			num += w * vals[i]
+			den += w
+		}
+	}
+	return num / den
 }
 
 // KNN interpolates each pixel from its k nearest samples.
@@ -107,7 +141,8 @@ func KNN(d *dataset.Dataset, opt Options, k int) (*raster.Grid, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("idw: k must be >= 1, got %d", k)
 	}
-	tree := kdtree.New(d.Points)
+	tree := kdtree.New(d.Points())
+	vals := d.Values()
 	return runRows(&opt, func(iy int, row []float64) {
 		qy := opt.Grid.CenterY(iy)
 		var scratch []int
@@ -119,11 +154,11 @@ func KNN(d *dataset.Dataset, opt Options, k int) (*raster.Grid, error) {
 			exact := math.NaN()
 			for j, i := range idx {
 				if d2[j] < epsCoincident {
-					exact = d.Values[i]
+					exact = vals[i]
 					break
 				}
 				w := weight(d2[j], opt.Power)
-				num += w * d.Values[i]
+				num += w * vals[i]
 				den += w
 			}
 			if !math.IsNaN(exact) {
@@ -144,23 +179,40 @@ func Radius(d *dataset.Dataset, opt Options, radius float64) (*raster.Grid, erro
 	if !(radius > 0) {
 		return nil, fmt.Errorf("idw: radius must be positive, got %g", radius)
 	}
-	idx := gridindex.New(d.Points, radius)
-	tree := kdtree.New(d.Points) // fallback nearest
+	pts := d.Points()
+	idx := gridindex.New(pts, radius)
+	tree := kdtree.New(pts) // fallback nearest
+	xs, ys, ids := idx.Columns()
+	vals := d.Values()
+	r2 := radius * radius
 	return runRows(&opt, func(iy int, row []float64) {
 		qy := opt.Grid.CenterY(iy)
 		for ix := range row {
-			q := geom.Point{X: opt.Grid.CenterX(ix), Y: qy}
+			qx := opt.Grid.CenterX(ix)
+			q := geom.Point{X: qx, Y: qy}
+			cx0, cx1, cy0, cy1 := idx.CellSpan(q, radius)
 			num, den := 0.0, 0.0
 			exact := math.NaN()
-			idx.ForEachInRange(q, radius, func(i int, d2 float64) {
-				if d2 < epsCoincident {
-					exact = d.Values[i]
-					return
+			for cy := cy0; cy <= cy1; cy++ {
+				for cx := cx0; cx <= cx1; cx++ {
+					lo, hi := idx.Cell(cx, cy)
+					for j := lo; j < hi; j++ {
+						dx := xs[j] - qx
+						dy := ys[j] - qy
+						d2 := dx*dx + dy*dy
+						if d2 > r2 {
+							continue
+						}
+						if d2 < epsCoincident {
+							exact = vals[ids[j]]
+							continue
+						}
+						w := weight(d2, opt.Power)
+						num += w * vals[ids[j]]
+						den += w
+					}
 				}
-				w := weight(d2, opt.Power)
-				num += w * d.Values[i]
-				den += w
-			})
+			}
 			switch {
 			case !math.IsNaN(exact):
 				row[ix] = exact
@@ -168,7 +220,7 @@ func Radius(d *dataset.Dataset, opt Options, radius float64) (*raster.Grid, erro
 				row[ix] = num / den
 			default:
 				i, _ := tree.Nearest(q)
-				row[ix] = d.Values[i]
+				row[ix] = vals[i]
 			}
 		}
 	})

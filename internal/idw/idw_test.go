@@ -19,6 +19,16 @@ func field(seed int64, n int) *dataset.Dataset {
 	}, 0.01)
 }
 
+// mk builds a valued dataset, failing the test on constructor error.
+func mk(t *testing.T, pts []geom.Point, values []float64) *dataset.Dataset {
+	t.Helper()
+	d, err := dataset.New(pts, nil, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
 func opts() Options {
 	return Options{Grid: geom.NewPixelGrid(box, 20, 20), Power: 2}
 }
@@ -31,11 +41,11 @@ func TestValidation(t *testing.T) {
 	if _, err := Naive(d, Options{Power: 2}); err == nil {
 		t.Error("zero grid accepted")
 	}
-	noVals := dataset.FromPoints(d.Points)
+	noVals := dataset.FromPoints(d.Points())
 	if _, err := Naive(noVals, opts()); err == nil {
 		t.Error("valueless dataset accepted")
 	}
-	if _, err := Naive(&dataset.Dataset{Values: []float64{}}, opts()); err == nil {
+	if _, err := Naive(mk(t, nil, []float64{}), opts()); err == nil {
 		t.Error("empty dataset accepted")
 	}
 	if _, err := KNN(d, opts(), 0); err == nil {
@@ -47,10 +57,7 @@ func TestValidation(t *testing.T) {
 }
 
 func TestSingleSampleConstantSurface(t *testing.T) {
-	d := &dataset.Dataset{
-		Points: []geom.Point{{X: 50, Y: 50}},
-		Values: []float64{7.5},
-	}
+	d := mk(t, []geom.Point{{X: 50, Y: 50}}, []float64{7.5})
 	out, err := Naive(d, opts())
 	if err != nil {
 		t.Fatal(err)
@@ -70,7 +77,7 @@ func TestWeightedAverageProperties(t *testing.T) {
 	}
 	// IDW is a convex combination: every pixel within [min z, max z].
 	lo, hi := math.Inf(1), math.Inf(-1)
-	for _, z := range d.Values {
+	for _, z := range d.Values() {
 		lo = math.Min(lo, z)
 		hi = math.Max(hi, z)
 	}
@@ -85,10 +92,7 @@ func TestExactAtSampleLocations(t *testing.T) {
 	// Place a sample exactly at a pixel center.
 	g := geom.NewPixelGrid(box, 20, 20)
 	q := g.Center(7, 3)
-	d := &dataset.Dataset{
-		Points: []geom.Point{q, {X: 10, Y: 90}},
-		Values: []float64{42, -1},
-	}
+	d := mk(t, []geom.Point{q, {X: 10, Y: 90}}, []float64{42, -1})
 	o := opts()
 	for name, f := range map[string]func() (interface{ At(int, int) float64 }, error){
 		"naive":  func() (interface{ At(int, int) float64 }, error) { return Naive(d, o) },
@@ -142,10 +146,7 @@ func TestRadiusCoversAllMatchesNaive(t *testing.T) {
 func TestRadiusFallbackNearest(t *testing.T) {
 	// Two distant samples, tiny radius: most pixels have no in-range sample
 	// and must take their nearest sample's value.
-	d := &dataset.Dataset{
-		Points: []geom.Point{{X: 0, Y: 0}, {X: 100, Y: 100}},
-		Values: []float64{1, 9},
-	}
+	d := mk(t, []geom.Point{{X: 0, Y: 0}, {X: 100, Y: 100}}, []float64{1, 9})
 	out, err := Radius(d, opts(), 0.5)
 	if err != nil {
 		t.Fatal(err)

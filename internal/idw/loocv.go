@@ -32,9 +32,11 @@ func LOOCV(d *dataset.Dataset, power float64, k int) (*CVResult, error) {
 	if k <= 0 || k > n-1 {
 		k = n - 1
 	}
-	tree := kdtree.New(d.Points)
+	pts := d.Points()
+	vals := d.Values()
+	tree := kdtree.New(pts)
 	res := &CVResult{Residuals: make([]float64, n)}
-	for i, p := range d.Points {
+	for i, p := range pts {
 		idx, d2 := tree.KNearest(p, k+1, nil)
 		num, den := 0.0, 0.0
 		exact := math.NaN()
@@ -48,11 +50,11 @@ func LOOCV(d *dataset.Dataset, power float64, k int) (*CVResult, error) {
 			}
 			taken++
 			if d2[j] < epsCoincident {
-				exact = d.Values[id] // duplicate site: its twin's value
+				exact = vals[id] // duplicate site: its twin's value
 				break
 			}
 			w := weight(d2[j], power)
-			num += w * d.Values[id]
+			num += w * vals[id]
 			den += w
 		}
 		var pred float64
@@ -64,7 +66,7 @@ func LOOCV(d *dataset.Dataset, power float64, k int) (*CVResult, error) {
 		default:
 			return nil, fmt.Errorf("idw: LOOCV at sample %d: no usable neighbours", i)
 		}
-		res.Residuals[i] = pred - d.Values[i]
+		res.Residuals[i] = pred - vals[i]
 	}
 	var sq, ab float64
 	for _, r := range res.Residuals {

@@ -50,13 +50,16 @@ func TestLOOCVTunesK(t *testing.T) {
 
 func TestLOOCVValidation(t *testing.T) {
 	d := field(3, 50)
-	if _, err := LOOCV(dataset.FromPoints(d.Points), 2, 5); err == nil {
+	if _, err := LOOCV(dataset.FromPoints(d.Points()), 2, 5); err == nil {
 		t.Error("valueless dataset accepted")
 	}
 	if _, err := LOOCV(d, 0, 5); err == nil {
 		t.Error("zero power accepted")
 	}
-	one := &dataset.Dataset{Points: []geom.Point{{X: 1, Y: 1}}, Values: []float64{1}}
+	one, err := dataset.New([]geom.Point{{X: 1, Y: 1}}, nil, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := LOOCV(one, 2, 5); err == nil {
 		t.Error("single sample accepted")
 	}
@@ -67,9 +70,9 @@ func TestLOOCVValidation(t *testing.T) {
 }
 
 func TestLOOCVDuplicateSites(t *testing.T) {
-	d := &dataset.Dataset{
-		Points: []geom.Point{{X: 1, Y: 1}, {X: 1, Y: 1}, {X: 5, Y: 5}},
-		Values: []float64{7, 7, 2},
+	d, derr := dataset.New([]geom.Point{{X: 1, Y: 1}, {X: 1, Y: 1}, {X: 5, Y: 5}}, nil, []float64{7, 7, 2})
+	if derr != nil {
+		t.Fatal(derr)
 	}
 	cv, err := LOOCV(d, 2, 2)
 	if err != nil {

@@ -21,6 +21,11 @@ type Index struct {
 	cellH   float64
 	cellPts []int32 // point indices grouped by cell (counting-sort layout)
 	cellOff []int32 // cellOff[c]..cellOff[c+1] bounds cell c's slice of cellPts
+	// sortedX/sortedY are the point coordinates in cellPts order — cell-local
+	// SoA columns so range scans stream contiguous memory instead of chasing
+	// cellPts indirections into the AoS point slice.
+	sortedX []float64
+	sortedY []float64
 }
 
 // New builds a grid index over pts with cells of approximately cellSize on
@@ -72,6 +77,12 @@ func New(pts []geom.Point, cellSize float64) *Index {
 		c := cellOf[i]
 		g.cellPts[g.cellOff[c]+cursor[c]] = int32(i)
 		cursor[c]++
+	}
+	g.sortedX = make([]float64, len(pts))
+	g.sortedY = make([]float64, len(pts))
+	for j, pi := range g.cellPts {
+		g.sortedX[j] = pts[pi].X
+		g.sortedY[j] = pts[pi].Y
 	}
 	return g
 }
@@ -175,6 +186,29 @@ func (g *Index) ForEachInRange(q geom.Point, r float64, fn func(i int, d2 float6
 			}
 		}
 	}
+}
+
+// Columns returns the index's cell-ordered coordinate columns and the
+// original point index of each slot: xs[j], ys[j] are the coordinates of
+// point ids[j], with points grouped by cell in the same order
+// ForEachInRange visits them. Combined with CellSpan and Cell this lets
+// hot loops iterate candidates closure-free over contiguous memory. The
+// slices are the index's own storage — read-only.
+func (g *Index) Columns() (xs, ys []float64, ids []int32) {
+	return g.sortedX, g.sortedY, g.cellPts
+}
+
+// CellSpan returns the inclusive cell-coordinate ranges overlapping the
+// square of half-side r around q (the candidate cells of a radius-r query).
+func (g *Index) CellSpan(q geom.Point, r float64) (cx0, cx1, cy0, cy1 int) {
+	return g.cellRange(q, r)
+}
+
+// Cell returns cell (cx, cy)'s half-open slot range [lo, hi) into the
+// Columns slices.
+func (g *Index) Cell(cx, cy int) (lo, hi int) {
+	c := cy*g.nx + cx
+	return int(g.cellOff[c]), int(g.cellOff[c+1])
 }
 
 // cellInside reports whether cell (cx, cy) lies entirely within the disc of

@@ -34,6 +34,9 @@ func BoundApprox(pts []geom.Point, opt Options, eps float64) (*raster.Grid, erro
 	if opt.Weights != nil {
 		return nil, fmt.Errorf("kde: BoundApprox does not support event weights; use an exact method")
 	}
+	if opt.Float32 {
+		return nil, fmt.Errorf("kde: BoundApprox does not support the float32 path; use Naive or GridCutoff")
+	}
 	_, span := obs.Trace(opt.context(), "kde.index_build")
 	tree := balltree.New(pts)
 	span.End()

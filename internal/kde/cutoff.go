@@ -14,7 +14,10 @@ import (
 // scanning, for each pixel, only the buckets intersecting the kernel
 // support. On data without extreme skew this is O(XY·(1+k)) where k is the
 // mean point count inside a support disc — the standard practical exact
-// accelerator.
+// accelerator. The scan iterates the index's cell-ordered coordinate
+// columns directly with the kernel specialised per type (no per-point
+// callback), visiting candidates in the same order the index's
+// ForEachInRange would, so results are bit-identical to the callback form.
 //
 // Infinite-support kernels (Gaussian, exponential) are rejected: truncating
 // them silently would violate exactness. Use BoundApprox for those (the gap
@@ -32,25 +35,56 @@ func GridCutoff(pts []geom.Point, opt Options) (*raster.Grid, error) {
 	_, span := obs.Trace(opt.context(), "kde.index_build")
 	idx := gridindex.New(pts, opt.Kernel.Bandwidth())
 	span.End()
-	return run(&cutoffComputer{idx: idx, opt: &opt}, &opt, len(pts))
+	// Re-order the weight column to the index's cell-sorted slot order so
+	// the scan reads weights contiguously alongside the coordinates.
+	var ws []float64
+	if opt.Weights != nil {
+		_, _, ids := idx.Columns()
+		ws = make([]float64, len(ids))
+		for j, pi := range ids {
+			ws[j] = opt.Weights[pi]
+		}
+	}
+	if opt.Float32 {
+		return run(newCutoffFast32Computer(idx, &opt, ws), &opt, len(pts))
+	}
+	xs, ys, _ := idx.Columns()
+	c := &cutoffComputer{
+		idx:  idx,
+		opt:  &opt,
+		xs:   xs,
+		ys:   ys,
+		ws:   ws,
+		eval: chunkEvalFor(opt.Kernel),
+		b:    opt.Kernel.Bandwidth(),
+	}
+	return run(c, &opt, len(pts))
 }
 
 type cutoffComputer struct {
-	idx *gridindex.Index
-	opt *Options
+	idx    *gridindex.Index
+	opt    *Options
+	xs, ys []float64 // cell-ordered coordinate columns (idx.Columns)
+	ws     []float64 // weights in the same slot order; nil when unweighted
+	eval   chunkEval
+	b      float64
 }
 
 func (c *cutoffComputer) computeRow(iy int, row []float64) {
 	g := c.opt.Grid
-	k := c.opt.Kernel
-	b := k.Bandwidth()
 	qy := g.CenterY(iy)
 	for ix := range row {
-		q := geom.Point{X: g.CenterX(ix), Y: qy}
+		qx := g.CenterX(ix)
+		cx0, cx1, cy0, cy1 := c.idx.CellSpan(geom.Point{X: qx, Y: qy}, c.b)
 		sum := 0.0
-		c.idx.ForEachInRange(q, b, func(i int, d2 float64) {
-			sum += c.opt.weightAt(i) * k.Eval2(d2)
-		})
+		for cy := cy0; cy <= cy1; cy++ {
+			for cx := cx0; cx <= cx1; cx++ {
+				lo, hi := c.idx.Cell(cx, cy)
+				if lo != hi {
+					sum = evalSeg(c.eval, sum, qx, qy, c.xs, c.ys, c.ws, lo, hi)
+				}
+			}
+		}
 		row[ix] = sum
 	}
 }

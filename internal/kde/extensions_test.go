@@ -150,7 +150,7 @@ func TestAdaptiveBandwidthsStructure(t *testing.T) {
 	r := rand.New(rand.NewSource(26))
 	dense := dataset.GaussianClusters(r, 200, box, []dataset.Cluster{
 		{Center: geom.Point{X: 30, Y: 40}, Sigma: 2, Weight: 1},
-	}, 0).Points
+	}, 0).Points()
 	isolated := geom.Point{X: 95, Y: 75}
 	pts := append(dense, isolated)
 	bw, err := AdaptiveBandwidths(pts, 5, 1.0, 0.01)
@@ -221,7 +221,7 @@ func TestSelectBandwidthCVPrefersTrueScale(t *testing.T) {
 	pts := dataset.GaussianClusters(r, 600, box, []dataset.Cluster{
 		{Center: geom.Point{X: 30, Y: 30}, Sigma: 3, Weight: 1},
 		{Center: geom.Point{X: 70, Y: 60}, Sigma: 3, Weight: 1},
-	}, 0.05).Points
+	}, 0.05).Points()
 	best, err := SelectBandwidthCV(pts, kernel.Quartic, []float64{0.3, 4, 60}, 5, 27)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,179 @@
+package kde
+
+import (
+	"geostat/internal/dataset"
+	"geostat/internal/geom"
+	gridindex "geostat/internal/index/grid"
+	"geostat/internal/kernel"
+)
+
+// This file implements the opt-in float32 fast path (Options.Float32):
+// coordinates are converted to float32 columns once, the kernel is read
+// from a precomputed lookup table with linear interpolation, and per-point
+// contributions (float32) are accumulated into a float64 sum. The path is
+// approximate by construction — float32 coordinate rounding, table
+// interpolation, and truncation of infinite-support kernels at
+// SupportRadius (where the kernel has decayed to 1e-12 of its peak) — and
+// is therefore kept strictly separate from the exact float64 evaluators:
+// nothing selects it unless the caller sets Options.Float32.
+
+// lutSize is the kernel table resolution. 2048 knots over the support keep
+// the linear-interpolation error far below the float32 rounding noise of
+// the coordinate columns while the table (8 KiB) stays L1-resident.
+const lutSize = 2048
+
+// lut32 tabulates a kernel over squared distance in [0, sup²].
+type lut32 struct {
+	table [lutSize]float32
+	sup2  float32 // squared truncation radius; 0 beyond
+	scale float32 // (lutSize-1)/sup²
+}
+
+func newLUT32(k kernel.Kernel) *lut32 {
+	sup := k.SupportRadius()
+	sup2 := sup * sup
+	l := &lut32{sup2: float32(sup2), scale: float32(float64(lutSize-1) / sup2)}
+	for i := range l.table {
+		d2 := float64(i) / float64(lutSize-1) * sup2
+		l.table[i] = float32(k.Eval2(d2))
+	}
+	return l
+}
+
+// eval returns the interpolated kernel value at squared distance d2.
+func (l *lut32) eval(d2 float32) float32 {
+	if d2 >= l.sup2 {
+		return 0
+	}
+	u := d2 * l.scale
+	i := int(u)
+	if i >= lutSize-1 {
+		return l.table[lutSize-1]
+	}
+	f := u - float32(i)
+	return l.table[i] + f*(l.table[i+1]-l.table[i])
+}
+
+// cols32 converts float64 columns to float32.
+func cols32(src []float64) []float32 {
+	if src == nil {
+		return nil
+	}
+	dst := make([]float32, len(src))
+	for i, v := range src {
+		dst[i] = float32(v)
+	}
+	return dst
+}
+
+// fast32Computer is the chunk-blocked float32 naive evaluator. Chunk
+// rejection uses the float64 chunk bboxes against the truncation radius,
+// so it can only skip points the LUT maps to 0 anyway.
+type fast32Computer struct {
+	opt    *Options
+	lut    *lut32
+	xs, ys []float32
+	ws     []float32 // nil when unweighted
+	chunks []dataset.Chunk
+	sup2   float64 // squared truncation radius for bbox pruning
+}
+
+func newFast32Computer(cols dataset.Columns, opt *Options) *fast32Computer {
+	sup := opt.Kernel.SupportRadius()
+	return &fast32Computer{
+		opt:    opt,
+		lut:    newLUT32(opt.Kernel),
+		xs:     cols32(cols.X),
+		ys:     cols32(cols.Y),
+		ws:     cols32(cols.W),
+		chunks: cols.Chunks,
+		sup2:   sup * sup,
+	}
+}
+
+func (c *fast32Computer) computeRow(iy int, row []float64) {
+	g := c.opt.Grid
+	qy := g.CenterY(iy)
+	qy32 := float32(qy)
+	for ix := range row {
+		qx := g.CenterX(ix)
+		qx32 := float32(qx)
+		q := geom.Point{X: qx, Y: qy}
+		sum := 0.0
+		for _, ch := range c.chunks {
+			if ch.BBox.MinDist2(q) > c.sup2 {
+				continue
+			}
+			sum = fast32Seg(c.lut, sum, qx32, qy32, c.xs, c.ys, c.ws, ch.Lo, ch.Hi)
+		}
+		row[ix] = sum
+	}
+}
+
+// fast32Seg folds the [lo, hi) column segment into sum via the LUT.
+func fast32Seg(lut *lut32, sum float64, qx, qy float32, xs, ys, ws []float32, lo, hi int) float64 {
+	if ws != nil {
+		for i := lo; i < hi; i++ {
+			dx := xs[i] - qx
+			dy := ys[i] - qy
+			if v := lut.eval(dx*dx + dy*dy); v != 0 {
+				sum += float64(ws[i] * v)
+			}
+		}
+		return sum
+	}
+	for i := lo; i < hi; i++ {
+		dx := xs[i] - qx
+		dy := ys[i] - qy
+		if v := lut.eval(dx*dx + dy*dy); v != 0 {
+			sum += float64(v)
+		}
+	}
+	return sum
+}
+
+// cutoffFast32Computer is the float32 twin of cutoffComputer: the grid
+// index's cell-ordered columns converted to float32, kernel values from
+// the LUT.
+type cutoffFast32Computer struct {
+	idx    *gridindex.Index
+	opt    *Options
+	lut    *lut32
+	xs, ys []float32
+	ws     []float32 // nil when unweighted
+	b      float64
+}
+
+func newCutoffFast32Computer(idx *gridindex.Index, opt *Options, ws []float64) *cutoffFast32Computer {
+	xs, ys, _ := idx.Columns()
+	return &cutoffFast32Computer{
+		idx: idx,
+		opt: opt,
+		lut: newLUT32(opt.Kernel),
+		xs:  cols32(xs),
+		ys:  cols32(ys),
+		ws:  cols32(ws),
+		b:   opt.Kernel.Bandwidth(),
+	}
+}
+
+func (c *cutoffFast32Computer) computeRow(iy int, row []float64) {
+	g := c.opt.Grid
+	qy := g.CenterY(iy)
+	qy32 := float32(qy)
+	for ix := range row {
+		qx := g.CenterX(ix)
+		qx32 := float32(qx)
+		cx0, cx1, cy0, cy1 := c.idx.CellSpan(geom.Point{X: qx, Y: qy}, c.b)
+		sum := 0.0
+		for cy := cy0; cy <= cy1; cy++ {
+			for cx := cx0; cx <= cx1; cx++ {
+				lo, hi := c.idx.Cell(cx, cy)
+				if lo != hi {
+					sum = fast32Seg(c.lut, sum, qx32, qy32, c.xs, c.ys, c.ws, lo, hi)
+				}
+			}
+		}
+		row[ix] = sum
+	}
+}

@@ -51,6 +51,13 @@ type Options struct {
 	// (Naive, GridCutoff, SweepLine); the approximate methods reject it
 	// (their guarantees are stated for unweighted sums). Nil means all 1.
 	Weights []float64
+	// Float32 opts into the approximate fast path: float32 coordinate
+	// columns, a precomputed kernel lookup table, and truncation of
+	// infinite-support kernels at Kernel.SupportRadius. Results differ from
+	// the exact float64 path by float32 rounding noise (see the error-bound
+	// tests). Supported by Naive, GridCutoff and Exact; SweepLine,
+	// BoundApprox and Sampled reject it. Never selected implicitly.
+	Float32 bool
 	// Ctx optionally bounds the computation: workers check it between row
 	// chunks and the entry point returns ctx.Err() (with a nil grid) when
 	// it fires. Nil means no cancellation (context.Background()).
@@ -144,46 +151,4 @@ func run(rc rowComputer, opt *Options, n int) (*raster.Grid, error) {
 		}
 	}
 	return out, nil
-}
-
-// Naive computes the exact KDV by evaluating every (pixel, point) pair —
-// the O(XYn) baseline of §1.
-func Naive(pts []geom.Point, opt Options) (*raster.Grid, error) {
-	if err := opt.validate(); err != nil {
-		return nil, err
-	}
-	if err := opt.validateWeights(len(pts)); err != nil {
-		return nil, err
-	}
-	return run(&naiveComputer{pts: pts, opt: &opt}, &opt, len(pts))
-}
-
-type naiveComputer struct {
-	pts []geom.Point
-	opt *Options
-}
-
-func (c *naiveComputer) computeRow(iy int, row []float64) {
-	g := c.opt.Grid
-	k := c.opt.Kernel
-	qy := g.CenterY(iy)
-	if w := c.opt.Weights; w != nil {
-		for ix := range row {
-			q := geom.Point{X: g.CenterX(ix), Y: qy}
-			sum := 0.0
-			for i, p := range c.pts {
-				sum += w[i] * k.Eval2(p.Dist2(q))
-			}
-			row[ix] = sum
-		}
-		return
-	}
-	for ix := range row {
-		q := geom.Point{X: g.CenterX(ix), Y: qy}
-		sum := 0.0
-		for _, p := range c.pts {
-			sum += k.Eval2(p.Dist2(q))
-		}
-		row[ix] = sum
-	}
 }

@@ -26,7 +26,7 @@ func clusteredPoints(seed int64, n int) []geom.Point {
 		{Center: geom.Point{X: 30, Y: 40}, Sigma: 8, Weight: 2},
 		{Center: geom.Point{X: 75, Y: 20}, Sigma: 5, Weight: 1},
 	}, 0.2)
-	return d.Points
+	return d.Points()
 }
 
 func TestOptionsValidation(t *testing.T) {

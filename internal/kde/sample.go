@@ -53,6 +53,9 @@ func Sampled(pts []geom.Point, opt Options, seed int64, eps, delta float64) (*ra
 	if opt.Weights != nil {
 		return nil, fmt.Errorf("kde: Sampled does not support event weights; use an exact method")
 	}
+	if opt.Float32 {
+		return nil, fmt.Errorf("kde: Sampled does not support the float32 path; use Naive or GridCutoff")
+	}
 	m, err := SampleBound(opt.Grid.NumPixels(), eps, delta)
 	if err != nil {
 		return nil, err
@@ -82,8 +85,16 @@ func Sampled(pts []geom.Point, opt Options, seed int64, eps, delta float64) (*ra
 	return out, nil
 }
 
-// exactAuto picks the fastest exact method available for the kernel.
+// exactAuto picks the fastest exact method available for the kernel. With
+// Options.Float32 set (an explicit opt-out of exactness) it routes to the
+// float32-capable methods instead.
 func exactAuto(pts []geom.Point, opt Options) (*raster.Grid, error) {
+	if opt.Float32 {
+		if opt.Kernel.FiniteSupport() {
+			return GridCutoff(pts, opt)
+		}
+		return Naive(pts, opt)
+	}
 	if SweepSupported(opt.Kernel.Type()) {
 		return SweepLine(pts, opt)
 	}

@@ -31,8 +31,8 @@ func TestCrossCountHandValues(t *testing.T) {
 
 func TestCrossCurveMatchesCounts(t *testing.T) {
 	r := rand.New(rand.NewSource(1))
-	a := dataset.UniformCSR(r, 300, box).Points
-	b := dataset.UniformCSR(r, 200, box).Points
+	a := dataset.UniformCSR(r, 300, box).Points()
+	b := dataset.UniformCSR(r, 200, box).Points()
 	thresholds := []float64{1, 3, 7, 15}
 	curve, err := CrossCurve(a, b, thresholds)
 	if err != nil {
@@ -60,7 +60,7 @@ func TestCrossCurveMatchesCounts(t *testing.T) {
 func TestCrossPlotDetectsAttraction(t *testing.T) {
 	r := rand.New(rand.NewSource(2))
 	// b: 30 "bars"; a: "crimes" jittered around bars.
-	bars := dataset.UniformCSR(r, 30, box).Points
+	bars := dataset.UniformCSR(r, 30, box).Points()
 	var crimes []geom.Point
 	for len(crimes) < 400 {
 		c := bars[r.Intn(len(bars))]
@@ -79,8 +79,8 @@ func TestCrossPlotDetectsAttraction(t *testing.T) {
 	}
 
 	// Independent types: mostly random.
-	indepA := dataset.UniformCSR(r, 400, box).Points
-	indepB := dataset.UniformCSR(r, 30, box).Points
+	indepA := dataset.UniformCSR(r, 400, box).Points()
+	indepB := dataset.UniformCSR(r, 30, box).Points()
 	plot, err = CrossPlot(indepA, indepB, thresholds, 19, 1, r)
 	if err != nil {
 		t.Fatal(err)
@@ -98,7 +98,7 @@ func TestCrossPlotDetectsAttraction(t *testing.T) {
 
 func TestCrossPlotValidation(t *testing.T) {
 	r := rand.New(rand.NewSource(3))
-	a := dataset.UniformCSR(r, 10, box).Points
+	a := dataset.UniformCSR(r, 10, box).Points()
 	if _, err := CrossPlot(a, a, []float64{1}, 0, 1, r); err == nil {
 		t.Error("0 sims accepted")
 	}
@@ -115,7 +115,7 @@ func TestKnoxDetectsInteraction(t *testing.T) {
 		{Center: geom.Point{X: 25, Y: 25}, Sigma: 5, TimeMean: 20, TimeSigma: 6, Weight: 1},
 		{Center: geom.Point{X: 75, Y: 75}, Sigma: 5, TimeMean: 80, TimeSigma: 6, Weight: 1},
 	}, 0.2)
-	res, err := Knox(d.Points, d.Times, 5, 10, 99, 1, r)
+	res, err := Knox(d.Points(), d.Times(), 5, 10, 99, 1, r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,9 +127,9 @@ func TestKnoxDetectsInteraction(t *testing.T) {
 	}
 
 	// Destroy the interaction by shuffling times.
-	shuffled := append([]float64(nil), d.Times...)
+	shuffled := append([]float64(nil), d.Times()...)
 	r.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
-	res, err = Knox(d.Points, shuffled, 5, 10, 99, 1, r)
+	res, err = Knox(d.Points(), shuffled, 5, 10, 99, 1, r)
 	if err != nil {
 		t.Fatal(err)
 	}

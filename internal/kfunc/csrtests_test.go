@@ -38,7 +38,7 @@ func TestQuadratTestRegimes(t *testing.T) {
 	}
 
 	disp := dataset.Dispersed(rand.New(rand.NewSource(42)), 1000, box, 2.5)
-	dr, err := QuadratTest(disp.Points, box, 5, 5)
+	dr, err := QuadratTest(disp.Points(), box, 5, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +77,7 @@ func TestClarkEvansRegimes(t *testing.T) {
 	}
 
 	disp := dataset.Dispersed(rand.New(rand.NewSource(51)), 800, box, 3)
-	ce, err = ClarkEvans(disp.Points, box)
+	ce, err = ClarkEvans(disp.Points(), box)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -37,7 +37,7 @@ func TestInhomogeneousNullSeparatesIntensityFromInteraction(t *testing.T) {
 	}
 
 	// Against CSR: the intensity gradient masquerades as clustering.
-	csrPlot, err := MakePlot(obs.Points, opt, rng)
+	csrPlot, err := MakePlot(obs.Points(), opt, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,19 +47,19 @@ func TestInhomogeneousNullSeparatesIntensityFromInteraction(t *testing.T) {
 
 	// Against the FITTED intensity null: fit a KDV to the data, simulate
 	// from it — the spurious clustering disappears.
-	fit, err := kde.Exact(obs.Points, kde.Options{
+	fit, err := kde.Exact(obs.Points(), kde.Options{
 		Kernel: kernel.MustNew(kernel.Quartic, 12),
 		Grid:   spec,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	inhomPlot, err := MakePlotWithNull(obs.Points, opt, func() []geom.Point {
+	inhomPlot, err := MakePlotWithNull(obs.Points(), opt, func() []geom.Point {
 		sim, err := dataset.SampleFromIntensity(rng, spec, fit.Values, obs.N())
 		if err != nil {
 			t.Fatal(err)
 		}
-		return sim.Points
+		return sim.Points()
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -83,7 +83,7 @@ func TestInhomogeneousNullSeparatesIntensityFromInteraction(t *testing.T) {
 	}
 	matPlot, err := MakePlotWithNull(mat, opt, func() []geom.Point {
 		sim, _ := dataset.SampleFromIntensity(rng, spec, fitM.Values, len(mat))
-		return sim.Points
+		return sim.Points()
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -98,12 +98,12 @@ type cfgLike struct{ seed int64 }
 
 func clusteredN(c *cfgLike, n int) []geom.Point {
 	r := rand.New(rand.NewSource(c.seed))
-	m := dataset.MaternCluster(r, box, 0.004, 25, 3)
-	for m.N() < n {
+	pts := dataset.MaternCluster(r, box, 0.004, 25, 3).Points()
+	for len(pts) < n {
 		extra := dataset.MaternCluster(r, box, 0.004, 25, 3)
-		m.Points = append(m.Points, extra.Points...)
+		pts = append(pts, extra.Points()...)
 	}
-	return m.Points[:n]
+	return pts[:n]
 }
 
 func expApprox(x float64) float64 { return math.Exp(x) }

@@ -27,6 +27,7 @@ import (
 	"math"
 	"sort"
 
+	"geostat/internal/dataset"
 	"geostat/internal/geom"
 	"geostat/internal/index/balltree"
 	gridindex "geostat/internal/index/grid"
@@ -144,23 +145,37 @@ func CurveCtx(ctx context.Context, pts []geom.Point, thresholds []float64, worke
 
 // countInto histograms, for source points [lo, hi), every neighbour within
 // thresholds' maximum into the first threshold bin that contains its
-// distance.
+// distance. The candidate scan iterates the grid index's cell-ordered
+// coordinate columns directly — no per-point callback — which is the
+// dominant cost of the one-pass curve.
 func countInto(pts []geom.Point, idx *gridindex.Index, thresholds []float64, lo, hi int, hist []int64) {
 	sMax := thresholds[len(thresholds)-1]
+	s2 := sMax * sMax
+	xs, ys, ids := idx.Columns()
+	nb := len(hist)
 	for i := lo; i < hi; i++ {
 		p := pts[i]
-		idx.ForEachInRange(p, sMax, func(j int, d2 float64) {
-			if j == i {
-				return
+		cx0, cx1, cy0, cy1 := idx.CellSpan(p, sMax)
+		for cy := cy0; cy <= cy1; cy++ {
+			for cx := cx0; cx <= cx1; cx++ {
+				clo, chi := idx.Cell(cx, cy)
+				for j := clo; j < chi; j++ {
+					dx := xs[j] - p.X
+					dy := ys[j] - p.Y
+					d2 := dx*dx + dy*dy
+					if d2 > s2 || int(ids[j]) == i {
+						continue
+					}
+					d := math.Sqrt(d2)
+					// First threshold >= d: binary search for short lists
+					// would be fine, but thresholds are few, typically ≤ 64.
+					bin := sort.SearchFloat64s(thresholds, d)
+					if bin < nb {
+						hist[bin]++
+					}
+				}
 			}
-			d := math.Sqrt(d2)
-			// First threshold >= d: binary search for short lists would be
-			// fine, but thresholds are few, typically ≤ 64.
-			bin := sort.SearchFloat64s(thresholds, d)
-			if bin < len(hist) {
-				hist[bin]++
-			}
-		})
+		}
 	}
 }
 
@@ -201,20 +216,38 @@ func BesagL(kHat float64) float64 {
 // sources (their discs lie fully inside the window, so their counts are
 // unbiased). It returns the corrected K̂(s) and the number of eligible
 // source points; ok=false means no point is eligible at this s.
+//
+// Source eligibility is decided chunk-wise over the columnar layout: a
+// chunk whose bounding box lies entirely within s of some window edge has
+// no eligible sources and is skipped outright, and one whose box clears
+// every edge by at least s needs no per-point boundary tests.
 func BorderCorrected(pts []geom.Point, s float64, window geom.BBox) (kHat float64, eligible int, ok bool) {
 	n := len(pts)
 	if n < 2 {
 		return 0, 0, false
 	}
 	idx := gridindex.New(pts, s)
+	cols := dataset.MakeColumns(pts, nil)
 	total := 0
-	for _, p := range pts {
-		if p.X-window.MinX < s || window.MaxX-p.X < s ||
-			p.Y-window.MinY < s || window.MaxY-p.Y < s {
+	for _, ch := range cols.Chunks {
+		bb := ch.BBox
+		// Every point within s of one edge — no eligible sources here.
+		if bb.MaxX-window.MinX < s || window.MaxX-bb.MinX < s ||
+			bb.MaxY-window.MinY < s || window.MaxY-bb.MinY < s {
 			continue
 		}
-		eligible++
-		total += idx.RangeCount(p, s) - 1
+		// Whole box clears every edge by >= s — all sources eligible.
+		allIn := bb.MinX-window.MinX >= s && window.MaxX-bb.MaxX >= s &&
+			bb.MinY-window.MinY >= s && window.MaxY-bb.MaxY >= s
+		for i := ch.Lo; i < ch.Hi; i++ {
+			p := geom.Point{X: cols.X[i], Y: cols.Y[i]}
+			if !allIn && (p.X-window.MinX < s || window.MaxX-p.X < s ||
+				p.Y-window.MinY < s || window.MaxY-p.Y < s) {
+				continue
+			}
+			eligible++
+			total += idx.RangeCount(p, s) - 1
+		}
 	}
 	if eligible == 0 {
 		return 0, 0, false

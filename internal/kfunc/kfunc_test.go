@@ -12,7 +12,7 @@ import (
 var box = geom.BBox{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}
 
 func csr(seed int64, n int) []geom.Point {
-	return dataset.UniformCSR(rand.New(rand.NewSource(seed)), n, box).Points
+	return dataset.UniformCSR(rand.New(rand.NewSource(seed)), n, box).Points()
 }
 
 func clustered(seed int64, n int) []geom.Point {
@@ -20,7 +20,7 @@ func clustered(seed int64, n int) []geom.Point {
 	return dataset.GaussianClusters(r, n, box, []dataset.Cluster{
 		{Center: geom.Point{X: 30, Y: 30}, Sigma: 4, Weight: 1},
 		{Center: geom.Point{X: 70, Y: 60}, Sigma: 4, Weight: 1},
-	}, 0.1).Points
+	}, 0.1).Points()
 }
 
 func TestNaiveHandValues(t *testing.T) {
@@ -206,7 +206,7 @@ func TestPlotRegimes(t *testing.T) {
 	}
 
 	disp := dataset.Dispersed(rand.New(rand.NewSource(10)), 500, box, 4)
-	dp, err := MakePlot(disp.Points, opt, rng)
+	dp, err := MakePlot(disp.Points(), opt, rng)
 	if err != nil {
 		t.Fatal(err)
 	}

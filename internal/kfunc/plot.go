@@ -219,6 +219,6 @@ func MakePlot(pts []geom.Point, opt PlotOptions, rng *rand.Rand) (*Plot, error) 
 	}
 	n := len(pts)
 	return MakePlotSeeded(pts, opt, rng.Int63(), func(rng *rand.Rand, _ int) []geom.Point {
-		return dataset.UniformCSR(rng, n, window).Points
+		return dataset.UniformCSR(rng, n, window).Points()
 	})
 }

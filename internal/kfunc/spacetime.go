@@ -152,7 +152,7 @@ func MakeSTPlot(d *dataset.Dataset, sThresholds, tThresholds []float64, sims, wo
 	if sims < 1 {
 		return nil, fmt.Errorf("kfunc: need at least 1 simulation, got %d", sims)
 	}
-	obs, err := STSurface(d.Points, d.Times, sThresholds, tThresholds, workers)
+	obs, err := STSurface(d.Points(), d.Times(), sThresholds, tThresholds, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -178,11 +178,11 @@ func MakeSTPlot(d *dataset.Dataset, sThresholds, tThresholds []float64, sims, wo
 	var firstErr error
 	parallel.MonteCarlo(sims, workers, seed, func(rng *rand.Rand, l int) {
 		sim := dataset.UniformCSR(rng, n, window)
-		sim.Times = make([]float64, n)
-		for i := range sim.Times {
-			sim.Times[i] = t0 + rng.Float64()*(t1-t0)
+		simTimes := make([]float64, n)
+		for i := range simTimes {
+			simTimes[i] = t0 + rng.Float64()*(t1-t0)
 		}
-		counts, err := STSurface(sim.Points, sim.Times, sThresholds, tThresholds, inner)
+		counts, err := STSurface(sim.Points(), simTimes, sThresholds, tThresholds, inner)
 		mu.Lock()
 		defer mu.Unlock()
 		if err != nil {

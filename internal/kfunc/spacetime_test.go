@@ -38,20 +38,20 @@ func TestSTSurfaceMatchesNaive(t *testing.T) {
 	d := stData(1, 300)
 	sTh := []float64{2, 5, 10, 30}
 	tTh := []float64{1, 5, 20, 60}
-	surface, err := STSurface(d.Points, d.Times, sTh, tTh, 0)
+	surface, err := STSurface(d.Points(), d.Times(), sTh, tTh, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for a, s := range sTh {
 		for b, tt := range tTh {
-			want := STNaive(d.Points, d.Times, s, tt)
+			want := STNaive(d.Points(), d.Times(), s, tt)
 			if got := surface[a*len(tTh)+b]; got != want {
 				t.Errorf("K(%v,%v) = %d, want %d", s, tt, got, want)
 			}
 		}
 	}
 	// Parallel agrees.
-	par, err := STSurface(d.Points, d.Times, sTh, tTh, 4)
+	par, err := STSurface(d.Points(), d.Times(), sTh, tTh, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,13 +64,13 @@ func TestSTSurfaceMatchesNaive(t *testing.T) {
 
 func TestSTSurfaceValidation(t *testing.T) {
 	d := stData(2, 20)
-	if _, err := STSurface(d.Points, d.Times, nil, []float64{1}, 0); err == nil {
+	if _, err := STSurface(d.Points(), d.Times(), nil, []float64{1}, 0); err == nil {
 		t.Error("empty spatial thresholds accepted")
 	}
-	if _, err := STSurface(d.Points, d.Times, []float64{1}, []float64{2, 2}, 0); err == nil {
+	if _, err := STSurface(d.Points(), d.Times(), []float64{1}, []float64{2, 2}, 0); err == nil {
 		t.Error("non-increasing temporal thresholds accepted")
 	}
-	if _, err := STSurface(d.Points, d.Times[:5], []float64{1}, []float64{1}, 0); err == nil {
+	if _, err := STSurface(d.Points(), d.Times()[:5], []float64{1}, []float64{1}, 0); err == nil {
 		t.Error("mismatched times accepted")
 	}
 	out, err := STSurface(nil, nil, []float64{1}, []float64{1}, 0)
@@ -84,7 +84,7 @@ func TestSTSurfaceMonotone(t *testing.T) {
 	d := stData(3, 400)
 	sTh := []float64{1, 3, 7, 15, 31}
 	tTh := []float64{2, 6, 14, 30}
-	surface, err := STSurface(d.Points, d.Times, sTh, tTh, 0)
+	surface, err := STSurface(d.Points(), d.Times(), sTh, tTh, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,9 +121,12 @@ func TestSTPlotDetectsInteraction(t *testing.T) {
 	// Pure CSR with uniform times reads Random nearly everywhere.
 	r2 := rand.New(rand.NewSource(6))
 	null := dataset.UniformCSR(r2, 500, box)
-	null.Times = make([]float64, null.N())
-	for i := range null.Times {
-		null.Times[i] = r2.Float64() * 100
+	nullTimes := make([]float64, null.N())
+	for i := range nullTimes {
+		nullTimes[i] = r2.Float64() * 100
+	}
+	if err := null.SetTimes(nullTimes); err != nil {
+		t.Fatal(err)
 	}
 	pNull, err := MakeSTPlot(null, sTh, tTh, 19, 0, rng)
 	if err != nil {
@@ -148,7 +151,7 @@ func TestMakeSTPlotValidation(t *testing.T) {
 	if _, err := MakeSTPlot(d, []float64{1}, []float64{1}, 0, 0, rng); err == nil {
 		t.Error("0 sims accepted")
 	}
-	noTimes := dataset.FromPoints(d.Points)
+	noTimes := dataset.FromPoints(d.Points())
 	if _, err := MakeSTPlot(noTimes, []float64{1}, []float64{1}, 5, 0, rng); err == nil {
 		t.Error("dataset without times accepted")
 	}

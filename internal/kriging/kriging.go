@@ -56,7 +56,9 @@ func Interpolate(d *dataset.Dataset, opt Options) (*raster.Grid, error) {
 	if k == 0 || k > d.N() {
 		k = d.N()
 	}
-	tree := kdtree.New(d.Points)
+	pts := d.Points()
+	vals := d.Values()
+	tree := kdtree.New(pts)
 	out := raster.NewGrid(opt.Grid)
 	ny, nx := opt.Grid.NY, opt.Grid.NX
 
@@ -70,7 +72,7 @@ func Interpolate(d *dataset.Dataset, opt Options) (*raster.Grid, error) {
 			row := out.Values[iy*nx : (iy+1)*nx]
 			for ix := range row {
 				q := geom.Point{X: opt.Grid.CenterX(ix), Y: qy}
-				v, err := st.estimate(d, tree, q, k, opt.Variogram)
+				v, err := st.estimate(pts, vals, tree, q, k, opt.Variogram)
 				if err != nil {
 					firstErr.CompareAndSwap(nil, err)
 					return
@@ -98,22 +100,22 @@ func newSolveState(k int) *solveState {
 	}
 }
 
-func (st *solveState) estimate(d *dataset.Dataset, tree *kdtree.Tree, q geom.Point, k int, v Variogram) (float64, error) {
+func (st *solveState) estimate(pts []geom.Point, vals []float64, tree *kdtree.Tree, q geom.Point, k int, v Variogram) (float64, error) {
 	idx, d2 := tree.KNearest(q, k, st.scratch)
 	st.scratch = idx
-	return st.estimateFrom(d, q, idx, d2, v)
+	return st.estimateFrom(pts, vals, q, idx, d2, v)
 }
 
 // estimateFrom solves the ordinary-kriging system over an explicit
 // neighbourhood (idx with squared distances d2, ascending).
-func (st *solveState) estimateFrom(d *dataset.Dataset, q geom.Point, idx []int, d2 []float64, v Variogram) (float64, error) {
+func (st *solveState) estimateFrom(pts []geom.Point, vals []float64, q geom.Point, idx []int, d2 []float64, v Variogram) (float64, error) {
 	m := len(idx)
 	if m == 0 {
 		return 0, fmt.Errorf("kriging: no neighbours found")
 	}
 	// Coincident pixel: exact sample value.
 	if d2[0] < 1e-18 {
-		return d.Values[idx[0]], nil
+		return vals[idx[0]], nil
 	}
 	// Degenerate neighbourhood (all samples identical locations) falls back
 	// to the mean.
@@ -124,9 +126,9 @@ func (st *solveState) estimateFrom(d *dataset.Dataset, q geom.Point, idx []int, 
 	}
 	rhs := st.rhs[:0]
 	for i := 0; i < m; i++ {
-		pi := d.Points[idx[i]]
+		pi := pts[idx[i]]
 		for j := 0; j < m; j++ {
-			mat.Set(i, j, v.Eval(pi.Dist(d.Points[idx[j]])))
+			mat.Set(i, j, v.Eval(pi.Dist(pts[idx[j]])))
 		}
 		mat.Set(i, m, 1)
 		mat.Set(m, i, 1)
@@ -139,13 +141,13 @@ func (st *solveState) estimateFrom(d *dataset.Dataset, q geom.Point, idx []int, 
 		// the neighbourhood mean rather than failing the whole surface.
 		sum := 0.0
 		for _, i := range idx {
-			sum += d.Values[i]
+			sum += vals[i]
 		}
 		return sum / float64(m), nil
 	}
 	est := 0.0
 	for i := 0; i < m; i++ {
-		est += rhs[i] * d.Values[idx[i]]
+		est += rhs[i] * vals[idx[i]]
 	}
 	return est, nil
 }

@@ -11,6 +11,16 @@ import (
 
 var box = geom.BBox{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}
 
+// mkd builds a valued dataset, failing the test on constructor error.
+func mkd(t *testing.T, pts []geom.Point, values []float64) *dataset.Dataset {
+	t.Helper()
+	d, err := dataset.New(pts, nil, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
 func smoothField(seed int64, n int, noise float64) *dataset.Dataset {
 	r := rand.New(rand.NewSource(seed))
 	d := dataset.UniformCSR(r, n, box)
@@ -51,7 +61,7 @@ func TestVariogramModels(t *testing.T) {
 
 func TestEmpiricalValidation(t *testing.T) {
 	d := smoothField(1, 100, 0)
-	if _, err := Empirical(dataset.FromPoints(d.Points), 20, 10); err == nil {
+	if _, err := Empirical(dataset.FromPoints(d.Points()), 20, 10); err == nil {
 		t.Error("valueless dataset accepted")
 	}
 	if _, err := Empirical(d, 0, 10); err == nil {
@@ -60,10 +70,7 @@ func TestEmpiricalValidation(t *testing.T) {
 	if _, err := Empirical(d, 20, 0); err == nil {
 		t.Error("zero bins accepted")
 	}
-	far := &dataset.Dataset{
-		Points: []geom.Point{{X: 0, Y: 0}, {X: 1000, Y: 1000}},
-		Values: []float64{1, 2},
-	}
+	far := mkd(t, []geom.Point{{X: 0, Y: 0}, {X: 1000, Y: 1000}}, []float64{1, 2})
 	if _, err := Empirical(far, 1, 4); err == nil {
 		t.Error("no-pairs case should error")
 	}
@@ -126,7 +133,7 @@ func TestInterpolateValidation(t *testing.T) {
 	d := smoothField(3, 50, 0)
 	g := geom.NewPixelGrid(box, 5, 5)
 	v := Variogram{Model: Spherical, Nugget: 0, Sill: 1, Range: 10}
-	if _, err := Interpolate(dataset.FromPoints(d.Points), Options{Grid: g, Variogram: v}); err == nil {
+	if _, err := Interpolate(dataset.FromPoints(d.Points()), Options{Grid: g, Variogram: v}); err == nil {
 		t.Error("valueless dataset accepted")
 	}
 	if _, err := Interpolate(d, Options{Variogram: v}); err == nil {
@@ -138,7 +145,7 @@ func TestInterpolateValidation(t *testing.T) {
 	if _, err := Interpolate(d, Options{Grid: g, Variogram: v, Neighbors: -1}); err == nil {
 		t.Error("negative neighbours accepted")
 	}
-	tiny := &dataset.Dataset{Points: []geom.Point{{X: 1, Y: 1}}, Values: []float64{2}}
+	tiny := mkd(t, []geom.Point{{X: 1, Y: 1}}, []float64{2})
 	if _, err := Interpolate(tiny, Options{Grid: g, Variogram: v}); err == nil {
 		t.Error("single sample accepted")
 	}
@@ -147,10 +154,7 @@ func TestInterpolateValidation(t *testing.T) {
 func TestExactAtSamples(t *testing.T) {
 	g := geom.NewPixelGrid(box, 20, 20)
 	q := g.Center(5, 5)
-	d := &dataset.Dataset{
-		Points: []geom.Point{q, {X: 80, Y: 80}, {X: 20, Y: 70}},
-		Values: []float64{13, 2, 5},
-	}
+	d := mkd(t, []geom.Point{q, {X: 80, Y: 80}, {X: 20, Y: 70}}, []float64{13, 2, 5})
 	out, err := Interpolate(d, Options{
 		Grid:      g,
 		Variogram: Variogram{Model: Spherical, Nugget: 0, Sill: 1, Range: 30},
@@ -211,10 +215,7 @@ func TestGlobalEqualsFullNeighborhood(t *testing.T) {
 func TestDuplicateSamplesFallback(t *testing.T) {
 	// Duplicate sites make the kriging matrix singular; the estimator must
 	// fall back instead of failing.
-	d := &dataset.Dataset{
-		Points: []geom.Point{{X: 10, Y: 10}, {X: 10, Y: 10}, {X: 90, Y: 90}},
-		Values: []float64{4, 4, 8},
-	}
+	d := mkd(t, []geom.Point{{X: 10, Y: 10}, {X: 10, Y: 10}, {X: 90, Y: 90}}, []float64{4, 4, 8})
 	out, err := Interpolate(d, Options{
 		Grid:      geom.NewPixelGrid(box, 6, 6),
 		Variogram: Variogram{Model: Spherical, Nugget: 0, Sill: 1, Range: 20},

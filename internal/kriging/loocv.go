@@ -53,7 +53,9 @@ func LOOCVWorkers(d *dataset.Dataset, v Variogram, neighbors, workers int) (*CVR
 	if k <= 0 || k > n-1 {
 		k = n - 1
 	}
-	tree := kdtree.New(d.Points)
+	pts := d.Points()
+	vals := d.Values()
+	tree := kdtree.New(pts)
 	res := &CVResult{Residuals: make([]float64, n)}
 	var firstErr atomic.Value
 	parallel.ForScratch(n, workers,
@@ -65,7 +67,7 @@ func LOOCVWorkers(d *dataset.Dataset, v Variogram, neighbors, workers int) (*CVR
 			}
 		},
 		func(s *cvScratch, i int) {
-			p := d.Points[i]
+			p := pts[i]
 			// k+1 nearest includes the sample itself; withhold it. Duplicate
 			// sites keep their twin (that is the honest LOOCV answer there).
 			idx, d2 := tree.KNearest(p, k+1, s.scratch)
@@ -83,12 +85,12 @@ func LOOCVWorkers(d *dataset.Dataset, v Variogram, neighbors, workers int) (*CVR
 				s.idxBuf = s.idxBuf[:k]
 				s.d2Buf = s.d2Buf[:k]
 			}
-			pred, err := s.st.estimateFrom(d, p, s.idxBuf, s.d2Buf, v)
+			pred, err := s.st.estimateFrom(pts, vals, p, s.idxBuf, s.d2Buf, v)
 			if err != nil {
 				firstErr.CompareAndSwap(nil, fmt.Errorf("kriging: LOOCV at sample %d: %w", i, err))
 				return
 			}
-			res.Residuals[i] = pred - d.Values[i]
+			res.Residuals[i] = pred - vals[i]
 		})
 	if err, _ := firstErr.Load().(error); err != nil {
 		return nil, err

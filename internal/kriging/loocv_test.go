@@ -63,16 +63,13 @@ func TestLOOCVDiscriminatesModels(t *testing.T) {
 func TestLOOCVValidation(t *testing.T) {
 	d := smoothField(12, 50, 0.1)
 	v := Variogram{Model: Spherical, Nugget: 0, Sill: 1, Range: 20}
-	if _, err := LOOCV(dataset.FromPoints(d.Points), v, 5); err == nil {
+	if _, err := LOOCV(dataset.FromPoints(d.Points()), v, 5); err == nil {
 		t.Error("valueless dataset accepted")
 	}
 	if _, err := LOOCV(d, Variogram{}, 5); err == nil {
 		t.Error("unfitted variogram accepted")
 	}
-	tiny := &dataset.Dataset{
-		Points: []geom.Point{{X: 1, Y: 1}, {X: 2, Y: 2}},
-		Values: []float64{1, 2},
-	}
+	tiny := mkd(t, []geom.Point{{X: 1, Y: 1}, {X: 2, Y: 2}}, []float64{1, 2})
 	if _, err := LOOCV(tiny, v, 5); err == nil {
 		t.Error("2 samples accepted")
 	}

@@ -86,13 +86,15 @@ func Empirical(d *dataset.Dataset, maxLag float64, bins int) ([]EmpiricalBin, er
 	if !(maxLag > 0) || bins < 1 {
 		return nil, fmt.Errorf("kriging: need maxLag > 0 and bins >= 1 (got %g, %d)", maxLag, bins)
 	}
-	idx := gridindex.New(d.Points, maxLag)
+	pts := d.Points()
+	vals := d.Values()
+	idx := gridindex.New(pts, maxLag)
 	width := maxLag / float64(bins)
 	sumG := make([]float64, bins)
 	sumLag := make([]float64, bins)
 	counts := make([]int, bins)
-	for i, p := range d.Points {
-		zi := d.Values[i]
+	for i, p := range pts {
+		zi := vals[i]
 		idx.ForEachInRange(p, maxLag, func(j int, d2 float64) {
 			if j <= i { // each unordered pair once
 				return
@@ -102,7 +104,7 @@ func Empirical(d *dataset.Dataset, maxLag float64, bins int) ([]EmpiricalBin, er
 			if b >= bins {
 				b = bins - 1
 			}
-			dz := zi - d.Values[j]
+			dz := zi - vals[j]
 			sumG[b] += dz * dz / 2
 			sumLag[b] += h
 			counts[b]++

@@ -14,7 +14,9 @@
 //   - workersopt — every exported entry point that accepts a Workers
 //     option actually threads it into the parallel engine;
 //   - obsname — every obs metric/span name literal follows the
-//     documented tool_stage_unit / tool.stage naming convention.
+//     documented tool_stage_unit / tool.stage naming convention;
+//   - colaccess — the dataset's columnar storage (dataset.Columns /
+//     dataset.Chunk fields) is never mutated outside internal/dataset.
 //
 // A curated set of general passes rides along: shadow, copylocks,
 // loopclosure and unusedresult (stdlib-only reimplementations of the
@@ -45,6 +47,7 @@ func Analyzers() []*analysis.Analyzer {
 		MapOrder,
 		WorkersOpt,
 		ObsName,
+		ColAccess,
 		Shadow,
 		CopyLocks,
 		LoopClosure,

@@ -62,7 +62,7 @@ func decodeDataset(body []byte) (*geostat.Dataset, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &geostat.Dataset{Points: pts, Times: times, Values: values}, nil
+		return geostat.NewDataset(pts, times, values)
 	}
 	return geostat.ReadCSV(bytes.NewReader(body))
 }
@@ -184,10 +184,10 @@ func (s *Server) parseWeights(d *geostat.Dataset, p *params, rowstd bool) (*geos
 	)
 	switch scheme := p.str("weights", "knn"); scheme {
 	case "knn":
-		w, err = geostat.KNNWeightsWorkers(d.Points, p.intv("k", 8), s.cfg.Workers)
+		w, err = geostat.KNNWeightsWorkers(d.Points(), p.intv("k", 8), s.cfg.Workers)
 	case "band":
 		radius := p.floatv("radius", bboxDiag(d.Bounds())/10)
-		w, err = geostat.DistanceBandWeightsWorkers(d.Points, radius, s.cfg.Workers)
+		w, err = geostat.DistanceBandWeightsWorkers(d.Points(), radius, s.cfg.Workers)
 	default:
 		return nil, fmt.Errorf("unknown weights scheme %q (knn|band)", scheme)
 	}
@@ -265,7 +265,7 @@ func (s *Server) computeKDV(ctx context.Context, d *geostat.Dataset, p *params) 
 	}
 	bandwidth := p.floatv("bandwidth", 0)
 	if bandwidth == 0 {
-		if bandwidth, err = geostat.SilvermanBandwidth(d.Points); err != nil {
+		if bandwidth, err = geostat.SilvermanBandwidth(d.Points()); err != nil {
 			return Value{}, err
 		}
 	}
@@ -290,7 +290,7 @@ func (s *Server) computeKDV(ctx context.Context, d *geostat.Dataset, p *params) 
 
 	cctx, compute := obs.Trace(ctx, "kdv.compute")
 	defer compute.End()
-	g, err := geostat.KDVCtx(cctx, d.Points, opt)
+	g, err := geostat.KDVDatasetCtx(cctx, d, opt)
 	compute.End()
 	if err != nil {
 		return Value{}, err
@@ -332,7 +332,7 @@ func (s *Server) computeKFunction(ctx context.Context, d *geostat.Dataset, p *pa
 
 	cctx, compute := obs.Trace(ctx, "kfunction.compute")
 	defer compute.End()
-	plot, err := geostat.KFunctionPlot(d.Points, geostat.KPlotOptions{
+	plot, err := geostat.KFunctionPlot(d.Points(), geostat.KPlotOptions{
 		Thresholds:  thresholds,
 		Simulations: sims,
 		Workers:     s.cfg.Workers,
@@ -386,7 +386,7 @@ func (s *Server) computeMoran(ctx context.Context, d *geostat.Dataset, p *params
 	cctx, compute := obs.Trace(ctx, "moran.compute")
 	defer compute.End()
 	opt.Ctx = cctx
-	res, err := geostat.MoranIOpt(d.Values, w, opt)
+	res, err := geostat.MoranIOpt(d.Values(), w, opt)
 	compute.End()
 	if err != nil {
 		return Value{}, err
@@ -432,7 +432,7 @@ func (s *Server) computeGeneralG(ctx context.Context, d *geostat.Dataset, p *par
 	cctx, compute := obs.Trace(ctx, "generalg.compute")
 	defer compute.End()
 	opt.Ctx = cctx
-	res, err := geostat.GeneralGOpt(d.Values, w, opt)
+	res, err := geostat.GeneralGOpt(d.Values(), w, opt)
 	compute.End()
 	if err != nil {
 		return Value{}, err

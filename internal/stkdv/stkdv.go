@@ -113,6 +113,8 @@ func Naive(d *dataset.Dataset, opt Options) (*Cube, error) {
 	}
 	cube := newCube(&opt)
 	g := opt.Grid
+	pts := d.Points()
+	eventTimes := d.Times()
 	jobs := len(opt.Times) * g.NY
 	// Each (slice, row) job writes a disjoint row of the cube.
 	parallel.For(jobs, opt.Workers, func(j int) {
@@ -123,8 +125,8 @@ func Naive(d *dataset.Dataset, opt Options) (*Cube, error) {
 		for ix := range row {
 			q := geom.Point{X: g.CenterX(ix), Y: qy}
 			sum := 0.0
-			for i, p := range d.Points {
-				kt := opt.TimeKernel.Eval(math.Abs(d.Times[i] - ts))
+			for i, p := range pts {
+				kt := opt.TimeKernel.Eval(math.Abs(eventTimes[i] - ts))
 				if kt == 0 {
 					continue
 				}
@@ -176,9 +178,11 @@ func Shared(d *dataset.Dataset, opt Options) (*Cube, error) {
 
 	bs := opt.SpaceKernel.Bandwidth()
 	bt := opt.TimeKernel.Bandwidth()
+	pts := d.Points()
+	eventTimes := d.Times()
 	coefs := make([]float64, nCoef)
-	for i, p := range d.Points {
-		tp := d.Times[i] - tMid
+	for i, p := range pts {
+		tp := eventTimes[i] - tMid
 		// Active slice range: |times[j] − tp| ≤ bt.
 		jLo := sort.SearchFloat64s(times, tp-bt)
 		jHi := sort.SearchFloat64s(times, tp+bt)

@@ -12,6 +12,16 @@ import (
 
 var box = geom.BBox{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}
 
+// mkst builds a timestamped dataset, failing the test on constructor error.
+func mkst(t *testing.T, pts []geom.Point, times []float64) *dataset.Dataset {
+	t.Helper()
+	d, err := dataset.New(pts, times, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
 func twoWave(seed int64, n int) *dataset.Dataset {
 	r := rand.New(rand.NewSource(seed))
 	return dataset.SpatioTemporalOutbreak(r, n, box, 0, 60, []dataset.Wave{
@@ -43,7 +53,7 @@ func TestValidation(t *testing.T) {
 		t.Error("empty times accepted")
 	}
 	o = opts(kernel.Quartic, kernel.Epanechnikov, 10, 5, []float64{10, 20})
-	spatialOnly := dataset.FromPoints(d.Points)
+	spatialOnly := dataset.FromPoints(d.Points())
 	if _, err := Naive(spatialOnly, o); err == nil {
 		t.Error("dataset without times accepted")
 	}
@@ -61,10 +71,7 @@ func TestValidation(t *testing.T) {
 }
 
 func TestNaiveHandValue(t *testing.T) {
-	d := &dataset.Dataset{
-		Points: []geom.Point{{X: 50, Y: 50}},
-		Times:  []float64{10},
-	}
+	d := mkst(t, []geom.Point{{X: 50, Y: 50}}, []float64{10})
 	o := opts(kernel.Epanechnikov, kernel.Epanechnikov, 20, 8, []float64{10, 14, 30})
 	cube, err := Naive(d, o)
 	if err != nil {
@@ -164,7 +171,7 @@ func TestHotspotMovesAcrossWaves(t *testing.T) {
 }
 
 func TestEmptyDataset(t *testing.T) {
-	empty := &dataset.Dataset{Times: []float64{}}
+	empty := mkst(t, nil, []float64{})
 	o := opts(kernel.Quartic, kernel.Epanechnikov, 10, 5, []float64{1, 2})
 	for _, f := range []func(*dataset.Dataset, Options) (*Cube, error){Naive, Shared} {
 		cube, err := f(empty, o)
@@ -198,14 +205,13 @@ func TestSharedMatchesNaiveFuzz(t *testing.T) {
 	r := rand.New(rand.NewSource(99))
 	for trial := 0; trial < 25; trial++ {
 		n := r.Intn(120)
-		d := &dataset.Dataset{
-			Points: make([]geom.Point, n),
-			Times:  make([]float64, n),
-		}
+		pts := make([]geom.Point, n)
+		times := make([]float64, n)
 		for i := 0; i < n; i++ {
-			d.Points[i] = geom.Point{X: r.Float64()*140 - 20, Y: r.Float64()*140 - 20}
-			d.Times[i] = r.Float64()*80 - 10
+			pts[i] = geom.Point{X: r.Float64()*140 - 20, Y: r.Float64()*140 - 20}
+			times[i] = r.Float64()*80 - 10
 		}
+		d := mkst(t, pts, times)
 		nSlices := 1 + r.Intn(6)
 		slices := make([]float64, nSlices)
 		t0 := r.Float64() * 20

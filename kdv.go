@@ -72,6 +72,13 @@ type KDVOptions struct {
 	// Weights optionally weights each event (severity, case counts).
 	// Supported by the exact methods; the approximate methods reject it.
 	Weights []float64
+	// Float32 opts into the single-precision fast path: kernel values come
+	// from a precomputed lookup table over float32 columns, accumulated in
+	// float64. Typical relative error is below 1e-3; the default float64
+	// path stays bit-exact and is never affected. Supported by KDVNaive,
+	// KDVGridCutoff and KDVAuto; the other methods reject it. Never
+	// selected implicitly.
+	Float32 bool
 	// Ctx optionally bounds the computation (per-request timeouts, client
 	// disconnects): raster workers check it between row chunks and KDV
 	// returns ctx.Err() with a nil surface when it fires. Nil means no
@@ -95,6 +102,7 @@ func KDV(pts []Point, opt KDVOptions) (*Heatmap, error) {
 		Normalize: opt.Normalize,
 		Workers:   opt.Workers,
 		Weights:   opt.Weights,
+		Float32:   opt.Float32,
 		Ctx:       opt.Ctx,
 	}
 	switch opt.Method {
@@ -112,6 +120,37 @@ func KDV(pts []Point, opt KDVOptions) (*Heatmap, error) {
 		return kde.Sampled(pts, kopt, opt.Seed, opt.Epsilon, opt.Delta)
 	}
 	return nil, fmt.Errorf("geostat: unknown KDV method %d", int(opt.Method))
+}
+
+// KDVDataset computes a kernel density surface directly from a Dataset.
+// The naive method (and KDVAuto's naive fallback) reads the dataset's
+// columnar storage in place — no []Point materialisation — and uses the
+// per-chunk bounding boxes to skip whole chunks outside the kernel
+// support. Results are bit-identical to KDV(d.Points(), opt). When
+// opt.Weights is nil the dataset's own weights column (if any) applies.
+func KDVDataset(d *Dataset, opt KDVOptions) (*Heatmap, error) {
+	if opt.Method == KDVNaive && opt.Weights == nil {
+		// The columnar path takes the weight column from the dataset itself.
+		kopt := kde.Options{
+			Kernel:    opt.Kernel,
+			Grid:      opt.Grid,
+			Normalize: opt.Normalize,
+			Workers:   opt.Workers,
+			Float32:   opt.Float32,
+			Ctx:       opt.Ctx,
+		}
+		return kde.NaiveCols(d.Columns(), kopt)
+	}
+	if opt.Weights == nil {
+		opt.Weights = d.Weights()
+	}
+	return KDV(d.Points(), opt)
+}
+
+// KDVDatasetCtx is KDVDataset with an explicit context (see KDVCtx).
+func KDVDatasetCtx(ctx context.Context, d *Dataset, opt KDVOptions) (*Heatmap, error) {
+	opt.Ctx = ctx
+	return KDVDataset(d, opt)
 }
 
 // SweepLineSupports reports whether the sweep-line method handles the

@@ -17,18 +17,18 @@ func TestKDVSampledSameSeedBitIdentical(t *testing.T) {
 	d := detValued(2000)
 	opt := KDVOptions{
 		Kernel:  MustKernel(Quartic, 12),
-		Grid:    NewPixelGrid(NewBBox(d.Points).Pad(1), 32, 32),
+		Grid:    NewPixelGrid(NewBBox(d.Points()).Pad(1), 32, 32),
 		Method:  KDVSampled,
 		Epsilon: 0.2,
 		Delta:   0.1,
 		Seed:    detSeed,
 	}
-	first, err := KDV(d.Points, opt)
+	first, err := KDV(d.Points(), opt)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for run := 0; run < 3; run++ {
-		again, err := KDV(d.Points, opt)
+		again, err := KDV(d.Points(), opt)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -40,7 +40,7 @@ func TestKDVSampledSameSeedBitIdentical(t *testing.T) {
 	}
 	otherOpt := opt
 	otherOpt.Seed = detSeed + 1
-	other, err := KDV(d.Points, otherOpt)
+	other, err := KDV(d.Points(), otherOpt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,12 +59,12 @@ func TestKDVSampledSameSeedBitIdentical(t *testing.T) {
 func TestSelectBandwidthCVSameSeedSameChoice(t *testing.T) {
 	d := detValued(300)
 	candidates := []float64{4, 8, 16, 32}
-	first, err := SelectBandwidthCV(d.Points, Quartic, candidates, 5, detSeed)
+	first, err := SelectBandwidthCV(d.Points(), Quartic, candidates, 5, detSeed)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for run := 0; run < 3; run++ {
-		again, err := SelectBandwidthCV(d.Points, Quartic, candidates, 5, detSeed)
+		again, err := SelectBandwidthCV(d.Points(), Quartic, candidates, 5, detSeed)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -76,12 +76,12 @@ func TestSelectBandwidthCVSameSeedSameChoice(t *testing.T) {
 
 func TestGeneralGSameSeedBitIdentical(t *testing.T) {
 	d := detValued(250)
-	w, err := KNNWeights(d.Points, 6)
+	w, err := KNNWeights(d.Points(), 6)
 	if err != nil {
 		t.Fatal(err)
 	}
-	vals := make([]float64, len(d.Values))
-	for i, v := range d.Values {
+	vals := make([]float64, len(d.Values()))
+	for i, v := range d.Values() {
 		vals[i] = v + 200 // General G needs positive values
 	}
 	first, err := GeneralG(vals, w, 199, detSeed)
