@@ -1,16 +1,23 @@
 // Command geolint is the repository's multichecker: it typechecks the
 // module with the standard library only and applies geolint's custom
 // determinism/concurrency analyzers plus the curated general passes (see
-// internal/lint). It exits 1 if any diagnostic survives //lint:allow
-// filtering, making it suitable for `make lint` and CI.
+// internal/lint). Analyzers run over every package in import dependency
+// order with cross-package fact propagation, so a single invocation sees
+// the whole module's call graph.
 //
 // Usage:
 //
-//	geolint [-only name[,name]] [-list] [packages]
+//	geolint [-only name[,name]] [-list] [-json] [-sarif] [-o file] [packages]
 //
 // The package arguments are accepted for interface parity with go vet
 // ("./..." is typical) but the whole module is always checked: the
-// invariants are module-wide, and partial runs invite partial truths.
+// invariants are module-wide, facts flow across packages, and partial
+// runs invite partial truths.
+//
+// Exit status: 0 when no gating findings survive //lint:allow filtering
+// (advisory findings — analyzers marked report-only — never fail the
+// run), 1 when at least one gating finding survives, 2 on load or type
+// errors.
 package main
 
 import (
@@ -20,23 +27,32 @@ import (
 	"strings"
 
 	"geostat/internal/lint"
-	"geostat/internal/lint/analysis"
 	"geostat/internal/lint/load"
 )
 
 func main() {
 	var (
-		only    = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
-		list    = flag.Bool("list", false, "list analyzers and exit")
-		dirFlag = flag.String("C", ".", "directory inside the module to lint")
+		only      = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+		list      = flag.Bool("list", false, "list analyzers and exit")
+		dirFlag   = flag.String("C", ".", "directory inside the module to lint")
+		jsonFlag  = flag.Bool("json", false, "emit findings as a JSON array")
+		sarifFlag = flag.Bool("sarif", false, "emit findings as SARIF 2.1.0 (for code scanning upload)")
+		outFlag   = flag.String("o", "", "write the -json/-sarif report to file (text findings still print to stdout)")
 	)
 	flag.Parse()
 
 	if *list {
 		for _, a := range lint.Analyzers() {
-			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+			gate := ""
+			if a.Advisory {
+				gate = " (advisory)"
+			}
+			fmt.Printf("%-16s %s%s\n", a.Name, a.Doc, gate)
 		}
 		return
+	}
+	if *jsonFlag && *sarifFlag {
+		fatalf("choose one of -json and -sarif")
 	}
 
 	analyzers := lint.Analyzers()
@@ -45,8 +61,7 @@ func main() {
 		for _, name := range strings.Split(*only, ",") {
 			a, ok := lint.Lookup(strings.TrimSpace(name))
 			if !ok {
-				fmt.Fprintf(os.Stderr, "geolint: unknown analyzer %q (use -list)\n", name)
-				os.Exit(2)
+				fatalf("unknown analyzer %q (use -list)", name)
 			}
 			analyzers = append(analyzers, a)
 		}
@@ -54,49 +69,71 @@ func main() {
 
 	root, err := load.FindModuleRoot(*dirFlag)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "geolint: %v\n", err)
-		os.Exit(2)
+		fatalf("%v", err)
 	}
 	loader, err := load.NewLoader(root)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "geolint: %v\n", err)
-		os.Exit(2)
+		fatalf("%v", err)
 	}
 	pkgs, err := loader.Module()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "geolint: %v\n", err)
-		os.Exit(2)
+		fatalf("%v", err)
 	}
-
-	exit := 0
 	for _, pkg := range pkgs {
-		if len(pkg.Errors) > 0 {
-			for _, e := range pkg.Errors {
-				fmt.Fprintf(os.Stderr, "geolint: %s: type error: %v\n", pkg.Path, e)
-			}
-			exit = 2
-			continue
+		for _, e := range pkg.Errors {
+			fmt.Fprintf(os.Stderr, "geolint: %s: type error: %v\n", pkg.Path, e)
 		}
-		diags, err := lint.Run(loader, pkg, analyzers)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "geolint: %v\n", err)
+		if len(pkg.Errors) > 0 {
 			os.Exit(2)
 		}
-		for _, d := range diags {
-			printDiag(loader, root, d)
-			if exit == 0 {
-				exit = 1
-			}
-		}
 	}
-	os.Exit(exit)
+
+	findings, err := lint.RunPackages(loader, pkgs, analyzers)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	var report []byte
+	switch {
+	case *sarifFlag:
+		report, err = lint.SARIF(analyzers, findings)
+	case *jsonFlag:
+		report, err = lint.JSONReport(findings)
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if report != nil {
+		report = append(report, '\n')
+	}
+	// With -o the structured report goes to the file and the human-readable
+	// text still goes to stdout: one type-checked load serves both the CI
+	// log and the code-scanning upload. Without -o the structured report
+	// (or, by default, the text) goes to stdout.
+	if *outFlag != "" && report != nil {
+		if werr := os.WriteFile(*outFlag, report, 0o644); werr != nil {
+			fatalf("%v", werr)
+		}
+		report = nil
+	}
+	if report != nil {
+		os.Stdout.Write(report)
+	} else {
+		var b strings.Builder
+		for _, f := range findings {
+			note := ""
+			if f.Advisory {
+				note = " (advisory)"
+			}
+			fmt.Fprintf(&b, "%s:%d:%d: [%s]%s %s\n", f.File, f.Line, f.Col, f.Analyzer, note, f.Message)
+		}
+		os.Stdout.WriteString(b.String())
+	}
+	os.Exit(lint.ExitCode(findings))
 }
 
-func printDiag(loader *load.Loader, root string, d analysis.Diagnostic) {
-	pos := loader.Fset.Position(d.Pos)
-	name := pos.Filename
-	if rel, ok := strings.CutPrefix(name, root+string(os.PathSeparator)); ok {
-		name = rel
-	}
-	fmt.Printf("%s:%d:%d: [%s] %s\n", name, pos.Line, pos.Column, d.Analyzer, d.Message)
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "geolint: "+format+"\n", args...)
+	os.Exit(2)
 }
+

@@ -286,6 +286,11 @@ type columnarComputer struct {
 	b, b2 float64 // kernel support radius and its square (prune only)
 }
 
+// computeRow fills one raster row. The per-row active-chunk slice is the
+// only allocation; everything called from the pixel loop must be
+// allocation-free.
+//
+//lint:hotpath per-pixel inner loop; callees must not allocate
 func (c *columnarComputer) computeRow(iy int, row []float64) {
 	g := c.opt.Grid
 	qy := g.CenterY(iy)

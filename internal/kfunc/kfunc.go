@@ -99,6 +99,7 @@ func RTreeIndexed(pts []geom.Point, s float64) int {
 // Workers parallelises the per-point enumeration (0/1 serial, <0 =
 // GOMAXPROCS).
 func Curve(pts []geom.Point, thresholds []float64, workers int) ([]int, error) {
+	//lint:allow ctxflow Curve is the sanctioned non-ctx compatibility wrapper (same contract as parallel.For); callers that have a context use CurveCtx
 	return CurveCtx(context.Background(), pts, thresholds, workers)
 }
 
@@ -148,6 +149,8 @@ func CurveCtx(ctx context.Context, pts []geom.Point, thresholds []float64, worke
 // distance. The candidate scan iterates the grid index's cell-ordered
 // coordinate columns directly — no per-point callback — which is the
 // dominant cost of the one-pass curve.
+//
+//lint:hotpath per-pair inner loop; callees must not allocate
 func countInto(pts []geom.Point, idx *gridindex.Index, thresholds []float64, lo, hi int, hist []int64) {
 	sMax := thresholds[len(thresholds)-1]
 	s2 := sMax * sMax

@@ -3,7 +3,17 @@
 // typechecked package through a Pass and reports Diagnostics. The x/tools
 // module is deliberately not imported — the repository is stdlib-only — so
 // this package defines just the subset geolint needs: per-package analyzers
-// over syntax plus full type information, with positional diagnostics.
+// over syntax plus full type information, with positional diagnostics and
+// cross-package object facts.
+//
+// Facts are how analyzers see across package boundaries. An analyzer that
+// learns something about a package-level object (for example "this
+// function may block") exports a Fact for it; when a downstream package is
+// analyzed later, any analyzer that declared the fact's type can import
+// it. Unlike x/tools, facts are not serialised: the geolint driver checks
+// the whole module in one process, in import dependency order, against
+// one shared store — an object's fact is simply still in memory when its
+// importers are analyzed.
 package analysis
 
 import (
@@ -21,6 +31,19 @@ type Analyzer struct {
 	// Doc is a one-paragraph description: the invariant the analyzer
 	// guards and what to do about a report.
 	Doc string
+	// Requires lists analyzers that must run before this one on every
+	// package, typically because they export facts this analyzer imports.
+	// The driver orders analyzers by this graph and rejects cycles.
+	Requires []*Analyzer
+	// FactTypes declares (by example value) every fact type this analyzer
+	// exports or imports. Export/Import of an undeclared type panics: the
+	// declaration is what lets the driver know which analyzers share
+	// facts, so an undeclared use is a bug in the analyzer.
+	FactTypes []Fact
+	// Advisory marks a report-only analyzer: its diagnostics are printed
+	// (and carried in SARIF at "note" level) but never affect geolint's
+	// exit code. Gating analyzers fail the build.
+	Advisory bool
 	// Run applies the analyzer to one package.
 	Run func(*Pass) error
 }
@@ -41,6 +64,10 @@ type Pass struct {
 
 	// report receives each diagnostic; installed by the driver.
 	report func(Diagnostic)
+	// facts is the driver's shared fact store; nil when the pass runs
+	// outside a driver (facts then silently no-op on export and always
+	// miss on import, so single-package runs keep working).
+	facts *FactStore
 }
 
 // NewPass returns a Pass delivering diagnostics to report.
@@ -55,6 +82,9 @@ func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkgPath string
 		report:    report,
 	}
 }
+
+// SetFacts installs the driver's shared fact store.
+func (p *Pass) SetFacts(s *FactStore) { p.facts = s }
 
 // Diagnostic is one finding.
 type Diagnostic struct {

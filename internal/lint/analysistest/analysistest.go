@@ -5,11 +5,21 @@
 // diagnostic must match a want on its line, and every want must be
 // matched by exactly one diagnostic. //lint:allow directives are honoured
 // before matching, so fixtures also exercise the suppression path.
+//
+// A fixture directory may be a single package (Go files directly in the
+// dir) or a multi-package fixture (subdirectories, each one package,
+// importable from each other as "fixture/<dir>/<sub>"). Multi-package
+// fixtures run through the cross-package driver, so they exercise fact
+// export and import; diagnostics and wants are collected across all
+// packages.
 package analysistest
 
 import (
 	"go/ast"
+	"os"
+	"path/filepath"
 	"regexp"
+	"sort"
 	"strings"
 	"testing"
 
@@ -28,9 +38,9 @@ type want struct {
 	matched bool
 }
 
-// Run loads the fixture package in dir, applies a, and reports any
-// mismatch between produced diagnostics and want annotations as test
-// errors.
+// Run loads the fixture in dir (one package, or one package per
+// subdirectory), applies a, and reports any mismatch between produced
+// diagnostics and want annotations as test errors.
 func Run(t *testing.T, a *analysis.Analyzer, dir string) {
 	t.Helper()
 	root, err := load.FindModuleRoot(".")
@@ -41,18 +51,47 @@ func Run(t *testing.T, a *analysis.Analyzer, dir string) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pkg, err := l.LoadDir(dir, "fixture/"+a.Name)
-	if err != nil {
-		t.Fatalf("load fixture %s: %v", dir, err)
+
+	base := "fixture/" + filepath.Base(dir)
+	var pkgs []*load.Package
+	if subs := packageSubdirs(t, dir); len(subs) > 0 {
+		// Multi-package fixture: register every subpackage first so the
+		// fixtures can import each other, then load them all.
+		for _, sub := range subs {
+			if regErr := l.Register(base+"/"+sub, filepath.Join(dir, sub)); regErr != nil {
+				t.Fatal(regErr)
+			}
+		}
+		for _, sub := range subs {
+			pkg, loadErr := l.LoadDir(filepath.Join(dir, sub), base+"/"+sub)
+			if loadErr != nil {
+				t.Fatalf("load fixture %s/%s: %v", dir, sub, loadErr)
+			}
+			pkgs = append(pkgs, pkg)
+		}
+	} else {
+		pkg, loadErr := l.LoadDir(dir, base)
+		if loadErr != nil {
+			t.Fatalf("load fixture %s: %v", dir, loadErr)
+		}
+		pkgs = append(pkgs, pkg)
 	}
-	if len(pkg.Errors) > 0 {
-		t.Fatalf("fixture %s has type errors: %v", dir, pkg.Errors[0])
+	var files []*ast.File
+	for _, pkg := range pkgs {
+		if len(pkg.Errors) > 0 {
+			t.Fatalf("fixture %s has type errors: %v", pkg.Path, pkg.Errors[0])
+		}
+		files = append(files, pkg.Files...)
 	}
 
-	wants := collectWants(t, l, pkg.Files)
-	diags, err := lint.Run(l, pkg, []*analysis.Analyzer{a})
+	wants := collectWants(t, l, files)
+	findings, err := lint.RunPackages(l, pkgs, []*analysis.Analyzer{a})
 	if err != nil {
 		t.Fatal(err)
+	}
+	diags := make([]analysis.Diagnostic, len(findings))
+	for i, f := range findings {
+		diags[i] = f.Diagnostic
 	}
 
 	for _, d := range diags {
@@ -74,6 +113,28 @@ func Run(t *testing.T, a *analysis.Analyzer, dir string) {
 			t.Errorf("%s:%d: want %q: no diagnostic", w.file, w.line, w.re)
 		}
 	}
+}
+
+// packageSubdirs lists subdirectories of dir that contain Go files,
+// sorted. Empty means dir is a single-package fixture.
+func packageSubdirs(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("read fixture dir %s: %v", dir, err)
+	}
+	var subs []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		glob, err := filepath.Glob(filepath.Join(dir, e.Name(), "*.go"))
+		if err == nil && len(glob) > 0 {
+			subs = append(subs, e.Name())
+		}
+	}
+	sort.Strings(subs)
+	return subs
 }
 
 // collectWants extracts every want annotation from the fixture comments.

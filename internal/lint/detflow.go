@@ -1,0 +1,433 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"geostat/internal/lint/analysis"
+)
+
+// ResultsEntropy is exported for every function whose return values are
+// (transitively) derived from an entropy source: wall-clock time, the
+// unseeded global rand, crypto/rand, the process id, or map iteration
+// order. detflow turns the fact into a diagnostic when such a function is
+// exported from one of the statistic packages, whose results must be
+// bit-identical across runs and worker counts.
+type ResultsEntropy struct {
+	// Source describes the entropy origin ("time.Now", "map iteration
+	// order", "call to pkg.F (time.Now)", ...).
+	Source string
+}
+
+// AFact marks ResultsEntropy as a fact type.
+func (*ResultsEntropy) AFact() {}
+
+// DetFlow is a flow-insensitive taint analysis: entropy sources taint
+// the values assigned from them, taint propagates through expressions,
+// assignments, conversions, append, and range statements, and a tainted
+// value reaching a return statement taints the function (exported as the
+// ResultsEntropy fact, cross-package). Exported functions of the guarded
+// statistic packages must not be tainted.
+//
+// Deliberate design points, tuned against this codebase:
+//   - A *rand.Rand drawn from is NOT a source: seeded sources threaded
+//     through options are the sanctioned randomness (seededrand guards
+//     their construction). Only math/rand package-level draws (the
+//     global unseeded source) taint.
+//   - Map-iteration-order taint (appending inside range-over-map) is
+//     cleansed by a subsequent sort.*/slices.Sort* call on the slice;
+//     time-based taint is not cleansable.
+//   - Results of type error, context.Context, or any internal/obs type
+//     are exempt: timing observability legitimately carries wall-clock
+//     values, and error text may embed timestamps.
+//   - Calls through function values and interface methods are invisible
+//     (documented under-approximation).
+var DetFlow = &analysis.Analyzer{
+	Name: "detflow",
+	Doc: "entropy (time.Now, unseeded rand, map iteration order) must not flow " +
+		"into exported results of the statistic packages",
+	FactTypes: []analysis.Fact{(*ResultsEntropy)(nil)},
+	Run:       runDetFlow,
+}
+
+// detflowGuarded are the packages whose exported results must be
+// deterministic. Fixture packages under fixture/detflow* opt in so the
+// analyzer is testable.
+var detflowGuarded = map[string]bool{
+	"geostat/internal/kde":      true,
+	"geostat/internal/kfunc":    true,
+	"geostat/internal/idw":      true,
+	"geostat/internal/kriging":  true,
+	"geostat/internal/moran":    true,
+	"geostat/internal/getisord": true,
+	"geostat/internal/dataset":  true,
+}
+
+func detflowGuardedPkg(path string) bool {
+	return detflowGuarded[path] || strings.HasPrefix(path, "fixture/detflow")
+}
+
+// entropySource classifies fn as a direct entropy source, returning a
+// description or "".
+func entropySource(fn *types.Func) string {
+	key := funcKey(fn)
+	switch key {
+	case "time.Now", "time.Since", "time.Until", "os.Getpid":
+		return key
+	}
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return ""
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	isMethod := sig != nil && sig.Recv() != nil
+	switch pkg.Path() {
+	case "math/rand", "math/rand/v2":
+		// Package-level draws use the global unseeded source. Methods on
+		// *rand.Rand are deterministic given a seeded source, and
+		// constructors return sources rather than entropy.
+		if isMethod {
+			return ""
+		}
+		switch fn.Name() {
+		case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+			return ""
+		}
+		return key
+	case "crypto/rand":
+		return key
+	}
+	return ""
+}
+
+func runDetFlow(pass *analysis.Pass) error {
+	infos := packageFuncs(pass)
+	index := make(map[*types.Func]int, len(infos))
+	for i, fi := range infos {
+		index[fi.fn] = i
+	}
+	// entropy[i] non-empty = function i's results carry entropy.
+	entropy := make([]string, len(infos))
+
+	// Same-package fixpoint: a call to a tainted same-package function is
+	// itself a source, so re-run per-function taint until stable.
+	for changed := true; changed; {
+		changed = false
+		for i, fi := range infos {
+			if entropy[i] != "" {
+				continue
+			}
+			src := functionEntropy(pass, fi, func(fn *types.Func) string {
+				if j, ok := index[fn]; ok {
+					return entropy[j]
+				}
+				var re ResultsEntropy
+				if pass.ImportObjectFact(fn, &re) {
+					return re.Source
+				}
+				return ""
+			})
+			if src != "" {
+				entropy[i] = src
+				changed = true
+			}
+		}
+	}
+
+	for i, fi := range infos {
+		if entropy[i] == "" {
+			continue
+		}
+		pass.ExportObjectFact(fi.fn, &ResultsEntropy{Source: entropy[i]})
+		if detflowGuardedPkg(pass.PkgPath) && fi.decl.Name.IsExported() {
+			pass.Reportf(fi.decl.Name.Pos(),
+				"exported %s returns a value derived from %s; statistic results must be deterministic — thread a seeded source or take the value as a parameter",
+				fi.decl.Name.Name, entropy[i])
+		}
+	}
+	return nil
+}
+
+const mapOrderSource = "map iteration order"
+
+// functionEntropy runs the per-function taint pass and returns a source
+// description if a tainted value reaches a (non-exempt) result, or "".
+// calleeEntropy resolves the taint status of called module functions.
+func functionEntropy(pass *analysis.Pass, fi funcInfo, calleeEntropy func(*types.Func) string) string {
+	sig, _ := fi.fn.Type().(*types.Signature)
+	if sig == nil || sig.Results().Len() == 0 {
+		return ""
+	}
+
+	tainted := make(map[types.Object]string)
+	taintOf := func(e ast.Expr) string { return exprTaint(pass, e, tainted, calleeEntropy) }
+
+	// Named results participate like ordinary variables; a naked return
+	// returns whatever they hold.
+	var namedResults []types.Object
+	if fi.decl.Type.Results != nil {
+		for _, field := range fi.decl.Type.Results.List {
+			for _, name := range field.Names {
+				if obj := pass.TypesInfo.Defs[name]; obj != nil {
+					namedResults = append(namedResults, obj)
+				}
+			}
+		}
+	}
+
+	// Flow-insensitive assignment fixpoint over the body (excluding
+	// nested function literals, which are separate functions). cleansed
+	// records slices a sort call has ordered: once sorted, map-order
+	// taint can never re-attach, which keeps the fixpoint monotone (the
+	// cleanse would otherwise oscillate with the range-append mark).
+	cleansed := make(map[types.Object]bool)
+	for changed := true; changed; {
+		changed = false
+		mark := func(obj types.Object, src string) {
+			if obj == nil || src == "" || tainted[obj] != "" {
+				return
+			}
+			if cleansed[obj] && strings.HasPrefix(src, mapOrderSource) {
+				return
+			}
+			if exemptTaintType(obj.Type()) {
+				return
+			}
+			tainted[obj] = src
+			changed = true
+		}
+		walkOwn(fi.decl.Body, func(n ast.Node) {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Rhs) == 1 && len(n.Lhs) > 1 {
+					if src := taintOf(n.Rhs[0]); src != "" {
+						for _, lhs := range n.Lhs {
+							mark(assignTarget(pass, lhs), src)
+						}
+					}
+					return
+				}
+				for i, lhs := range n.Lhs {
+					if i < len(n.Rhs) {
+						if src := taintOf(n.Rhs[i]); src != "" {
+							mark(assignTarget(pass, lhs), src)
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				for i, name := range n.Names {
+					var src string
+					if len(n.Values) == 1 && len(n.Names) > 1 {
+						src = taintOf(n.Values[0])
+					} else if i < len(n.Values) {
+						src = taintOf(n.Values[i])
+					}
+					if src != "" {
+						mark(pass.TypesInfo.Defs[name], src)
+					}
+				}
+			case *ast.RangeStmt:
+				src := taintOf(n.X)
+				isMap := false
+				if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+					_, isMap = t.Underlying().(*types.Map)
+				}
+				if src != "" {
+					mark(assignTarget(pass, n.Key), src)
+					mark(assignTarget(pass, n.Value), src)
+				}
+				if isMap {
+					// Appending to an outer slice while ranging a map bakes
+					// the iteration order into the slice.
+					markMapOrderAppends(pass, n, func(obj types.Object) { mark(obj, mapOrderSource) })
+				}
+			case *ast.ExprStmt:
+				// sort.X(s) cleanses map-order taint from s: the order no
+				// longer depends on iteration.
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					if obj := sortedArg(pass, call); obj != nil && !cleansed[obj] {
+						cleansed[obj] = true
+						if strings.HasPrefix(tainted[obj], mapOrderSource) {
+							delete(tainted, obj)
+						}
+						changed = true // re-run: marks blocked by cleansing settle
+					}
+				}
+			}
+		})
+	}
+
+	// Any explicit return with a tainted, non-exempt result value?
+	found := ""
+	walkOwn(fi.decl.Body, func(n ast.Node) {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || found != "" {
+			return
+		}
+		if len(ret.Results) == 0 {
+			// Naked return: named results carry whatever they hold.
+			for _, obj := range namedResults {
+				if src := tainted[obj]; src != "" {
+					found = src
+					return
+				}
+			}
+			return
+		}
+		for i, res := range ret.Results {
+			if i < sig.Results().Len() && exemptTaintType(sig.Results().At(i).Type()) {
+				continue
+			}
+			if src := taintOf(res); src != "" {
+				found = src
+				return
+			}
+		}
+	})
+	return found
+}
+
+// walkOwn visits every node of body except nested function literals.
+func walkOwn(body ast.Node, visit func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}
+
+// exprTaint reports the entropy source reaching expression e, or "".
+// Over-approximate: any tainted identifier or source call anywhere in the
+// expression (outside nested function literals) taints the whole value.
+func exprTaint(pass *analysis.Pass, e ast.Expr, tainted map[types.Object]string, calleeEntropy func(*types.Func) string) string {
+	found := ""
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[n]; obj != nil {
+				if src := tainted[obj]; src != "" {
+					found = src
+				}
+			}
+		case *ast.CallExpr:
+			fn := staticCallee(pass, n)
+			if fn == nil {
+				return true // conversions and dynamic calls: taint via arguments
+			}
+			if src := entropySource(fn); src != "" {
+				found = src
+				return false
+			}
+			if src := calleeEntropy(fn); src != "" {
+				found = "call to " + funcKey(fn) + " (" + src + ")"
+				return false
+			}
+			// A call to an untainted function scrubs its arguments' taint
+			// only for its own result — but arguments may still appear
+			// elsewhere; keep walking them.
+		}
+		return true
+	})
+	return found
+}
+
+// assignTarget resolves the object an assignment writes through: plain
+// identifiers, or the root identifier of an index/selector/star chain
+// (writing a tainted value into s[i] or x.f taints the container).
+func assignTarget(pass *analysis.Pass, lhs ast.Expr) types.Object {
+	if lhs == nil {
+		return nil
+	}
+	if id, ok := lhs.(*ast.Ident); ok {
+		if obj := pass.TypesInfo.Defs[id]; obj != nil {
+			return obj
+		}
+		return pass.TypesInfo.Uses[id]
+	}
+	return rootObj(pass, lhs)
+}
+
+// markMapOrderAppends taints slices appended to (from outside the range
+// body) while ranging over a map.
+func markMapOrderAppends(pass *analysis.Pass, rng *ast.RangeStmt, mark func(types.Object)) {
+	walkOwn(rng.Body, func(n ast.Node) {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || !isBuiltinAppend(pass, call) || i >= len(as.Lhs) {
+				continue
+			}
+			mark(assignTarget(pass, as.Lhs[i]))
+		}
+	})
+}
+
+// sortedArg recognises sort.*/slices.Sort* calls and returns the root
+// object of the first argument (the slice being sorted).
+func sortedArg(pass *analysis.Pass, call *ast.CallExpr) types.Object {
+	fn := staticCallee(pass, call)
+	if fn == nil || fn.Pkg() == nil || len(call.Args) == 0 {
+		return nil
+	}
+	switch fn.Pkg().Path() {
+	case "sort":
+		// Every sort.X that takes the data as first argument qualifies
+		// (Sort, Stable, Slice, SliceStable, Strings, Ints, Float64s).
+		if strings.HasPrefix(fn.Name(), "Search") {
+			return nil
+		}
+	case "slices":
+		if !strings.HasPrefix(fn.Name(), "Sort") {
+			return nil
+		}
+	default:
+		return nil
+	}
+	return rootObj(pass, call.Args[0])
+}
+
+// exemptTaintType reports whether t never counts as tainted output:
+// error values, contexts, and observability types legitimately carry
+// wall-clock data.
+func exemptTaintType(t types.Type) bool {
+	for {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() == nil {
+			return obj.Name() == "error"
+		}
+		if obj.Pkg().Path() == "context" && obj.Name() == "Context" {
+			return true
+		}
+		if strings.HasSuffix(obj.Pkg().Path(), "internal/obs") {
+			return true
+		}
+		return false
+	}
+	if t == types.Universe.Lookup("error").Type() {
+		return true
+	}
+	if iface, ok := t.(*types.Interface); ok {
+		return iface == types.Universe.Lookup("error").Type().Underlying()
+	}
+	return false
+}

@@ -2,7 +2,16 @@
 // enforces the repository's determinism and concurrency invariants at
 // vet-time instead of in flaky test runs.
 //
-// The custom analyzers guard the conventions PR 1 established:
+// Since the facts upgrade, geolint is a cross-package analysis framework:
+// the driver (see driver.go) runs analyzers over the module's packages in
+// import dependency order, analyzers export typed facts about
+// package-level objects (a function may block; a function's results
+// depend on an entropy source; a function neither allocates nor performs
+// I/O), and downstream analyzers consume facts from imported packages.
+//
+// The custom analyzers guard the conventions PR 1 established plus the
+// scale-out preconditions (distributed tiles, bit-exact shard merges)
+// from the roadmap:
 //
 //   - norawgoroutine — every goroutine is owned by internal/parallel;
 //   - seededrand — every random draw comes from an explicitly seeded
@@ -16,22 +25,43 @@
 //   - obsname — every obs metric/span name literal follows the
 //     documented tool_stage_unit / tool.stage naming convention;
 //   - colaccess — the dataset's columnar storage (dataset.Columns /
-//     dataset.Chunk fields) is never mutated outside internal/dataset.
+//     dataset.Chunk fields) is never mutated outside internal/dataset;
+//   - blockfacts — (fact producer, no reports) marks functions that may
+//     block: channel operations, selects, WaitGroup.Wait, blocking stdlib
+//     calls, and anything that transitively calls one;
+//   - ctxflow — a function that receives a context.Context threads it to
+//     every callee that accepts one; context.Background()/TODO() is
+//     confined to main packages, the parallel engine's legacy wrappers,
+//     and context-returning normalizers;
+//   - locksafe — no sync.Mutex/RWMutex held across channel operations or
+//     calls carrying the may-block fact (the statically-checkable half of
+//     the PR-4 registry race class);
+//   - detflow — entropy taint must not reach exported result values of
+//     the statistic packages: time.Now, unseeded rand, and map-iteration
+//     order cannot flow into what kde/kfunc/idw/kriging/moran/getisord/
+//     dataset return;
+//   - purity — (advisory) functions marked //lint:hotpath call only
+//     callees carrying the no-alloc/no-I/O fact, guarding the columnar
+//     inner loops' bit-exactness and allocation claims.
 //
 // A curated set of general passes rides along: shadow, copylocks,
 // loopclosure and unusedresult (stdlib-only reimplementations of the
 // classic vet checks).
 //
 // A finding is suppressed by a `//lint:allow <analyzer> <reason>` comment
-// on the flagged line or the line directly above it. The reason is
-// mandatory by convention: suppressions are for cases where the invariant
-// is provably respected in a way the analyzer cannot see (for example a
-// demo that intentionally shows nondeterminism), never for convenience.
+// on the flagged line, the line directly above it, or anywhere the
+// directive's statement extends: a directive attached to a multi-line
+// statement (its own line or the line above the statement's first line)
+// covers the whole statement, so a diagnostic inside a multi-line
+// composite literal or chained call cannot escape the suppression. The
+// reason is mandatory by convention: suppressions are for cases where the
+// invariant is provably respected in a way the analyzer cannot see (for
+// example a demo that intentionally shows nondeterminism), never for
+// convenience.
 package lint
 
 import (
-	"fmt"
-	"sort"
+	"go/ast"
 	"strings"
 
 	"geostat/internal/lint/analysis"
@@ -39,6 +69,8 @@ import (
 )
 
 // Analyzers returns every analyzer geolint runs, custom passes first.
+// Fact producers precede their consumers (the driver re-sorts by Requires
+// anyway; keeping the listing ordered makes -list readable).
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		NoRawGoroutine,
@@ -48,6 +80,11 @@ func Analyzers() []*analysis.Analyzer {
 		WorkersOpt,
 		ObsName,
 		ColAccess,
+		BlockFacts,
+		CtxFlow,
+		LockSafe,
+		DetFlow,
+		Purity,
 		Shadow,
 		CopyLocks,
 		LoopClosure,
@@ -65,37 +102,49 @@ func Lookup(name string) (*analysis.Analyzer, bool) {
 	return nil, false
 }
 
-// Run applies analyzers to pkg (loaded by l) and returns surviving
-// diagnostics sorted by file position.
+// Run applies analyzers to a single package (loaded by l) and returns
+// surviving diagnostics sorted by file position. It is the single-package
+// convenience over RunPackages; fixture packages that import other
+// fixture packages get their dependencies analyzed too (facts), but only
+// pkg's own diagnostics are returned.
 func Run(l *load.Loader, pkg *load.Package, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
-	var diags []analysis.Diagnostic
-	for _, a := range analyzers {
-		pass := analysis.NewPass(a, l.Fset, pkg.Files, pkg.Path, pkg.Types, pkg.Info,
-			func(d analysis.Diagnostic) { diags = append(diags, d) })
-		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("%s: %s: %w", pkg.Path, a.Name, err)
-		}
+	findings, err := RunPackages(l, []*load.Package{pkg}, analyzers)
+	if err != nil {
+		return nil, err
 	}
-	diags = filterAllowed(l, pkg, diags)
-	sort.Slice(diags, func(i, j int) bool {
-		pi, pj := l.Fset.Position(diags[i].Pos), l.Fset.Position(diags[j].Pos)
-		if pi.Filename != pj.Filename {
-			return pi.Filename < pj.Filename
-		}
-		if pi.Line != pj.Line {
-			return pi.Line < pj.Line
-		}
-		return diags[i].Analyzer < diags[j].Analyzer
-	})
+	diags := make([]analysis.Diagnostic, len(findings))
+	for i, f := range findings {
+		diags[i] = f.Diagnostic
+	}
 	return diags, nil
 }
 
-// filterAllowed drops diagnostics covered by a //lint:allow directive on
-// the same line or the line directly above.
+// filterAllowed drops diagnostics covered by a //lint:allow directive.
+// Coverage is line-based (the directive's line and the line below it, the
+// historical contract) plus statement-based: a directive whose line
+// coincides with, or directly precedes, the first line of a simple
+// statement or declaration suppresses the statement's whole line range,
+// so multi-line composite literals and chained calls cannot escape.
 func filterAllowed(l *load.Loader, pkg *load.Package, diags []analysis.Diagnostic) []analysis.Diagnostic {
-	// allowed[file][line] = set of analyzer names allowed there.
+	// allowed[file][line] = analyzer names allowed on that line.
 	allowed := make(map[string]map[int][]string)
+	addRange := func(file string, lo, hi int, names []string) {
+		m := allowed[file]
+		if m == nil {
+			m = make(map[int][]string)
+			allowed[file] = m
+		}
+		for line := lo; line <= hi; line++ {
+			m[line] = append(m[line], names...)
+		}
+	}
 	for _, f := range pkg.Files {
+		// Directive lines first: the classic "this line and the next".
+		type directive struct {
+			line  int
+			names []string
+		}
+		var dirs []directive
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				names, ok := parseAllow(c.Text)
@@ -103,14 +152,34 @@ func filterAllowed(l *load.Loader, pkg *load.Package, diags []analysis.Diagnosti
 					continue
 				}
 				pos := l.Fset.Position(c.Pos())
-				m := allowed[pos.Filename]
-				if m == nil {
-					m = make(map[int][]string)
-					allowed[pos.Filename] = m
-				}
-				m[pos.Line] = append(m[pos.Line], names...)
+				dirs = append(dirs, directive{line: pos.Line, names: names})
+				addRange(pos.Filename, pos.Line, pos.Line+1, names)
 			}
 		}
+		if len(dirs) == 0 {
+			continue
+		}
+		// Statement extents: find each simple statement/declaration whose
+		// first line matches a directive (same line for a trailing comment,
+		// next line for a comment above) and extend the allowance over its
+		// full line range.
+		fileName := l.Fset.Position(f.Pos()).Filename
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil || !suppressibleNode(n) {
+				return true
+			}
+			start := l.Fset.Position(n.Pos()).Line
+			end := l.Fset.Position(n.End()).Line
+			if end <= start+1 {
+				return true // single/two-line: the line rule already covers it
+			}
+			for _, d := range dirs {
+				if d.line == start || d.line == start-1 {
+					addRange(fileName, start, end, d.names)
+				}
+			}
+			return true
+		})
 	}
 	out := diags[:0]
 	for _, d := range diags {
@@ -123,15 +192,28 @@ func filterAllowed(l *load.Loader, pkg *load.Package, diags []analysis.Diagnosti
 	return out
 }
 
+// suppressibleNode reports whether n is a statement/declaration kind whose
+// whole extent a //lint:allow directive covers. Control-flow statements
+// (if/for/range/switch) are excluded on purpose: a directive above a loop
+// must not blanket-suppress the loop body, only its own and the next
+// line.
+func suppressibleNode(n ast.Node) bool {
+	switch n.(type) {
+	case *ast.AssignStmt, *ast.ExprStmt, *ast.ReturnStmt, *ast.DeclStmt,
+		*ast.GoStmt, *ast.DeferStmt, *ast.SendStmt, *ast.IncDecStmt,
+		*ast.GenDecl, *ast.ValueSpec:
+		return true
+	}
+	return false
+}
+
 func lineAllows(m map[int][]string, line int, analyzer string) bool {
 	if m == nil {
 		return false
 	}
-	for _, l := range []int{line, line - 1} {
-		for _, name := range m[l] {
-			if name == analyzer {
-				return true
-			}
+	for _, name := range m[line] {
+		if name == analyzer {
+			return true
 		}
 	}
 	return false

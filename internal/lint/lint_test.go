@@ -21,6 +21,45 @@ func TestAnalyzerFixtures(t *testing.T) {
 	}
 }
 
+// TestCrossPackageFactFixtures runs the two-package fact fixtures: the
+// producing package exports a fact (MayBlock, ResultsEntropy) that the
+// consuming package's diagnostics depend on. A regression here means
+// facts stopped crossing package boundaries.
+func TestCrossPackageFactFixtures(t *testing.T) {
+	cases := []struct {
+		analyzer string
+		dir      string
+	}{
+		{"locksafe", "locksafe_xpkg"},
+		{"detflow", "detflow_xpkg"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.dir, func(t *testing.T) {
+			t.Parallel()
+			a, ok := lint.Lookup(tc.analyzer)
+			if !ok {
+				t.Fatalf("analyzer %q not registered", tc.analyzer)
+			}
+			analysistest.Run(t, a, filepath.Join("testdata", "src", tc.dir))
+		})
+	}
+}
+
+// TestAllowStatementExtent is the regression test for //lint:allow
+// coverage of multi-line statements: a directive attached to a
+// composite-literal return suppresses diagnostics on every line of the
+// statement, while control-flow statements keep the narrow two-line
+// rule.
+func TestAllowStatementExtent(t *testing.T) {
+	t.Parallel()
+	a, ok := lint.Lookup("floateq")
+	if !ok {
+		t.Fatal("floateq not registered")
+	}
+	analysistest.Run(t, a, filepath.Join("testdata", "src", "allowstmt"))
+}
+
 func TestLookup(t *testing.T) {
 	if _, ok := lint.Lookup("seededrand"); !ok {
 		t.Error("seededrand not registered")

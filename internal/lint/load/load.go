@@ -49,6 +49,7 @@ type Loader struct {
 	std     types.ImporterFrom
 	pkgs    map[string]*Package
 	loading map[string]bool
+	extra   map[string]string // synthetic import path -> directory (fixtures)
 	goVer   string
 }
 
@@ -70,6 +71,7 @@ func NewLoader(moduleRoot string) (*Loader, error) {
 		std:        importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
 		pkgs:       make(map[string]*Package),
 		loading:    make(map[string]bool),
+		extra:      make(map[string]string),
 		goVer:      goVer,
 	}, nil
 }
@@ -179,6 +181,19 @@ func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
 	return l.check(importPath, abs)
 }
 
+// Register maps a synthetic import path to a source directory, so that
+// fixture packages can import each other ("fixture/locksafe/blocker" from
+// "fixture/locksafe/user"). Registered paths resolve before the standard
+// library; they are loaded lazily on first import or via LoadDir.
+func (l *Loader) Register(importPath, dir string) error {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return err
+	}
+	l.extra[importPath] = abs
+	return nil
+}
+
 // load resolves an intra-module import path to its directory and checks it.
 func (l *Loader) load(path string) (*Package, error) {
 	if pkg, ok := l.pkgs[path]; ok {
@@ -261,6 +276,16 @@ func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Pac
 	}
 	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
 		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		if len(pkg.Errors) > 0 {
+			return nil, fmt.Errorf("package %q has type errors: %v", path, pkg.Errors[0])
+		}
+		return pkg.Types, nil
+	}
+	if extraDir, ok := l.extra[path]; ok {
+		pkg, err := l.check(path, extraDir)
 		if err != nil {
 			return nil, err
 		}

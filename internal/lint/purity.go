@@ -1,0 +1,233 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"geostat/internal/lint/analysis"
+)
+
+// NoAllocNoIO is exported for functions proven (syntactically) to neither
+// allocate nor perform I/O: no make/new/append/composite literals, no
+// string building, no goroutines or channel traffic, and only calls to
+// other no-alloc/no-I/O functions, math, or binary-search helpers.
+type NoAllocNoIO struct{}
+
+// AFact marks NoAllocNoIO as a fact type.
+func (*NoAllocNoIO) AFact() {}
+
+// Purity (advisory) guards the columnar inner loops: a function marked
+// with a //lint:hotpath directive must only call functions carrying the
+// NoAllocNoIO fact (or the math/sort.Search/pure-builtin allowlist). An
+// allocation inside the per-pixel loop turns an O(1)-allocation kernel
+// into one allocation per output cell and wrecks the cache-blocking
+// gains the columnar layout exists for.
+//
+// Advisory: the fact is a syntactic under-approximation (calls through
+// function values and interface methods are invisible and assumed pure,
+// a documented hole), so findings inform review rather than gate CI.
+// The hot function's OWN allocations are deliberately out of scope —
+// they are visible in review; the analyzer guards the transitive callee
+// surface that review cannot see.
+var Purity = &analysis.Analyzer{
+	Name: "purity",
+	Doc: "advisory: //lint:hotpath functions call only no-alloc/no-I/O " +
+		"(NoAllocNoIO fact) callees",
+	Advisory:  true,
+	FactTypes: []analysis.Fact{(*NoAllocNoIO)(nil)},
+	Run:       runPurity,
+}
+
+func runPurity(pass *analysis.Pass) error {
+	infos := packageFuncs(pass)
+	index := make(map[*types.Func]int, len(infos))
+	for i, fi := range infos {
+		index[fi.fn] = i
+	}
+
+	// Greatest fixpoint: assume every function with no local violation is
+	// pure, then strike functions whose same-package callees turn out
+	// impure, until stable. Mutually recursive pure functions stay pure.
+	pure := make([]bool, len(infos))
+	callees := make([][]*types.Func, len(infos))
+	for i, fi := range infos {
+		violation, calls := localPurity(pass, fi.decl)
+		pure[i] = !violation
+		callees[i] = calls
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := range infos {
+			if !pure[i] {
+				continue
+			}
+			for _, callee := range callees[i] {
+				if !calleePure(pass, index, pure, callee) {
+					pure[i] = false
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	for i, fi := range infos {
+		if pure[i] {
+			pass.ExportObjectFact(fi.fn, &NoAllocNoIO{})
+		}
+	}
+
+	// Check the //lint:hotpath functions' transitive callee surface.
+	for _, fi := range infos {
+		if !isHotpath(fi.decl) {
+			continue
+		}
+		ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := staticCallee(pass, call)
+			if fn == nil {
+				return true // dynamic call or conversion: documented hole
+			}
+			if purityAllowed(fn) {
+				return true
+			}
+			if calleePure(pass, index, pure, fn) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"hot path %s calls %s, which may allocate or perform I/O (no NoAllocNoIO fact); hoist it out of the inner loop or make the callee allocation-free",
+				fi.decl.Name.Name, funcKey(fn))
+			return true
+		})
+	}
+	return nil
+}
+
+// calleePure resolves a callee's purity: same-package via the fixpoint
+// state, imported functions via the fact store.
+func calleePure(pass *analysis.Pass, index map[*types.Func]int, pure []bool, fn *types.Func) bool {
+	if j, ok := index[fn]; ok {
+		return pure[j]
+	}
+	if fn.Pkg() != nil && fn.Pkg() != pass.Pkg {
+		var f NoAllocNoIO
+		return pass.ImportObjectFact(fn, &f)
+	}
+	return false // same package but no body (assembly/extern): unknown
+}
+
+// purityAllowed lists callees that are no-alloc/no-I/O by fiat: all of
+// math, and sort/slices binary searches.
+func purityAllowed(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	switch pkg.Path() {
+	case "math":
+		return true
+	case "sort", "slices":
+		return strings.HasPrefix(fn.Name(), "Search") || fn.Name() == "BinarySearch" || fn.Name() == "BinarySearchFunc"
+	}
+	return false
+}
+
+// localPurity scans one function body for direct violations and collects
+// its same-package static callees. Nested function literals count as a
+// violation outright: creating a closure allocates.
+func localPurity(pass *analysis.Pass, fd *ast.FuncDecl) (violation bool, callees []*types.Func) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if violation {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CompositeLit, *ast.FuncLit, *ast.GoStmt, *ast.SendStmt, *ast.SelectStmt:
+			violation = true
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				violation = true
+			}
+		case *ast.BinaryExpr:
+			// String concatenation allocates.
+			if n.Op.String() == "+" {
+				if t := pass.TypesInfo.TypeOf(n.X); t != nil && isString(t) {
+					violation = true
+				}
+			}
+		case *ast.AssignStmt:
+			// Writing through a map index may grow the map.
+			for _, lhs := range n.Lhs {
+				if ix, ok := lhs.(*ast.IndexExpr); ok {
+					if t := pass.TypesInfo.TypeOf(ix.X); t != nil {
+						if _, isMap := t.Underlying().(*types.Map); isMap {
+							violation = true
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			violation, callees = purityCall(pass, n, callees)
+		}
+		return !violation
+	})
+	return violation, callees
+}
+
+// purityCall classifies one call inside a purity candidate.
+func purityCall(pass *analysis.Pass, call *ast.CallExpr, callees []*types.Func) (bool, []*types.Func) {
+	// Builtins: len/cap/min/max and friends are fine; make/new/append
+	// allocate.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make", "new", "append", "copy", "clear", "panic", "recover", "print", "println":
+				return true, callees
+			}
+			return false, callees
+		}
+	}
+	// Conversions: string/[]byte/[]rune conversions allocate; numeric
+	// conversions do not.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		t := tv.Type
+		if isString(t) {
+			return true, callees
+		}
+		if _, ok := t.Underlying().(*types.Slice); ok {
+			return true, callees
+		}
+		return false, callees
+	}
+	fn := staticCallee(pass, call)
+	if fn == nil {
+		return false, callees // dynamic: assumed pure (documented hole)
+	}
+	if purityAllowed(fn) {
+		return false, callees
+	}
+	if fn.Pkg() == pass.Pkg {
+		return false, append(callees, fn)
+	}
+	var f NoAllocNoIO
+	if pass.ImportObjectFact(fn, &f) {
+		return false, callees
+	}
+	return true, callees
+}
+
+// isHotpath reports whether fd carries a //lint:hotpath directive in its
+// doc comment.
+func isHotpath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(c.Text, "//lint:hotpath") {
+			return true
+		}
+	}
+	return false
+}

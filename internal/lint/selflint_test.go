@@ -1,0 +1,50 @@
+package lint_test
+
+import (
+	"testing"
+
+	"geostat/internal/lint"
+	"geostat/internal/lint/load"
+)
+
+// TestSelfLint asserts the module is clean under its own full analyzer
+// suite — the same invariant `make lint` gates CI on. Advisory findings
+// are reported (they don't gate) but any gating finding fails: a change
+// that introduces one must either fix it or carry a justified
+// //lint:allow.
+func TestSelfLint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("typechecks the whole module; skipped in -short")
+	}
+	root, err := load.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := load.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Module()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range pkgs {
+		if len(pkg.Errors) > 0 {
+			t.Fatalf("%s: type error: %v", pkg.Path, pkg.Errors[0])
+		}
+	}
+	findings, err := lint.RunPackages(l, pkgs, lint.Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		if f.Advisory {
+			t.Logf("advisory: %s:%d:%d: [%s] %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+			continue
+		}
+		t.Errorf("%s:%d:%d: [%s] %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+	}
+	if code := lint.ExitCode(findings); code != 0 && !t.Failed() {
+		t.Errorf("ExitCode = %d with no gating findings listed (invariant broken)", code)
+	}
+}

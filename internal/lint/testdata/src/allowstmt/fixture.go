@@ -1,0 +1,42 @@
+// Package fixture is the regression fixture for //lint:allow statement
+// extents: a directive attached to a multi-line statement suppresses
+// diagnostics anywhere inside it (composite literals, chained calls),
+// while control-flow statements still only get the directive's own line
+// and the next.
+package fixture
+
+type flags struct {
+	eq, ne bool
+}
+
+// suppressed: the directive covers the whole multi-line return
+// statement, including the comparisons two and three lines below it.
+func covered(x, y float64) flags {
+	//lint:allow floateq fixture: the whole literal is intentionally exact
+	return flags{
+		eq: x == y,
+		ne: x != y,
+	}
+}
+
+// unsuppressed control: the same literal without a directive reports on
+// every line.
+func uncovered(x, y float64) flags {
+	return flags{
+		eq: x == y, // want `floating-point == on computed values`
+		ne: x != y, // want `floating-point != on computed values`
+	}
+}
+
+// A directive above a control-flow statement must NOT blanket the body:
+// only its own line and the next are covered.
+func loopNotBlanketed(xs []float64, y float64) int {
+	n := 0
+	//lint:allow floateq only this line and the next are covered
+	for _, x := range xs {
+		if x == y { // want `floating-point == on computed values`
+			n++
+		}
+	}
+	return n
+}

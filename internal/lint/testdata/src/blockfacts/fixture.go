@@ -1,0 +1,35 @@
+// Package fixture exercises blockfacts, the fact producer. It emits no
+// diagnostics by design; the fact flow it feeds is asserted by the
+// locksafe fixtures (same-package and cross-package).
+package fixture
+
+import "sync"
+
+var wg sync.WaitGroup
+var ch = make(chan int)
+
+// direct blockers of every local kind.
+func sends() { ch <- 1 }
+
+func receives() int { return <-ch }
+
+func selects() {
+	select {
+	case <-ch:
+	default:
+	}
+}
+
+func waits() { wg.Wait() }
+
+// transitive: blocks because sends does.
+func callsSends() { sends() }
+
+// pure bookkeeping: must NOT be marked may-block.
+func counts(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}

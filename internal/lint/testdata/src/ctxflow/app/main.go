@@ -1,0 +1,13 @@
+// Command app shows the main-package exemption: program roots own the
+// root context.
+package main
+
+import (
+	"context"
+
+	"fixture/ctxflow/lib"
+)
+
+func main() {
+	_ = lib.WorkCtx(context.Background(), 1)
+}

@@ -1,0 +1,60 @@
+// Package lib exercises ctxflow's rules outside a main package.
+package lib
+
+import "context"
+
+// Options mimics the repository's options-threading idiom.
+type Options struct {
+	Ctx context.Context
+}
+
+// Work / WorkCtx is a non-ctx/ctx variant pair.
+func Work(n int) int { return n + 1 }
+
+// WorkCtx is the context-aware variant.
+func WorkCtx(ctx context.Context, n int) int {
+	if ctx != nil && ctx.Err() != nil {
+		return 0
+	}
+	return n + 1
+}
+
+func usesBackground() int {
+	ctx := context.Background() // want `context.Background\(\) outside a main package`
+	_ = ctx
+	return 0
+}
+
+func usesTODO() {
+	_ = context.TODO() // want `context.TODO\(\) outside a main package`
+}
+
+// normalizer returns a context, so substituting a default is its job.
+func normalizer(ctx context.Context) context.Context {
+	if ctx == nil {
+		return context.Background()
+	}
+	return ctx
+}
+
+func drops(ctx context.Context, n int) int {
+	return Work(n) // want `call to fixture/ctxflow/lib\.Work drops ctx`
+}
+
+func threads(ctx context.Context, n int) int {
+	return WorkCtx(ctx, n)
+}
+
+// viaOptions stores ctx into an options field: the context travels
+// inside the value, so calling the non-ctx variant is sanctioned.
+func viaOptions(ctx context.Context, n int) int {
+	var o Options
+	o.Ctx = ctx
+	_ = o
+	return Work(n)
+}
+
+func suppressed(ctx context.Context, n int) int {
+	//lint:allow ctxflow fixture demonstrates an intentional drop
+	return Work(n)
+}

@@ -1,0 +1,58 @@
+// Package fixture exercises detflow: entropy must not reach exported
+// results (the fixture/detflow path prefix opts into the guarded set).
+package fixture
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func Stamp() int64 { // want `exported Stamp returns a value derived from time\.Now`
+	return time.Now().UnixNano()
+}
+
+func Draw() float64 { // want `exported Draw returns a value derived from math/rand\.Float64`
+	return rand.Float64()
+}
+
+// Seeded draws from an explicitly seeded source: deterministic, clean.
+func Seeded(rng *rand.Rand) float64 {
+	return rng.Float64()
+}
+
+func Keys(m map[string]int) []string { // want `exported Keys returns a value derived from map iteration order`
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// SortedKeys sorts before returning: iteration order is cleansed.
+func SortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// stamp is unexported: it gets the fact but no diagnostic.
+func stamp() int64 { return time.Now().UnixNano() }
+
+func Transitive() int64 { // want `exported Transitive returns a value derived from call to fixture/detflow\.stamp \(time\.Now\)`
+	return stamp()
+}
+
+// Elapsed returns only an error: error results are exempt (their text
+// may legitimately embed timestamps).
+func Elapsed() error {
+	_ = time.Now()
+	return nil
+}
+
+func Allowed() int64 { //lint:allow detflow fixture demonstrates an intentional timestamp result
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,9 @@
+// Package a is the fact-producing side of the cross-package detflow
+// fixture.
+package a
+
+import "time"
+
+func Stamp() int64 { // want `exported Stamp returns a value derived from time\.Now`
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,13 @@
+// Package b imports a and must see its ResultsEntropy fact: the taint
+// crosses the package boundary through the fact store, not the syntax.
+package b
+
+import "fixture/detflow_xpkg/a"
+
+func Wraps() int64 { // want `exported Wraps returns a value derived from call to fixture/detflow_xpkg/a\.Stamp \(time\.Now\)`
+	return a.Stamp()
+}
+
+// Constant is untainted: importing a tainted package taints nothing by
+// itself.
+func Constant() int64 { return 42 }

@@ -1,0 +1,93 @@
+// Package fixture exercises locksafe: no mutex held across channel
+// operations or may-block calls.
+package fixture
+
+import (
+	"sync"
+	"time"
+)
+
+var (
+	mu sync.Mutex
+	rw sync.RWMutex
+	ch = make(chan int)
+)
+
+func sleepy() { time.Sleep(time.Millisecond) }
+
+func quick() int { return 1 }
+
+func badSend() {
+	mu.Lock()
+	ch <- 1 // want `channel send while mutex mu is held`
+	mu.Unlock()
+}
+
+func badRecvDeferred() int {
+	mu.Lock()
+	defer mu.Unlock()
+	return <-ch // want `channel receive while mutex mu is held`
+}
+
+func badSelect() {
+	mu.Lock()
+	defer mu.Unlock()
+	select { // want `select while mutex mu is held`
+	case <-ch:
+	default:
+	}
+}
+
+func badStdlibCall() {
+	mu.Lock()
+	time.Sleep(time.Millisecond) // want `call to time.Sleep while mutex mu is held`
+	mu.Unlock()
+}
+
+func badTransitiveCall() {
+	mu.Lock()
+	defer mu.Unlock()
+	sleepy() // want `call to fixture/locksafe.sleepy while mutex mu is held`
+}
+
+func badReadLock() {
+	rw.RLock()
+	defer rw.RUnlock()
+	sleepy() // want `call to fixture/locksafe.sleepy while mutex rw is held`
+}
+
+func badInBranch(cond bool) {
+	mu.Lock()
+	defer mu.Unlock()
+	if cond {
+		ch <- 1 // want `channel send while mutex mu is held`
+	}
+}
+
+func goodNonBlocking() {
+	mu.Lock()
+	_ = quick()
+	mu.Unlock()
+}
+
+func goodUnlockFirst() {
+	mu.Lock()
+	n := quick()
+	mu.Unlock()
+	ch <- n
+}
+
+func goodClosureDefinedUnderLock() func() {
+	mu.Lock()
+	defer mu.Unlock()
+	// Defining a closure under the lock is fine; it runs later. The call
+	// that runs it is what locksafe checks.
+	return func() { ch <- 1 }
+}
+
+func suppressed() {
+	mu.Lock()
+	defer mu.Unlock()
+	//lint:allow locksafe fixture demonstrates an accepted send under lock
+	ch <- 1
+}

@@ -1,0 +1,14 @@
+// Package blocker is the fact-producing side of the cross-package
+// locksafe fixture: blockfacts marks WaitAll may-block here, and the
+// user package's locksafe pass imports the fact.
+package blocker
+
+import "sync"
+
+var wg sync.WaitGroup
+
+// WaitAll blocks until the group drains.
+func WaitAll() { wg.Wait() }
+
+// Quick is pure bookkeeping and must not be marked may-block.
+func Quick() int { return 1 }

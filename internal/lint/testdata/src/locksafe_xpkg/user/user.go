@@ -1,0 +1,23 @@
+// Package user holds a lock across an imported may-block call — visible
+// only through the MayBlock fact exported while analyzing blocker.
+package user
+
+import (
+	"sync"
+
+	"fixture/locksafe_xpkg/blocker"
+)
+
+var mu sync.Mutex
+
+func bad() {
+	mu.Lock()
+	defer mu.Unlock()
+	blocker.WaitAll() // want `call to fixture/locksafe_xpkg/blocker\.WaitAll while mutex mu is held`
+}
+
+func good() int {
+	mu.Lock()
+	defer mu.Unlock()
+	return blocker.Quick()
+}

@@ -1,0 +1,44 @@
+// Package fixture exercises purity: //lint:hotpath functions may only
+// call no-alloc/no-I/O callees.
+package fixture
+
+import "math"
+
+func pure(x float64) float64 { return math.Sqrt(x) + 1 }
+
+func allocates(n int) []int { return make([]int, n) }
+
+// callsAllocates is impure transitively.
+func callsAllocates(n int) int { return len(allocates(n)) }
+
+//lint:hotpath fixture inner loop
+func hotGood(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += pure(x)
+	}
+	return s
+}
+
+//lint:hotpath fixture inner loop
+func hotBad(xs []float64) float64 {
+	s := 0.0
+	for i := range xs {
+		s += float64(len(allocates(i))) // want `hot path hotBad calls fixture/purity\.allocates`
+	}
+	return s
+}
+
+//lint:hotpath fixture inner loop
+func hotTransitive(n int) int {
+	return callsAllocates(n) // want `hot path hotTransitive calls fixture/purity\.callsAllocates`
+}
+
+//lint:hotpath fixture inner loop
+func hotSuppressed(n int) int {
+	//lint:allow purity fixture demonstrates an accepted allocation in a hot path
+	return callsAllocates(n)
+}
+
+// unmarked functions may allocate freely.
+func cold(n int) []int { return allocates(n) }

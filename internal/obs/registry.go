@@ -169,16 +169,43 @@ func labelKey(ls []Label) string {
 // WritePrometheus renders every family in Prometheus text exposition
 // format (version 0.0.4). Output order is deterministic: families sorted
 // by name, series sorted by label key string.
+//
+// The registry lock is held only while snapshotting the family and
+// series maps, never across writes: w is the scrape socket in
+// production, and a slow scraper must not stall every metric
+// get-or-create in request handlers (locksafe enforces this). The
+// pointers copied out stay safe to read unlocked — family metadata is
+// immutable after creation and series values are read through atomics
+// or the histogram's own lock.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	type famSnapshot struct {
+		f      *family
+		series []*series
+	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	names := make([]string, 0, len(r.families))
 	for name := range r.families {
 		names = append(names, name) //lint:allow maporder names are sorted before use
 	}
 	sort.Strings(names)
+	snaps := make([]famSnapshot, 0, len(names))
 	for _, name := range names {
 		f := r.families[name]
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k) //lint:allow maporder keys are sorted before use
+		}
+		sort.Strings(keys)
+		ss := make([]*series, 0, len(keys))
+		for _, k := range keys {
+			ss = append(ss, f.series[k])
+		}
+		snaps = append(snaps, famSnapshot{f: f, series: ss})
+	}
+	r.mu.Unlock()
+
+	for _, snap := range snaps {
+		f := snap.f
 		if f.help != "" {
 			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
 				return err
@@ -187,13 +214,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
 			return err
 		}
-		keys := make([]string, 0, len(f.series))
-		for k := range f.series {
-			keys = append(keys, k) //lint:allow maporder keys are sorted before use
-		}
-		sort.Strings(keys)
-		for _, k := range keys {
-			if err := writeSeries(w, f, f.series[k]); err != nil {
+		for _, s := range snap.series {
+			if err := writeSeries(w, f, s); err != nil {
 				return err
 			}
 		}
