@@ -4,9 +4,16 @@
 //
 // Usage:
 //
-//	geostatd [-addr :8080] [-timeout 30s] [-max-inflight 16]
-//	         [-cache-mb 64] [-workers -1] [-load name=path ...]
+//	geostatd [-addr :8080] [-timeout 30s] [-tool-timeout kdv=2s ...]
+//	         [-max-inflight 16] [-max-queue 64] [-cache-mb 64]
+//	         [-workers -1] [-load name=path ...]
 //	         [-slow-ms 0] [-debug-addr addr]
+//
+// Identical in-flight requests are coalesced into one computation
+// (single-flight); computations beyond -max-inflight wait in a queue
+// bounded by -max-queue, and overflow is shed with 503 + Retry-After.
+// A computation that exceeds its timeout budget (-timeout, or the
+// per-tool -tool-timeout override) returns 504 + Retry-After.
 //
 // Observability: GET /metrics serves Prometheus text (per-tool latency
 // histograms, cache hit/miss/eviction counters, in-flight gauge) and
@@ -30,6 +37,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
@@ -47,34 +55,66 @@ func (l *loadFlags) Set(v string) error {
 	return nil
 }
 
+// timeoutFlags collects repeated -tool-timeout tool=duration arguments
+// into the per-tool budget map.
+type timeoutFlags map[string]time.Duration
+
+func (t timeoutFlags) String() string {
+	parts := make([]string, 0, len(t))
+	for tool, d := range t {
+		parts = append(parts, tool+"="+d.String()) //lint:allow maporder flag help text only, order is cosmetic
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+func (t timeoutFlags) Set(v string) error {
+	tool, raw, ok := strings.Cut(v, "=")
+	if !ok || tool == "" {
+		return fmt.Errorf("want tool=duration, got %q", v)
+	}
+	d, err := time.ParseDuration(raw)
+	if err != nil {
+		return err
+	}
+	t[tool] = d
+	return nil
+}
+
 func main() {
 	var (
 		addr        = flag.String("addr", ":8080", "listen address")
 		timeout     = flag.Duration("timeout", 30*time.Second, "per-request computation timeout (0 disables)")
-		maxInFlight = flag.Int("max-inflight", 16, "max concurrently executing tool requests (0 = unlimited)")
+		maxInFlight = flag.Int("max-inflight", 16, "max concurrently executing tool computations (0 = unlimited)")
+		maxQueue    = flag.Int("max-queue", 64, "max computations waiting for an in-flight slot; overflow is shed with 503 (0 = unbounded queue, <0 = never queue)")
 		cacheMB     = flag.Int64("cache-mb", 64, "result cache size in MiB (0 disables caching)")
 		workers     = flag.Int("workers", -1, "worker goroutines per computation (-1 = all cores)")
 		slowMS      = flag.Int64("slow-ms", 0, "log the stage tree of requests slower than this many ms (0 disables)")
 		debugAddr   = flag.String("debug-addr", "", "optional second listen address serving net/http/pprof (empty disables)")
-		loads       loadFlags
+		loads        loadFlags
+		toolTimeouts = make(timeoutFlags)
 	)
 	flag.Var(&loads, "load", "preload a CSV dataset as name=path (repeatable)")
+	flag.Var(&toolTimeouts, "tool-timeout", "per-tool computation budget as tool=duration, e.g. kdv=2s (repeatable; overrides -timeout)")
 	flag.Parse()
 
-	if err := run(*addr, *timeout, *maxInFlight, *cacheMB, *workers, *slowMS, *debugAddr, loads); err != nil {
+	cfg := serve.Config{
+		Timeout:       *timeout,
+		ToolTimeouts:  toolTimeouts,
+		MaxInFlight:   *maxInFlight,
+		MaxQueue:      *maxQueue,
+		CacheBytes:    *cacheMB << 20,
+		Workers:       *workers,
+		SlowThreshold: time.Duration(*slowMS) * time.Millisecond,
+	}
+	if err := run(*addr, cfg, *debugAddr, loads); err != nil {
 		fmt.Fprintln(os.Stderr, "geostatd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, timeout time.Duration, maxInFlight int, cacheMB int64, workers int, slowMS int64, debugAddr string, loads []string) error {
-	srv := serve.NewServer(serve.Config{
-		Timeout:       timeout,
-		MaxInFlight:   maxInFlight,
-		CacheBytes:    cacheMB << 20,
-		Workers:       workers,
-		SlowThreshold: time.Duration(slowMS) * time.Millisecond,
-	})
+func run(addr string, cfg serve.Config, debugAddr string, loads []string) error {
+	srv := serve.NewServer(cfg)
 	for _, spec := range loads {
 		name, path, ok := strings.Cut(spec, "=")
 		if !ok || name == "" || path == "" {
@@ -117,8 +157,8 @@ func run(addr string, timeout time.Duration, maxInFlight int, cacheMB int64, wor
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }() //lint:allow norawgoroutine ListenAndServe must not block the shutdown watcher; it exits via Shutdown below
-	log.Printf("geostatd listening on %s (timeout %s, max-inflight %d, cache %d MiB)",
-		addr, timeout, maxInFlight, cacheMB)
+	log.Printf("geostatd listening on %s (timeout %s, max-inflight %d, max-queue %d, cache %d MiB)",
+		addr, cfg.Timeout, cfg.MaxInFlight, cfg.MaxQueue, cfg.CacheBytes>>20)
 
 	select {
 	case err := <-errc:

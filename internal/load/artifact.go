@@ -1,0 +1,230 @@
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+)
+
+// Artifact is the structured result of one load run — the LOAD_*.json
+// file geogate consumes. Latencies are client-side wall times; the
+// Server block holds counter deltas scraped from /metrics before and
+// after the run, so a run against a warm server still reports only its
+// own traffic.
+type Artifact struct {
+	Scenario   string                `json:"scenario"`
+	Seed       int64                 `json:"seed"`
+	Clients    int                   `json:"clients"`
+	Requests   int                   `json:"requests"`
+	DurationMS float64               `json:"duration_ms"`
+	Tools      map[string]*ToolStats `json:"tools"`
+	Server     ServerStats           `json:"server"`
+}
+
+// ToolStats aggregates one tool's requests. Quantiles are exact
+// (nearest-rank over the sorted client-side samples), not interpolated
+// from histogram buckets — the load generator holds every sample, so
+// there is no reason to approximate.
+type ToolStats struct {
+	Count int `json:"count"`
+	// Status counts responses by outcome: an HTTP status code in
+	// decimal ("200", "499", "503", ...), "aborted" for requests the
+	// client abandoned (cancellation storms), or "error" for transport
+	// failures.
+	Status map[string]int `json:"status"`
+	P50MS  float64        `json:"p50_ms"`
+	P95MS  float64        `json:"p95_ms"`
+	P99MS  float64        `json:"p99_ms"`
+	MaxMS  float64        `json:"max_ms"`
+	// ErrorRate is the 5xx fraction; Rate499/Rate503 break out the two
+	// statuses the SLO gates care about. Aborted requests count toward
+	// none of them (hanging up is the client's choice, not a failure).
+	ErrorRate float64 `json:"error_rate"`
+	Rate499   float64 `json:"rate_499"`
+	Rate503   float64 `json:"rate_503"`
+}
+
+// ServerStats are counter deltas from /metrics over the run.
+type ServerStats struct {
+	CacheHits          float64 `json:"cache_hits"`
+	CacheMisses        float64 `json:"cache_misses"`
+	CacheHitRate       float64 `json:"cache_hit_rate"`
+	ComputeTotal       float64 `json:"compute_total"`
+	SingleflightShared float64 `json:"singleflight_shared"`
+	AdmissionRejected  float64 `json:"admission_rejected"`
+}
+
+// sample is one completed request observation.
+type sample struct {
+	tool    string
+	outcome string // status code string, "aborted", or "error"
+	ms      float64
+}
+
+// buildArtifact aggregates samples and metric deltas. before/after are
+// /metrics snapshots bracketing the run.
+func buildArtifact(sc *Scenario, samples []sample, durationMS float64, before, after map[string]float64) *Artifact {
+	a := &Artifact{
+		Scenario:   sc.Name,
+		Seed:       sc.Seed,
+		Clients:    sc.Clients,
+		Requests:   len(samples),
+		DurationMS: durationMS,
+		Tools:      make(map[string]*ToolStats),
+	}
+	byTool := make(map[string][]float64)
+	for _, s := range samples {
+		ts := a.Tools[s.tool]
+		if ts == nil {
+			ts = &ToolStats{Status: make(map[string]int)}
+			a.Tools[s.tool] = ts
+		}
+		ts.Count++
+		ts.Status[s.outcome]++
+		byTool[s.tool] = append(byTool[s.tool], s.ms)
+	}
+	for tool, ts := range a.Tools {
+		lat := byTool[tool]
+		sort.Float64s(lat)
+		ts.P50MS = quantile(lat, 0.50)
+		ts.P95MS = quantile(lat, 0.95)
+		ts.P99MS = quantile(lat, 0.99)
+		ts.MaxMS = lat[len(lat)-1]
+		var err5xx, n499, n503 int
+		for outcome, n := range ts.Status {
+			switch {
+			case outcome == "499":
+				n499 += n
+			case outcome == "503":
+				err5xx += n
+				n503 += n
+			case len(outcome) == 3 && outcome[0] == '5':
+				err5xx += n
+			}
+		}
+		ts.ErrorRate = float64(err5xx) / float64(ts.Count)
+		ts.Rate499 = float64(n499) / float64(ts.Count)
+		ts.Rate503 = float64(n503) / float64(ts.Count)
+	}
+	delta := func(name string) float64 { return after[name] - before[name] }
+	a.Server = ServerStats{
+		CacheHits:          delta("geostatd_cache_hits_total"),
+		CacheMisses:        delta("geostatd_cache_misses_total"),
+		ComputeTotal:       delta("serve_compute_total"),
+		SingleflightShared: delta("serve_singleflight_shared_total"),
+		AdmissionRejected:  delta("serve_admission_rejected_total"),
+	}
+	if lookups := a.Server.CacheHits + a.Server.CacheMisses; lookups > 0 {
+		a.Server.CacheHitRate = a.Server.CacheHits / lookups
+	}
+	return a
+}
+
+// quantile is the nearest-rank quantile of an ascending-sorted slice.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// WriteFile writes the artifact as indented JSON.
+func (a *Artifact) WriteFile(path string) error {
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadArtifact loads a LOAD_*.json file.
+func ReadArtifact(path string) (*Artifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var a Artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &a, nil
+}
+
+// Metric resolves a dotted selector into the artifact's numeric space:
+//
+//	<tool>.<field>   e.g. kdv.p95_ms, upload.error_rate, kdv.count
+//	server.<field>   e.g. server.cache_hit_rate, server.compute_total
+//	duration_ms
+//
+// The boolean reports whether the selector named an existing series —
+// a gate treats a missing metric as its own failure class rather than
+// silently comparing against zero.
+func (a *Artifact) Metric(selector string) (float64, bool) {
+	switch selector {
+	case "duration_ms":
+		return a.DurationMS, true
+	}
+	dot := -1
+	for i, r := range selector {
+		if r == '.' {
+			dot = i
+			break
+		}
+	}
+	if dot < 0 {
+		return 0, false
+	}
+	head, field := selector[:dot], selector[dot+1:]
+	if head == "server" {
+		switch field {
+		case "cache_hits":
+			return a.Server.CacheHits, true
+		case "cache_misses":
+			return a.Server.CacheMisses, true
+		case "cache_hit_rate":
+			return a.Server.CacheHitRate, true
+		case "compute_total":
+			return a.Server.ComputeTotal, true
+		case "singleflight_shared":
+			return a.Server.SingleflightShared, true
+		case "admission_rejected":
+			return a.Server.AdmissionRejected, true
+		}
+		return 0, false
+	}
+	ts, ok := a.Tools[head]
+	if !ok {
+		return 0, false
+	}
+	switch field {
+	case "count":
+		return float64(ts.Count), true
+	case "p50_ms":
+		return ts.P50MS, true
+	case "p95_ms":
+		return ts.P95MS, true
+	case "p99_ms":
+		return ts.P99MS, true
+	case "max_ms":
+		return ts.MaxMS, true
+	case "error_rate":
+		return ts.ErrorRate, true
+	case "rate_499":
+		return ts.Rate499, true
+	case "rate_503":
+		return ts.Rate503, true
+	}
+	if n, ok := ts.Status[field]; ok {
+		return float64(n), true
+	}
+	return 0, false
+}

@@ -1,0 +1,48 @@
+package gate
+
+import (
+	"strings"
+	"testing"
+
+	"geostat/internal/obs"
+)
+
+// TestSLOThresholdsCoveredByLatencyBuckets keeps the committed SLO
+// latency thresholds inside geostatd_request_seconds's bucket ladder
+// (obs.LatencyBuckets, documented in DESIGN.md): a threshold between
+// the last finite bucket and +Inf could never be located from the
+// histogram — the server-side view would say only "slower than the last
+// bucket" while the gate claims a precise bound. Every per-tool
+// latency-quantile check with a max bound must sit at or below the last
+// finite bucket.
+func TestSLOThresholdsCoveredByLatencyBuckets(t *testing.T) {
+	slo, err := ReadSLOFile("../../../scenarios/smoke_slo.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastFinite := obs.LatencyBuckets[len(obs.LatencyBuckets)-1]
+	quantileSuffixes := []string{".p50_ms", ".p95_ms", ".p99_ms", ".max_ms"}
+	checked := 0
+	for _, c := range slo.Checks {
+		isQuantile := false
+		for _, suf := range quantileSuffixes {
+			if strings.HasSuffix(c.Metric, suf) {
+				isQuantile = true
+				break
+			}
+		}
+		if !isQuantile || c.Max == nil {
+			continue
+		}
+		checked++
+		thresholdSeconds := *c.Max / 1000
+		if thresholdSeconds > lastFinite {
+			t.Errorf("%s max %gms = %gs lies beyond the last finite request_seconds bucket (%gs): "+
+				"the histogram cannot resolve this SLO — lower the threshold or extend obs.LatencyBuckets",
+				c.Metric, *c.Max, thresholdSeconds, lastFinite)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("the committed SLO has no latency-quantile max checks; this test has nothing to guard")
+	}
+}

@@ -1,0 +1,178 @@
+package load
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"geostat/internal/parallel"
+)
+
+// Request is one planned HTTP call. Plans are pure data: expanding a
+// scenario touches no clock and no network, so the same (scenario,
+// seed) pair always yields byte-identical plans — which is what the
+// golden request-log test pins.
+type Request struct {
+	// Client and Seq locate the request in its client's session.
+	Client int
+	Seq    int
+	// Method and Path (path + raw query) address the server; Body is
+	// non-nil only for uploads.
+	Method string
+	Path   string
+	Body   []byte
+	// Tool buckets the request in the artifact's per-tool stats
+	// (kdv, kfunction, moran, idw, upload).
+	Tool string
+	// CancelAfterMS > 0 makes the driver abandon the request
+	// client-side after this many milliseconds (a cancellation storm).
+	CancelAfterMS int
+}
+
+// Plan expands a validated scenario into one request sequence per
+// client. Client c's stream is seeded from splitmix64(seed, c), so
+// plans are independent of execution order and worker count.
+func Plan(sc *Scenario) ([][]Request, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	plans := make([][]Request, sc.Clients)
+	for c := range plans {
+		p := sc.profileFor(c)
+		rng := parallel.TaskRand(sc.Seed, c)
+		reqs := make([]Request, 0, sc.Requests)
+		for seq := 0; seq < sc.Requests; seq++ {
+			reqs = append(reqs, planRequest(p, rng, c, seq))
+		}
+		plans[c] = reqs
+	}
+	return plans, nil
+}
+
+// profileFor assigns client c to a profile by weight-proportional
+// slicing of the client index space: profiles get contiguous runs of
+// clients in declaration order.
+func (sc *Scenario) profileFor(c int) *Profile {
+	var total float64
+	for _, p := range sc.Profiles {
+		total += p.Weight
+	}
+	pos := (float64(c) + 0.5) / float64(sc.Clients) * total
+	var cum float64
+	for i := range sc.Profiles {
+		cum += sc.Profiles[i].Weight
+		if pos < cum {
+			return &sc.Profiles[i]
+		}
+	}
+	return &sc.Profiles[len(sc.Profiles)-1]
+}
+
+func planRequest(p *Profile, rng *rand.Rand, client, seq int) Request {
+	r := Request{Client: client, Seq: seq, Method: "GET"}
+	switch p.Kind {
+	case "zoom":
+		r.Tool = "kdv"
+		r.Path = tilePath(p, zipfTile(p, rng), "grid-cutoff")
+	case "cancel":
+		// naive is the heavyweight method: the point of a cancellation
+		// storm is hanging up on computations that are still running.
+		r.Tool = "kdv"
+		r.Path = tilePath(p, zipfTile(p, rng), "naive")
+		r.CancelAfterMS = p.CancelAfterMS
+	case "hammer":
+		// Every hammer client issues the SAME request at the same seq:
+		// the epoch parameter makes each round a fresh cache key, so
+		// lockstep clients must coalesce (not just hit the cache).
+		r.Tool = "kdv"
+		r.Path = fmt.Sprintf("/v1/kdv?dataset=%s&method=naive&kernel=gaussian&bandwidth=5&width=%d&height=%d&epoch=%d",
+			p.Dataset, p.Width, p.Height, seq)
+	case "mixed":
+		switch rng.Intn(4) {
+		case 0:
+			r.Tool = "kdv"
+			r.Path = tilePath(p, zipfTile(p, rng), "grid-cutoff")
+		case 1:
+			r.Tool = "kfunction"
+			r.Path = fmt.Sprintf("/v1/kfunction?dataset=%s&smax=10&steps=5&sims=9&seed=%d",
+				p.Dataset, rng.Int63n(1<<20)+1)
+		case 2:
+			r.Tool = "moran"
+			r.Path = fmt.Sprintf("/v1/moran?dataset=%s&weights=knn&k=8&perms=49&seed=%d",
+				p.Dataset, rng.Int63n(1<<20)+1)
+		default:
+			r.Tool = "idw"
+			r.Path = fmt.Sprintf("/v1/idw?dataset=%s&method=knn&k=8&width=%d&height=%d",
+				p.Dataset, p.Width, p.Height)
+		}
+	case "upload":
+		r.Tool = "upload"
+		r.Method = "POST"
+		r.Path = fmt.Sprintf("/v1/datasets/cold-c%d-%d", client, seq)
+		r.Body = uploadCSV(rng, p.Points)
+	}
+	return r
+}
+
+// zipfTile draws a tile index with zipf-skewed popularity: index 0 is
+// the hottest tile. math/rand's Zipf has a stable algorithm, so golden
+// plans survive Go version bumps.
+func zipfTile(p *Profile, rng *rand.Rand) int {
+	if p.Tiles == 1 {
+		return 0
+	}
+	z := rand.NewZipf(rng, p.ZipfS, 1, uint64(p.Tiles-1))
+	return int(z.Uint64())
+}
+
+// tilePath renders the KDV request for one tile of the [0,100]² study
+// box the /v1/generate datasets live in, laid out row-major on a
+// near-square grid.
+func tilePath(p *Profile, tile int, method string) string {
+	side := 1
+	for side*side < p.Tiles {
+		side++
+	}
+	cell := 100.0 / float64(side)
+	tx, ty := tile%side, tile/side
+	minx, miny := float64(tx)*cell, float64(ty)*cell
+	return fmt.Sprintf("/v1/kdv?dataset=%s&method=%s&kernel=quartic&bandwidth=4&width=%d&height=%d&bbox=%s,%s,%s,%s",
+		p.Dataset, method, p.Width, p.Height,
+		fnum(minx), fnum(miny), fnum(minx+cell), fnum(miny+cell))
+}
+
+// fnum formats a coordinate with the shortest exact representation.
+func fnum(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// uploadCSV builds a deterministic cold dataset body: n uniform points
+// over the study box, fixed-precision so the bytes are reproducible.
+func uploadCSV(rng *rand.Rand, n int) []byte {
+	var b strings.Builder
+	b.Grow(n*16 + 4)
+	b.WriteString("x,y\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "%.4f,%.4f\n", rng.Float64()*100, rng.Float64()*100)
+	}
+	return []byte(b.String())
+}
+
+// FormatPlan renders plans as the stable one-request-per-line log the
+// golden regression test diffs. Bodies are summarised by length — the
+// bytes themselves are pinned transitively through the RNG stream.
+func FormatPlan(plans [][]Request) string {
+	var b strings.Builder
+	for _, reqs := range plans {
+		for _, r := range reqs {
+			fmt.Fprintf(&b, "c%02d s%02d %s %s", r.Client, r.Seq, r.Method, r.Path)
+			if r.Body != nil {
+				fmt.Fprintf(&b, " body=%dB", len(r.Body))
+			}
+			if r.CancelAfterMS > 0 {
+				fmt.Fprintf(&b, " cancel=%dms", r.CancelAfterMS)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

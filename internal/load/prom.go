@@ -1,0 +1,68 @@
+package load
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// promCounters parses a Prometheus text-format (0.0.4) exposition and
+// returns each family's value summed across its label sets — exactly
+// what the artifact needs from geostatd's /metrics: family-level
+// counters before and after the run. Histogram series (_bucket/_sum/
+// _count suffixes) are kept as their own families so a caller can read
+// e.g. geostatd_request_seconds_count directly.
+func promCounters(src []byte) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(bytes.NewReader(src))
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, value, err := promSeries(line)
+		if err != nil {
+			return nil, err
+		}
+		out[name] += value
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// promSeries splits one sample line: `name{labels} value` or
+// `name value`. Label VALUES may contain spaces and braces, so the
+// label block is delimited by the LAST '}' before the value field.
+func promSeries(line string) (name string, value float64, err error) {
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		j := strings.LastIndexByte(line, '}')
+		if j < i {
+			return "", 0, fmt.Errorf("malformed metric line %q", line)
+		}
+		name = line[:i]
+		rest = line[j+1:]
+	} else {
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return "", 0, fmt.Errorf("malformed metric line %q", line)
+		}
+		name = fields[0]
+		rest = strings.Join(fields[1:], " ")
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return "", 0, fmt.Errorf("metric line %q has no value", line)
+	}
+	// Field 0 is the value; an optional field 1 would be a timestamp.
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", 0, fmt.Errorf("metric line %q: %v", line, err)
+	}
+	return name, v, nil
+}

@@ -1,0 +1,180 @@
+package load
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"geostat/internal/parallel"
+)
+
+// Options configure a load run against a live server.
+type Options struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Client is the HTTP client to use; defaults to a fresh client
+	// with no global timeout (per-request contexts govern lifetimes).
+	Client *http.Client
+	// Logf receives progress lines; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+// Run expands the scenario into per-client plans, provisions the setup
+// datasets, drives every client concurrently (one goroutine each, via
+// the parallel engine), and aggregates the results with a /metrics
+// delta into an Artifact. The request MIX is deterministic in the
+// scenario seed; the measured latencies are, of course, not.
+func Run(ctx context.Context, sc *Scenario, opt Options) (*Artifact, error) {
+	plans, err := Plan(sc)
+	if err != nil {
+		return nil, err
+	}
+	if opt.BaseURL == "" {
+		return nil, errors.New("load: Options.BaseURL is required")
+	}
+	client := opt.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	logf := opt.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	for i, st := range sc.Setup {
+		if serr := runSetup(ctx, client, opt.BaseURL, st); serr != nil {
+			return nil, fmt.Errorf("setup %d: %w", i, serr)
+		}
+		logf("setup %d: generate?%s ok", i, st.Generate)
+	}
+
+	before, err := scrapeMetrics(ctx, client, opt.BaseURL)
+	if err != nil {
+		return nil, fmt.Errorf("pre-run metrics scrape: %w", err)
+	}
+
+	total := 0
+	for _, p := range plans {
+		total += len(p)
+	}
+	logf("driving %d clients, %d requests total", len(plans), total)
+	start := time.Now()
+	results := make([][]sample, len(plans))
+	// One worker per client so sessions really are concurrent: with
+	// n == workers the engine's chunk size is 1 and each client's plan
+	// runs on its own goroutine.
+	runErr := parallel.ForCtx(ctx, len(plans), len(plans), func(c int) {
+		results[c] = runClient(ctx, client, opt.BaseURL, plans[c])
+	})
+	durationMS := float64(time.Since(start)) / float64(time.Millisecond)
+	if runErr != nil {
+		return nil, fmt.Errorf("load run aborted: %w", runErr)
+	}
+
+	after, err := scrapeMetrics(ctx, client, opt.BaseURL)
+	if err != nil {
+		return nil, fmt.Errorf("post-run metrics scrape: %w", err)
+	}
+
+	var samples []sample
+	for _, rs := range results {
+		samples = append(samples, rs...)
+	}
+	logf("run complete: %d samples in %.0f ms", len(samples), durationMS)
+	return buildArtifact(sc, samples, durationMS, before, after), nil
+}
+
+// runClient plays one client's plan sequentially, recording an outcome
+// for every request. A cancelled parent context ends the session early;
+// partial results are still returned (the engine reports the error).
+func runClient(ctx context.Context, client *http.Client, base string, reqs []Request) []sample {
+	out := make([]sample, 0, len(reqs))
+	for _, r := range reqs {
+		if ctx.Err() != nil {
+			break
+		}
+		out = append(out, issue(ctx, client, base, r))
+	}
+	return out
+}
+
+// issue performs one planned request and classifies the outcome:
+// the status code, "aborted" for a planned client-side cancellation
+// that fired, or "error" for transport failures.
+func issue(ctx context.Context, client *http.Client, base string, r Request) sample {
+	rctx := ctx
+	if r.CancelAfterMS > 0 {
+		var cancel context.CancelFunc
+		rctx, cancel = context.WithTimeout(ctx, time.Duration(r.CancelAfterMS)*time.Millisecond)
+		defer cancel()
+	}
+	var body io.Reader
+	if r.Body != nil {
+		body = bytes.NewReader(r.Body)
+	}
+	start := time.Now()
+	req, err := http.NewRequestWithContext(rctx, r.Method, base+r.Path, body)
+	if err != nil {
+		return sample{tool: r.Tool, outcome: "error", ms: msSince(start)}
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		outcome := "error"
+		if r.CancelAfterMS > 0 && rctx.Err() != nil && ctx.Err() == nil {
+			outcome = "aborted"
+		}
+		return sample{tool: r.Tool, outcome: outcome, ms: msSince(start)}
+	}
+	_, _ = io.Copy(io.Discard, resp.Body) // drain so the connection is reused
+	_ = resp.Body.Close()
+	return sample{tool: r.Tool, outcome: strconv.Itoa(resp.StatusCode), ms: msSince(start)}
+}
+
+func msSince(start time.Time) float64 {
+	return float64(time.Since(start)) / float64(time.Millisecond)
+}
+
+// runSetup posts one /v1/generate provisioning step.
+func runSetup(ctx context.Context, client *http.Client, base string, st Setup) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/generate?"+st.Generate, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		return fmt.Errorf("generate?%s: status %d: %s", st.Generate, resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+// scrapeMetrics fetches and parses the server's /metrics exposition.
+func scrapeMetrics(ctx context.Context, client *http.Client, base string) (map[string]float64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/metrics: status %d", resp.StatusCode)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return promCounters(data)
+}

@@ -1,0 +1,211 @@
+package load
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// A dependency-free parser for the YAML subset the scenario files use.
+//
+// The repo's no-third-party-deps rule means we cannot pull in a YAML
+// library, and JSON is an unfriendly authoring format for configs that
+// humans tweak (comments, trailing commas). This parser accepts the
+// indentation-structured subset that covers declarative scenarios:
+//
+//   - mappings:      key: value          (nested blocks indent deeper)
+//   - sequences:     - item              ("- key: value" starts a map item)
+//   - scalars:       ints, floats, true/false, bare or "quoted" strings
+//   - comments:      full-line or trailing "  # ..."
+//
+// No anchors, no multi-line strings, no flow collections ({} / []), no
+// tabs. Anything outside the subset is a parse error with a line number
+// — a scenario that fails to parse should say why, not half-load.
+//
+// parseYAMLish returns the same shapes encoding/json produces
+// (map[string]any, []any, string, float64/int64, bool), so a scenario
+// can round-trip through json.Marshal into its typed struct.
+
+type yamlLine struct {
+	num    int // 1-based source line
+	indent int
+	text   string // content with indentation stripped
+}
+
+func yamlishParse(src []byte) (any, error) {
+	var lines []yamlLine
+	for i, raw := range strings.Split(string(src), "\n") {
+		if strings.Contains(raw, "\t") {
+			return nil, fmt.Errorf("line %d: tabs are not allowed (use spaces)", i+1)
+		}
+		text := strings.TrimLeft(raw, " ")
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		lines = append(lines, yamlLine{
+			num:    i + 1,
+			indent: len(raw) - len(text),
+			text:   strings.TrimRight(text, " "),
+		})
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("empty document")
+	}
+	p := &yamlParser{lines: lines}
+	v, err := p.block(lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.lines) {
+		l := p.lines[p.pos]
+		return nil, fmt.Errorf("line %d: unexpected indentation", l.num)
+	}
+	return v, nil
+}
+
+type yamlParser struct {
+	lines []yamlLine
+	pos   int
+}
+
+// block parses the run of lines at exactly the given indent as either a
+// sequence (lines starting with "-") or a mapping.
+func (p *yamlParser) block(indent int) (any, error) {
+	l := p.lines[p.pos]
+	if l.text == "-" || strings.HasPrefix(l.text, "- ") {
+		return p.sequence(indent)
+	}
+	return p.mapping(indent)
+}
+
+func (p *yamlParser) sequence(indent int) (any, error) {
+	var out []any
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent != indent {
+			break
+		}
+		if l.text != "-" && !strings.HasPrefix(l.text, "- ") {
+			return nil, fmt.Errorf("line %d: expected sequence item %q", l.num, l.text)
+		}
+		rest := strings.TrimSpace(strings.TrimPrefix(l.text, "-"))
+		if rest == "" {
+			// "-" alone: the item is the nested block below.
+			p.pos++
+			if p.pos >= len(p.lines) || p.lines[p.pos].indent <= indent {
+				return nil, fmt.Errorf("line %d: empty sequence item", l.num)
+			}
+			item, err := p.block(p.lines[p.pos].indent)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, item)
+			continue
+		}
+		// "- content": re-enter the parser with the content shifted to a
+		// virtual indent two columns in, so "- key: v" plus following
+		// "  key2: v2" lines parse as one mapping.
+		p.lines[p.pos] = yamlLine{num: l.num, indent: indent + 2, text: rest}
+		item, err := p.block(indent + 2)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, item)
+	}
+	return out, nil
+}
+
+func (p *yamlParser) mapping(indent int) (any, error) {
+	out := make(map[string]any)
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent != indent {
+			break
+		}
+		if strings.HasPrefix(l.text, "- ") || l.text == "-" {
+			return nil, fmt.Errorf("line %d: sequence item inside mapping", l.num)
+		}
+		key, rest, ok := splitKey(l.text)
+		if !ok {
+			return nil, fmt.Errorf("line %d: expected \"key: value\", got %q", l.num, l.text)
+		}
+		if _, dup := out[key]; dup {
+			return nil, fmt.Errorf("line %d: duplicate key %q", l.num, key)
+		}
+		if rest == "" {
+			// "key:" — nested block, or an error if nothing is indented
+			// below (the subset has no null values to mean "empty").
+			p.pos++
+			if p.pos >= len(p.lines) || p.lines[p.pos].indent <= indent {
+				return nil, fmt.Errorf("line %d: key %q has no value", l.num, key)
+			}
+			child, err := p.block(p.lines[p.pos].indent)
+			if err != nil {
+				return nil, err
+			}
+			out[key] = child
+			continue
+		}
+		v, err := yamlScalar(rest)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", l.num, err)
+		}
+		out[key] = v
+		p.pos++
+	}
+	return out, nil
+}
+
+// splitKey splits "key: value" / "key:"; the key must be a bare word
+// (scenario field names never need quoting).
+func splitKey(text string) (key, rest string, ok bool) {
+	i := strings.Index(text, ":")
+	if i <= 0 {
+		return "", "", false
+	}
+	key = strings.TrimSpace(text[:i])
+	if key == "" || strings.ContainsAny(key, "\"' {}[]") {
+		return "", "", false
+	}
+	rest = strings.TrimSpace(text[i+1:])
+	return key, rest, true
+}
+
+// yamlScalar parses one scalar value, stripping a trailing comment.
+func yamlScalar(s string) (any, error) {
+	if strings.HasPrefix(s, `"`) {
+		end := strings.Index(s[1:], `"`)
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated string %q", s)
+		}
+		str := s[1 : 1+end]
+		tail := strings.TrimSpace(s[2+end:])
+		if tail != "" && !strings.HasPrefix(tail, "#") {
+			return nil, fmt.Errorf("trailing content after string: %q", tail)
+		}
+		return str, nil
+	}
+	// Trailing comment on an unquoted scalar: "value  # note".
+	if i := strings.Index(s, " #"); i >= 0 {
+		s = strings.TrimSpace(s[:i])
+	}
+	if s == "" {
+		return nil, fmt.Errorf("empty value")
+	}
+	switch s {
+	case "true":
+		return true, nil
+	case "false":
+		return false, nil
+	}
+	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return n, nil
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f, nil
+	}
+	if strings.ContainsAny(s, "{}[]") {
+		return nil, fmt.Errorf("flow collections are outside the YAML subset: %q", s)
+	}
+	return s, nil
+}

@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+
+	"geostat/internal/obs"
+)
+
+// errOverloaded is returned when a computation cannot even be queued:
+// every in-flight slot is busy and the wait queue is at capacity. The
+// harness maps it to 503 with Retry-After — shedding load early is what
+// keeps the queue from growing into a latency cliff.
+var errOverloaded = errors.New("serve: server overloaded (admission queue full)")
+
+// admission is the server's admission controller: a semaphore of
+// in-flight computation slots fronted by a bounded wait queue.
+//
+// The plain semaphore it replaces had an unbounded queue: under
+// sustained overload every excess request parked forever (or until its
+// client gave up), so latency grew without bound while throughput stayed
+// flat. Bounding the queue turns that into fast, explicit backpressure:
+// a request that cannot get a slot or a queue position is rejected
+// immediately with errOverloaded.
+//
+// maxQueue semantics (Config.MaxQueue): 0 waits without bound (the
+// legacy behaviour, still the zero-value default), > 0 bounds the number
+// of computations waiting for a slot, < 0 disables waiting entirely —
+// no free slot means immediate rejection.
+type admission struct {
+	sem      chan struct{} // nil = unlimited concurrency, acquire is free
+	maxQueue int
+	queued   atomic.Int64
+
+	queueDepth *obs.Gauge
+	rejected   *obs.Counter
+}
+
+func newAdmission(maxInFlight, maxQueue int, m *obs.Registry) *admission {
+	a := &admission{
+		maxQueue: maxQueue,
+		queueDepth: m.Gauge("serve_admission_queue_count",
+			"computations waiting for an in-flight slot"),
+		rejected: m.Counter("serve_admission_rejected_total",
+			"computations rejected because the admission queue was full"),
+	}
+	if maxInFlight > 0 {
+		a.sem = make(chan struct{}, maxInFlight)
+	}
+	return a
+}
+
+// acquire obtains an in-flight slot, waiting in the bounded queue if
+// necessary. On success it returns the release function; on failure the
+// error is errOverloaded (queue full) or ctx.Err() (caller gave up while
+// queued).
+func (a *admission) acquire(ctx context.Context) (release func(), err error) {
+	if a.sem == nil {
+		return func() {}, nil
+	}
+	select {
+	case a.sem <- struct{}{}:
+		return a.release, nil
+	default:
+	}
+	if a.maxQueue < 0 {
+		a.rejected.Inc()
+		return nil, errOverloaded
+	}
+	if a.maxQueue > 0 {
+		// CAS loop so the queue bound is exact: concurrent arrivals
+		// cannot both claim the last queue position.
+		for {
+			n := a.queued.Load()
+			if n >= int64(a.maxQueue) {
+				a.rejected.Inc()
+				return nil, errOverloaded
+			}
+			if a.queued.CompareAndSwap(n, n+1) {
+				break
+			}
+		}
+	} else {
+		a.queued.Add(1)
+	}
+	a.queueDepth.Add(1)
+	defer func() {
+		a.queued.Add(-1)
+		a.queueDepth.Add(-1)
+	}()
+	select {
+	case a.sem <- struct{}{}:
+		return a.release, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (a *admission) release() { <-a.sem }

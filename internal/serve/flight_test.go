@@ -1,0 +1,236 @@
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"geostat/internal/serve"
+)
+
+// slowKDV is heavy enough (naive gaussian, 256x256 over 20k points) that
+// it cannot finish before the test has attached concurrent waiters, but
+// one -race chunk still unwinds within the test timeout.
+const slowKDV = "/v1/kdv?dataset=big&method=naive&kernel=gaussian&bandwidth=5&width=256&height=256"
+
+// metricValue scrapes /metrics and returns the value of the series whose
+// exposition line starts with prefix (e.g. `serve_compute_total`), or 0.
+func metricValue(t *testing.T, srv *serve.Server, prefix string) float64 {
+	t.Helper()
+	rr := do(t, srv, http.MethodGet, "/metrics", nil)
+	for _, line := range bytes.Split(rr.Body.Bytes(), []byte("\n")) {
+		if !bytes.HasPrefix(line, []byte(prefix)) {
+			continue
+		}
+		rest := bytes.TrimPrefix(line, []byte(prefix))
+		if len(rest) > 0 && rest[0] != ' ' && rest[0] != '{' {
+			continue // longer metric name sharing the prefix
+		}
+		fields := bytes.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		if v, err := strconv.ParseFloat(string(fields[1]), 64); err == nil {
+			return v
+		}
+	}
+	return 0
+}
+
+// TestSingleFlightCoalescesIdenticalRequests drives N identical KDV
+// requests concurrently through the handler: exactly one computation
+// must run, every waiter must receive byte-identical bodies, and the
+// singleflight metrics must account for the sharing.
+func TestSingleFlightCoalescesIdenticalRequests(t *testing.T) {
+	srv := newServer(t, serve.Config{CacheBytes: 64 << 20, MaxInFlight: 2})
+	generate(t, srv, "name=big&kind=csr&n=20000&seed=3")
+	// A tile small enough to finish, big enough for waiters to attach.
+	const tile = "/v1/kdv?dataset=big&method=naive&kernel=gaussian&bandwidth=5&width=48&height=48"
+
+	const n = 6
+	var wg sync.WaitGroup
+	bodies := make([][]byte, n)
+	codes := make([]int, n)
+	xcache := make([]string, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rr := do(t, srv, http.MethodGet, tile, nil)
+			bodies[i] = rr.Body.Bytes()
+			codes[i] = rr.Code
+			xcache[i] = rr.Header().Get("X-Cache")
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if codes[i] != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, codes[i])
+		}
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Fatalf("request %d: body differs from request 0", i)
+		}
+	}
+	// All six raced the cold cache, so at least two overlapped; the
+	// computation count must be strictly below the request count.
+	computes := metricValue(t, srv, "serve_compute_total")
+	if computes >= n {
+		t.Fatalf("serve_compute_total = %v, want < %d (coalescing)", computes, n)
+	}
+	shared := metricValue(t, srv, "serve_singleflight_shared_total")
+	coalesced := 0
+	for _, c := range xcache {
+		if c == "coalesced" {
+			coalesced++
+		}
+	}
+	if shared != float64(coalesced) {
+		t.Fatalf("serve_singleflight_shared_total = %v, want %d (the X-Cache:coalesced responses)", shared, coalesced)
+	}
+	if shared+computes < n { // every request either computed, coalesced, or hit the cache
+		hits := metricValue(t, srv, "geostatd_cache_hits_total")
+		if shared+computes+hits < n {
+			t.Fatalf("accounting hole: %v computed + %v shared + %v cache hits < %d requests",
+				computes, shared, hits, n)
+		}
+	}
+}
+
+// waitMetric polls a /metrics series until it reaches at least want.
+func waitMetric(t *testing.T, srv *serve.Server, prefix string, want float64, within time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for metricValue(t, srv, prefix) < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("%s never reached %v", prefix, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestSingleFlightWaiterCancelGets499OthersGet200 pins the ctx-detach
+// contract: of two coalesced waiters, the one that hangs up gets 499
+// immediately while the flight keeps computing for the other, which
+// still gets its 200. The test sequences itself off the serve_* metrics
+// (compute started → waiter attached → cancel) instead of sleeping, so
+// it is robust across machine speeds.
+func TestSingleFlightWaiterCancelGets499OthersGet200(t *testing.T) {
+	srv := newServer(t, serve.Config{CacheBytes: 64 << 20, MaxInFlight: 2})
+	generate(t, srv, "name=big&kind=csr&n=20000&seed=3")
+	const tile = "/v1/kdv?dataset=big&method=naive&kernel=gaussian&bandwidth=5&width=128&height=128"
+
+	var wg sync.WaitGroup
+	var patient, impatient *httptest.ResponseRecorder
+
+	wg.Add(1)
+	go func() { // the leader, who sticks around for the full computation
+		defer wg.Done()
+		patient = do(t, srv, http.MethodGet, tile, nil)
+	}()
+	waitMetric(t, srv, "serve_compute_total", 1, 10*time.Second)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	wg.Add(1)
+	go func() { // the waiter that will hang up mid-flight
+		defer wg.Done()
+		r := httptest.NewRequest(http.MethodGet, tile, nil).WithContext(ctx)
+		rr := httptest.NewRecorder()
+		srv.ServeHTTP(rr, r)
+		impatient = rr
+	}()
+	waitMetric(t, srv, "serve_singleflight_shared_total", 1, 10*time.Second)
+	cancel()
+	wg.Wait()
+
+	if impatient.Code != serve.StatusClientClosedRequest {
+		t.Fatalf("impatient waiter: status %d, want %d: %s",
+			impatient.Code, serve.StatusClientClosedRequest, impatient.Body.String())
+	}
+	if patient.Code != http.StatusOK {
+		t.Fatalf("patient waiter: status %d, want 200: %s", patient.Code, patient.Body.String())
+	}
+	if len(patient.Body.Bytes()) == 0 {
+		t.Fatal("patient waiter got an empty body")
+	}
+}
+
+// TestAdmissionQueueOverflowReturns503 fills the single in-flight slot
+// and the one queue position with two distinct long computations, then
+// asserts a third distinct request is shed with 503 + Retry-After and
+// that the rejection is counted.
+func TestAdmissionQueueOverflowReturns503(t *testing.T) {
+	srv := newServer(t, serve.Config{CacheBytes: 64 << 20, MaxInFlight: 1, MaxQueue: 1})
+	generate(t, srv, "name=big&kind=csr&n=20000&seed=3")
+
+	occupy, occupyCancel := context.WithCancel(context.Background())
+	defer occupyCancel()
+	var wg sync.WaitGroup
+	// Distinct queries so nothing coalesces: bandwidth varies.
+	for i, bw := range []string{"5", "6"} {
+		wg.Add(1)
+		go func(i int, bw string) {
+			defer wg.Done()
+			r := httptest.NewRequest(http.MethodGet,
+				slowKDV+"&bandwidthjitter="+bw, nil).WithContext(occupy)
+			srv.ServeHTTP(httptest.NewRecorder(), r)
+		}(i, bw)
+	}
+	// Wait until one computation holds the slot and one sits in the queue.
+	deadline := time.Now().Add(10 * time.Second)
+	for metricValue(t, srv, "serve_admission_queue_count") < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("queue never filled")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	rr := do(t, srv, http.MethodGet, slowKDV+"&bandwidthjitter=7", nil)
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503: %s", rr.Code, rr.Body.String())
+	}
+	if rr.Header().Get("Retry-After") == "" {
+		t.Fatal("503 response is missing Retry-After")
+	}
+	if got := metricValue(t, srv, "serve_admission_rejected_total"); got < 1 {
+		t.Fatalf("serve_admission_rejected_total = %v, want >= 1", got)
+	}
+
+	occupyCancel() // release the occupants
+	wg.Wait()
+}
+
+// TestPerToolTimeoutBudgetReturns504AndFreesSlot gives kdv a tiny budget
+// while the default stays generous: the heavy KDV must come back 504
+// with Retry-After, and the in-flight slot it held must be free again —
+// a cheap request on the same single-slot server must succeed.
+func TestPerToolTimeoutBudgetReturns504AndFreesSlot(t *testing.T) {
+	srv := newServer(t, serve.Config{
+		CacheBytes:   64 << 20,
+		MaxInFlight:  1,
+		Timeout:      time.Minute,
+		ToolTimeouts: map[string]time.Duration{"kdv": 20 * time.Millisecond},
+	})
+	generate(t, srv, "name=big&kind=csr&n=20000&seed=3")
+
+	rr := do(t, srv, http.MethodGet, slowKDV, nil)
+	if rr.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504: %s", rr.Code, rr.Body.String())
+	}
+	if rr.Header().Get("Retry-After") == "" {
+		t.Fatal("504 response is missing Retry-After")
+	}
+
+	// The slot must be free: a tiny kfunction (not subject to the kdv
+	// budget) finishes well inside the default budget.
+	ok := do(t, srv, http.MethodGet, "/v1/kfunction?dataset=big&smax=5&steps=2&sims=4&seed=1", nil)
+	if ok.Code != http.StatusOK {
+		t.Fatalf("follow-up request: status %d, want 200 (slot not freed?): %s", ok.Code, ok.Body.String())
+	}
+}

@@ -18,8 +18,10 @@ var (
 	mInFlight = expvar.NewInt("geostatd.inflight")
 	// mCanceled counts requests abandoned by the client (HTTP 499).
 	mCanceled = expvar.NewInt("geostatd.canceled")
-	// mTimeouts counts requests killed by the per-request deadline (503).
+	// mTimeouts counts requests killed by their timeout budget (504).
 	mTimeouts = expvar.NewInt("geostatd.timeouts")
+	// mRejected counts requests shed by admission control (503).
+	mRejected = expvar.NewInt("geostatd.rejected")
 	// mErrors counts requests rejected for any other reason (4xx).
 	mErrors = expvar.NewInt("geostatd.errors")
 )

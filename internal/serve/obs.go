@@ -92,6 +92,8 @@ func errorKind(status int) string {
 	case StatusClientClosedRequest:
 		return "canceled"
 	case http.StatusServiceUnavailable:
+		return "overload"
+	case http.StatusGatewayTimeout:
 		return "timeout"
 	case http.StatusRequestEntityTooLarge:
 		return "too_large"

@@ -2,14 +2,18 @@
 // analytics (KDV, K-function, Moran's I, General G, IDW) over JSON/PNG,
 // backed by an in-memory dataset registry and a sharded LRU result cache.
 //
-// Every tool request flows through the same harness (Server.handleTool):
-// count the request, try the cache, acquire an in-flight slot, bound the
-// computation with the per-request timeout, run it with the request
-// context threaded down into the worker pools, then map the outcome —
-// context.Canceled becomes 499 (client closed request),
-// context.DeadlineExceeded becomes 503 with Retry-After, anything else
-// becomes 400. Successful responses are cached by their canonical key
-// (see cacheKey) and replayed byte-identically.
+// Every tool request flows through the same harness (Server.toolHandler):
+// count the request, try the cache, then coalesce with any identical
+// in-flight request (singleflight.go — one computation, N waiters, each
+// honouring its own context). The flight leader acquires an admission
+// slot (bounded wait queue, admission.go), bounds the computation with
+// the tool's timeout budget, runs it with the detached flight context
+// threaded down into the worker pools, and fills the cache. Outcomes
+// map to HTTP statuses: context.Canceled becomes 499 (client closed
+// request), admission overflow becomes 503 with Retry-After, a timeout
+// budget overrun becomes 504 with Retry-After, anything else becomes
+// 400. Successful responses are cached by their canonical key (see
+// cacheKey) and replayed byte-identically.
 //
 // The geolint determinism rules apply here as everywhere: all randomness
 // enters through explicit seed parameters (geostat.NewRand), responses
@@ -38,11 +42,21 @@ const StatusClientClosedRequest = 499
 // Config configures a Server.
 type Config struct {
 	// Timeout bounds each tool computation; <= 0 means no deadline.
+	// ToolTimeouts overrides it per tool.
 	Timeout time.Duration
-	// MaxInFlight caps concurrently executing tool requests; <= 0 means
-	// unlimited. Requests beyond the cap wait (honouring their context)
-	// rather than failing fast.
+	// ToolTimeouts is the per-tool computation budget (keys are tool
+	// names: "kdv", "kfunction", "moran", "generalg", "idw"). A tool
+	// without an entry uses Timeout. A budget overrun returns 504.
+	ToolTimeouts map[string]time.Duration
+	// MaxInFlight caps concurrently executing tool computations; <= 0
+	// means unlimited. Computations beyond the cap wait in the
+	// admission queue (honouring their context).
 	MaxInFlight int
+	// MaxQueue bounds how many computations may wait for an in-flight
+	// slot: 0 waits without bound (legacy behaviour), > 0 bounds the
+	// queue, < 0 rejects immediately when no slot is free. Overflow is
+	// rejected with 503 + Retry-After.
+	MaxQueue int
 	// CacheBytes bounds the result cache; <= 0 disables caching.
 	CacheBytes int64
 	// Workers is the parallelism handed to every tool invocation
@@ -64,7 +78,8 @@ type Server struct {
 	cfg     Config
 	reg     *Registry
 	cache   *Cache
-	sem     chan struct{} // nil = unlimited
+	adm     *admission
+	flights *flightGroup
 	mux     *http.ServeMux
 	start   time.Time
 	metrics *obs.Registry
@@ -87,12 +102,20 @@ func NewServer(cfg Config) *Server {
 		start:   time.Now(),
 		metrics: obs.NewRegistry(),
 	}
-	if cfg.MaxInFlight > 0 {
-		s.sem = make(chan struct{}, cfg.MaxInFlight)
-	}
+	s.flights = newFlightGroup(s.metrics)
+	s.adm = newAdmission(cfg.MaxInFlight, cfg.MaxQueue, s.metrics)
 	s.registerObs()
 	s.routes()
 	return s
+}
+
+// toolTimeout returns the computation budget for a tool: its entry in
+// ToolTimeouts, or the default Timeout. <= 0 means no deadline.
+func (s *Server) toolTimeout(tool string) time.Duration {
+	if d, ok := s.cfg.ToolTimeouts[tool]; ok {
+		return d
+	}
+	return s.cfg.Timeout
 }
 
 // Registry exposes the dataset registry (CLI preloading, tests).
@@ -168,47 +191,84 @@ func (s *Server) toolHandler(tool string, compute computeFunc) http.HandlerFunc 
 		}
 		mCacheMisses.Add(1)
 
-		if s.sem != nil {
-			select {
-			case s.sem <- struct{}{}:
-				defer func() { <-s.sem }()
-			case <-ctx.Done():
-				s.writeToolError(w, ctx.Err())
-				return
+		// Identical concurrent misses coalesce into one computation (see
+		// singleflight.go). The flight body — admission, timeout budget,
+		// compute, cache fill — runs once on a context detached from any
+		// single waiter; this handler's ctx only governs how long THIS
+		// request keeps waiting for the shared result.
+		query := r.URL.Query()
+		v, shared, err := s.flights.do(ctx, key, func(fctx context.Context) (Value, error) {
+			s.metrics.Counter("serve_compute_total",
+				"tool computations actually executed (cache misses after coalescing)").Inc()
+			release, aerr := s.adm.acquire(fctx)
+			if aerr != nil {
+				return Value{}, aerr
 			}
-		}
-		if s.cfg.Timeout > 0 {
-			var cancel context.CancelFunc
-			ctx, cancel = context.WithTimeout(ctx, s.cfg.Timeout)
-			defer cancel()
-		}
-
-		p := newParams(r.URL.Query())
-		v, err := compute(ctx, d, p)
-		if err == nil {
-			err = p.err()
+			defer release()
+			if budget := s.toolTimeout(tool); budget > 0 {
+				var cancel context.CancelFunc
+				fctx, cancel = context.WithDeadlineCause(fctx,
+					time.Now().Add(budget), errBudgetExceeded)
+				defer cancel()
+			}
+			p := newParams(query)
+			cv, cerr := compute(fctx, d, p)
+			if cerr == nil {
+				cerr = p.err()
+			}
+			if cerr != nil {
+				if errors.Is(cerr, context.DeadlineExceeded) &&
+					errors.Is(context.Cause(fctx), errBudgetExceeded) {
+					cerr = fmt.Errorf("%s: %w", tool, errBudgetExceeded)
+				}
+				return Value{}, cerr
+			}
+			s.cache.Put(key, cv)
+			return cv, nil
+		})
+		if shared {
+			root.SetAttr("coalesced", "true")
 		}
 		if err != nil {
 			s.writeToolError(w, err)
 			return
 		}
-		s.cache.Put(key, v)
+		if shared {
+			writeValue(w, v, "coalesced")
+			return
+		}
 		writeValue(w, v, "miss")
 	}
 }
 
+// errBudgetExceeded marks a computation killed by its per-tool timeout
+// budget (Config.Timeout / Config.ToolTimeouts), as opposed to a client
+// that went away. It is installed as the deadline cause so the harness
+// can tell the two DeadlineExceeded flavours apart.
+var errBudgetExceeded = errors.New("computation exceeded its timeout budget")
+
 // writeToolError maps a compute failure to its HTTP status: 499 for a
-// client disconnect, 503 (+Retry-After) for the per-request deadline,
-// 400 for everything else (validation, bad parameters).
+// client disconnect, 503 (+Retry-After) for admission rejection —
+// overload is retryable somewhere else — 504 (+Retry-After) for a
+// computation killed by its timeout budget, 400 for everything else
+// (validation, bad parameters).
 func (s *Server) writeToolError(w http.ResponseWriter, err error) {
 	switch {
+	case errors.Is(err, errOverloaded):
+		mRejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		s.writeError(w, http.StatusServiceUnavailable, err.Error())
+	case errors.Is(err, errBudgetExceeded):
+		mTimeouts.Add(1)
+		w.Header().Set("Retry-After", "1")
+		s.writeError(w, http.StatusGatewayTimeout, err.Error())
 	case errors.Is(err, context.Canceled):
 		mCanceled.Add(1)
 		s.writeError(w, StatusClientClosedRequest, "client closed request")
 	case errors.Is(err, context.DeadlineExceeded):
 		mTimeouts.Add(1)
 		w.Header().Set("Retry-After", "1")
-		s.writeError(w, http.StatusServiceUnavailable, "computation exceeded the per-request timeout")
+		s.writeError(w, http.StatusGatewayTimeout, "computation exceeded the per-request timeout")
 	default:
 		s.writeError(w, http.StatusBadRequest, err.Error())
 	}
@@ -216,7 +276,7 @@ func (s *Server) writeToolError(w http.ResponseWriter, err error) {
 
 func (s *Server) writeError(w http.ResponseWriter, status int, msg string) {
 	if status >= http.StatusBadRequest && status != StatusClientClosedRequest &&
-		status != http.StatusServiceUnavailable {
+		status != http.StatusServiceUnavailable && status != http.StatusGatewayTimeout {
 		mErrors.Add(1)
 	}
 	if status >= http.StatusBadRequest {

@@ -131,15 +131,15 @@ func TestPreCancelledRequestReturns499(t *testing.T) {
 	}
 }
 
-func TestTimeoutReturns503WithRetryAfter(t *testing.T) {
+func TestTimeoutReturns504WithRetryAfter(t *testing.T) {
 	srv := newServer(t, serve.Config{CacheBytes: 64 << 20, Timeout: 20 * time.Millisecond})
 	generate(t, srv, "name=big&kind=csr&n=20000&seed=3")
 	rr := do(t, srv, http.MethodGet, heavyKDV, nil)
-	if rr.Code != http.StatusServiceUnavailable {
-		t.Fatalf("status = %d, want 503: %s", rr.Code, rr.Body.String())
+	if rr.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504: %s", rr.Code, rr.Body.String())
 	}
 	if rr.Header().Get("Retry-After") == "" {
-		t.Fatal("503 response is missing Retry-After")
+		t.Fatal("504 response is missing Retry-After")
 	}
 }
 
@@ -160,7 +160,13 @@ func TestCancelledRequestsLeaveNoGoroutines(t *testing.T) {
 		}
 	}
 
-	deadline := time.Now().Add(5 * time.Second)
+	// The 499 now returns as soon as the waiter detaches; the flight
+	// goroutine and its worker pool unwind in the background at the next
+	// chunk boundary, which under -race on a loaded single core can take
+	// tens of seconds (see the ceiling rationale in
+	// TestCancelledRequestReturns499). Size the settle deadline to that
+	// worst case, not to wall-clock promptness.
+	deadline := time.Now().Add(60 * time.Second)
 	for {
 		if n := runtime.NumGoroutine(); n <= baseline+2 {
 			return

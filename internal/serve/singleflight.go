@@ -1,0 +1,150 @@
+package serve
+
+import (
+	"context"
+	"sync"
+
+	"geostat/internal/obs"
+)
+
+// Single-flight coalescing of identical in-flight tool requests.
+//
+// Under a hot-key load (every map client zooming into the same tile) the
+// result cache only helps after the first computation has finished;
+// while it is still running, N identical requests would previously run N
+// identical computations, each burning an in-flight slot. The flight
+// group collapses them: the first request for a cache key becomes the
+// leader and runs the computation once, every concurrent duplicate
+// attaches as a waiter, and all of them receive the same Value — the
+// exact bytes the leader produced, so coalesced responses stay
+// byte-identical to cached replays.
+//
+// Cancellation contract (the ctx-detach rationale, see DESIGN.md):
+//
+//   - The computation runs on a context DETACHED from the leader's
+//     request context (values — trace spans — are kept; cancellation is
+//     not inherited). If the computation inherited the leader's
+//     cancellation, the leader hanging up would abort the work that N-1
+//     other clients are still waiting for.
+//   - Each waiter honours its own request context: a waiter that cancels
+//     gets ctx.Err() (mapped to 499) immediately, without disturbing the
+//     flight.
+//   - The flight keeps a waiter refcount. When the LAST waiter abandons
+//     the call, nobody wants the result anymore and the detached context
+//     is cancelled, so the worker pools unwind at the next chunk
+//     boundary. An abandoned call is unlinked from the group first: a
+//     request arriving after the cancellation starts a fresh flight
+//     instead of inheriting a doomed one.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+
+	// shared counts waiters at ATTACH time (not completion), so a load
+	// test can observe coalescing while the flight is still running.
+	shared *obs.Counter
+}
+
+type flightCall struct {
+	// done is closed by the leader goroutine once val/err are set.
+	done chan struct{}
+	val  Value
+	err  error
+
+	// waiters counts requests currently blocked on done; guarded by the
+	// group mutex. cancel aborts the detached compute context.
+	waiters int
+	cancel  context.CancelFunc
+}
+
+func newFlightGroup(m *obs.Registry) *flightGroup {
+	return &flightGroup{
+		calls: make(map[string]*flightCall),
+		shared: m.Counter("serve_singleflight_shared_total",
+			"requests that attached to another request's in-flight computation"),
+	}
+}
+
+// detachedContext returns a cancellable context that keeps ctx's values
+// (the request trace, so compute spans still land in the leader's tree)
+// but not its cancellation: the computation outlives any single waiter
+// and is stopped only via the returned CancelFunc.
+func detachedContext(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithCancel(context.WithoutCancel(ctx))
+}
+
+// do returns the value of compute(key), coalescing concurrent calls with
+// the same key into one execution. shared reports whether this request
+// attached to a flight started by another request (it did not pay for
+// the computation itself). A waiter whose ctx ends before the flight
+// completes returns ctx.Err() and detaches; compute is only cancelled
+// when every waiter has detached.
+func (g *flightGroup) do(ctx context.Context, key string, compute func(ctx context.Context) (Value, error)) (v Value, shared bool, err error) {
+	g.mu.Lock()
+	if c, ok := g.calls[key]; ok {
+		c.waiters++
+		g.mu.Unlock()
+		g.shared.Inc()
+		v, err = g.wait(ctx, key, c)
+		return v, true, err
+	}
+	c := &flightCall{done: make(chan struct{}), waiters: 1}
+	cctx, cancel := detachedContext(ctx)
+	c.cancel = cancel
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	go g.run(key, c, cctx, compute) //lint:allow norawgoroutine the flight leader must outlive any one waiter's request context; bounded: one goroutine per distinct in-flight key, it exits when compute returns
+
+	v, err = g.wait(ctx, key, c)
+	return v, false, err
+}
+
+// run executes the flight and publishes its result. The call is unlinked
+// before done is closed so a later request with the same key starts a
+// fresh flight rather than observing a completed one.
+func (g *flightGroup) run(key string, c *flightCall, ctx context.Context, compute func(ctx context.Context) (Value, error)) {
+	v, err := compute(ctx)
+	c.cancel() // release the detached context's resources
+	g.mu.Lock()
+	if g.calls[key] == c {
+		delete(g.calls, key)
+	}
+	c.val, c.err = v, err
+	g.mu.Unlock()
+	close(c.done)
+}
+
+// wait blocks until the flight completes or ctx ends, whichever is
+// first. A completed result is preferred when both are ready.
+func (g *flightGroup) wait(ctx context.Context, key string, c *flightCall) (Value, error) {
+	select {
+	case <-c.done:
+		return c.val, c.err
+	case <-ctx.Done():
+		// Prefer a result that raced with the cancellation: the work is
+		// done, the client is (marginally) still here.
+		select {
+		case <-c.done:
+			return c.val, c.err
+		default:
+		}
+		g.abandon(key, c)
+		return Value{}, ctx.Err()
+	}
+}
+
+// abandon detaches one waiter. The last waiter out cancels the compute
+// context — nobody is listening — after unlinking the call so new
+// requests never attach to a flight that is being torn down.
+func (g *flightGroup) abandon(key string, c *flightCall) {
+	g.mu.Lock()
+	c.waiters--
+	last := c.waiters == 0
+	if last && g.calls[key] == c {
+		delete(g.calls, key)
+	}
+	g.mu.Unlock()
+	if last {
+		c.cancel()
+	}
+}
