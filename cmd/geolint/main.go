@@ -8,6 +8,13 @@
 // Usage:
 //
 //	geolint [-only name[,name]] [-list] [-json] [-sarif] [-o file] [packages]
+//	geolint -debt [-debt-baseline lint_debt.json] [-o file]
+//
+// -debt inventories every //lint:allow directive into a JSON debt report
+// instead of running analyzers. With -debt-baseline the report is diffed
+// against the committed budget: the run fails (exit 1) when suppressions
+// for any analyzer grew beyond the budget or when a directive carries no
+// reason, so debt only grows through an explicit baseline bump.
 //
 // The package arguments are accepted for interface parity with go vet
 // ("./..." is typical) but the whole module is always checked: the
@@ -37,7 +44,9 @@ func main() {
 		dirFlag   = flag.String("C", ".", "directory inside the module to lint")
 		jsonFlag  = flag.Bool("json", false, "emit findings as a JSON array")
 		sarifFlag = flag.Bool("sarif", false, "emit findings as SARIF 2.1.0 (for code scanning upload)")
-		outFlag   = flag.String("o", "", "write the -json/-sarif report to file (text findings still print to stdout)")
+		outFlag   = flag.String("o", "", "write the -json/-sarif/-debt report to file (text findings still print to stdout)")
+		debtFlag  = flag.Bool("debt", false, "inventory //lint:allow suppressions as JSON instead of running analyzers")
+		debtBase  = flag.String("debt-baseline", "", "with -debt: diff against this committed budget and fail on growth")
 	)
 	flag.Parse()
 
@@ -86,6 +95,37 @@ func main() {
 		if len(pkg.Errors) > 0 {
 			os.Exit(2)
 		}
+	}
+
+	if *debtFlag {
+		report := lint.CollectDebt(loader, pkgs)
+		data, jerr := report.JSON()
+		if jerr != nil {
+			fatalf("%v", jerr)
+		}
+		if *outFlag != "" {
+			if werr := os.WriteFile(*outFlag, data, 0o644); werr != nil {
+				fatalf("%v", werr)
+			}
+		} else {
+			os.Stdout.Write(data)
+		}
+		if *debtBase != "" {
+			raw, rerr := os.ReadFile(*debtBase)
+			if rerr != nil {
+				fatalf("%v", rerr)
+			}
+			baseline, perr := lint.ParseDebt(raw)
+			if perr != nil {
+				fatalf("%v", perr)
+			}
+			table, ok := lint.DiffDebt(baseline, report)
+			fmt.Fprint(os.Stderr, table)
+			if !ok {
+				os.Exit(1)
+			}
+		}
+		return
 	}
 
 	findings, err := lint.RunPackages(loader, pkgs, analyzers)

@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"geostat/internal/lint/analysis"
+)
+
+// CancelLeak verifies that every cancel func returned by
+// context.WithCancel / WithTimeout / WithDeadline (and their *Cause
+// variants) is called on every path to function exit, or escapes to a
+// caller who will (returned, stored, passed on). A lost cancel pins the
+// context's timer and child-goroutine bookkeeping for the lifetime of
+// the parent context — in geostatd's single-flight and admission layers,
+// which mint a detached context per coalesced flight and a deadline per
+// tool budget, that is a slow per-request leak under exactly the hot-key
+// load the coalescer exists for.
+//
+// This is the path-sensitive complement to ctxflow: ctxflow checks that
+// contexts travel, cancelleak checks that their lifetimes end.
+var CancelLeak = &analysis.Analyzer{
+	Name: "cancelleak",
+	Doc: "every context cancel func is called on all paths to return " +
+		"(or escapes to the caller)",
+	Run: runCancelLeak,
+}
+
+var cancelFuncSources = map[string]string{
+	"context.WithCancel":        "context.WithCancel",
+	"context.WithCancelCause":   "context.WithCancelCause",
+	"context.WithTimeout":       "context.WithTimeout",
+	"context.WithTimeoutCause":  "context.WithTimeoutCause",
+	"context.WithDeadline":      "context.WithDeadline",
+	"context.WithDeadlineCause": "context.WithDeadlineCause",
+}
+
+func runCancelLeak(pass *analysis.Pass) error {
+	rule := &obRule{
+		acquisitions: func(pass *analysis.Pass, node ast.Node) []*oblig {
+			return valueAcquisitions(pass, node,
+				func(fn *types.Func, sig *types.Signature) (int, int, string, bool) {
+					src, ok := cancelFuncSources[funcKey(fn)]
+					if !ok {
+						return 0, 0, "", false
+					}
+					// (ctx, cancel) — the cancel func is result 1, no error.
+					return 1, -1, "cancel func from " + src, true
+				},
+				func(pass *analysis.Pass, call *ast.CallExpr, what string) {
+					pass.Reportf(call.Pos(),
+						"%s is discarded; it must be called (or returned) to release the context's resources", what)
+				})
+		},
+		isRelease: identReleaseCall,
+		leak: func(ob *oblig) string {
+			return ob.what + " is not called on every path to return; the leaked path pins the context's timer and children"
+		},
+	}
+	return runObligations(pass, rule)
+}

@@ -1,0 +1,496 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// parseBody parses `func f(...) { <src> }` and returns the body.
+func parseBody(t testing.TB, src string) *ast.BlockStmt {
+	t.Helper()
+	file := "package p\nfunc f(cond bool, mode int, xs []int, ch chan int) {\n" + src + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "f.go", file, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return f.Decls[0].(*ast.FuncDecl).Body
+}
+
+func build(t testing.TB, src string) *Graph {
+	t.Helper()
+	return New(parseBody(t, src), Options{})
+}
+
+// blockOf finds the unique block whose Nodes contain a call to the bare
+// identifier name — fixtures drop mark0(), mark1(), ... calls to pin
+// where statements land.
+func blockOf(t *testing.T, g *Graph, name string) *Block {
+	t.Helper()
+	var found *Block
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			hit := false
+			ast.Inspect(n, func(x ast.Node) bool {
+				if call, ok := x.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+						hit = true
+					}
+				}
+				return !hit
+			})
+			if hit {
+				if found != nil && found != blk {
+					t.Fatalf("call %s appears in blocks %d and %d", name, found.Index, blk.Index)
+				}
+				found = blk
+			}
+		}
+	}
+	if found == nil {
+		t.Fatalf("no block contains a call to %s\n%s", name, g)
+	}
+	return found
+}
+
+func TestStraightLine(t *testing.T) {
+	g := build(t, "mark0()\nmark1()")
+	if got, want := g.Edges(), []string{"0->3", "3->1"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("edges = %v, want %v\n%s", got, want, g)
+	}
+	b := blockOf(t, g, "mark0")
+	if b != blockOf(t, g, "mark1") {
+		t.Fatalf("straight-line statements split across blocks\n%s", g)
+	}
+	if len(b.Nodes) != 2 {
+		t.Fatalf("body block has %d nodes, want 2", len(b.Nodes))
+	}
+}
+
+func TestIfNoElse(t *testing.T) {
+	g := build(t, "if cond {\nmark1()\n}\nmark2()")
+	condBlk := g.Entry.Succs[0]
+	if condBlk.Cond == nil {
+		t.Fatalf("condition block has nil Cond\n%s", g)
+	}
+	then, after := blockOf(t, g, "mark1"), blockOf(t, g, "mark2")
+	if condBlk.Succs[0] != then {
+		t.Errorf("Succs[0] (true edge) = b%d, want then b%d", condBlk.Succs[0].Index, then.Index)
+	}
+	if condBlk.Succs[1] != after {
+		t.Errorf("Succs[1] (false edge) = b%d, want after b%d", condBlk.Succs[1].Index, after.Index)
+	}
+	if len(then.Succs) != 1 || then.Succs[0] != after {
+		t.Errorf("then block must join after\n%s", g)
+	}
+}
+
+func TestIfElse(t *testing.T) {
+	g := build(t, "if cond {\nmark1()\n} else {\nmark2()\n}\nmark3()")
+	condBlk := g.Entry.Succs[0]
+	then, elseB, after := blockOf(t, g, "mark1"), blockOf(t, g, "mark2"), blockOf(t, g, "mark3")
+	if condBlk.Succs[0] != then || condBlk.Succs[1] != elseB {
+		t.Fatalf("branch edges wrong: Succs=[b%d b%d], want [b%d b%d]",
+			condBlk.Succs[0].Index, condBlk.Succs[1].Index, then.Index, elseB.Index)
+	}
+	for _, blk := range []*Block{then, elseB} {
+		if len(blk.Succs) != 1 || blk.Succs[0] != after {
+			t.Errorf("b%d must join after b%d\n%s", blk.Index, after.Index, g)
+		}
+	}
+}
+
+func TestForLoop(t *testing.T) {
+	g := build(t, "for i := 0; i < mode; i++ {\nmark1()\n}\nmark2()")
+	body, after := blockOf(t, g, "mark1"), blockOf(t, g, "mark2")
+	// The head branches on the condition: true into the body, false out.
+	var head *Block
+	for _, blk := range g.Blocks {
+		if blk.Cond != nil {
+			head = blk
+		}
+	}
+	if head == nil {
+		t.Fatalf("no branch block for loop condition\n%s", g)
+	}
+	if head.Succs[0] != body || head.Succs[1] != after {
+		t.Fatalf("head Succs=[b%d b%d], want [body b%d, after b%d]",
+			head.Succs[0].Index, head.Succs[1].Index, body.Index, after.Index)
+	}
+	// body -> post -> head back edge.
+	if len(body.Succs) != 1 {
+		t.Fatalf("body has %d succs, want 1 (the post block)", len(body.Succs))
+	}
+	post := body.Succs[0]
+	if len(post.Succs) != 1 || post.Succs[0] != head {
+		t.Fatalf("post must loop back to head\n%s", g)
+	}
+}
+
+func TestInfiniteForNeedsBreak(t *testing.T) {
+	// Without a break there is no path to Exit…
+	g := build(t, "for {\nmark1()\n}")
+	if g.Reachable(g.Entry, g.Exit) {
+		t.Fatalf("for{} must not reach exit\n%s", g)
+	}
+	// …with one, there is.
+	g = build(t, "for {\nif cond {\nbreak\n}\n}\nmark2()")
+	if !g.Reachable(g.Entry, g.Exit) {
+		t.Fatalf("break must restore the path to exit\n%s", g)
+	}
+	after := blockOf(t, g, "mark2")
+	if !g.Reachable(g.Entry, after) {
+		t.Fatalf("after block unreachable\n%s", g)
+	}
+}
+
+func TestRange(t *testing.T) {
+	g := build(t, "for _, x := range xs {\nmark1()\n_ = x\n}\nmark2()")
+	body, after := blockOf(t, g, "mark1"), blockOf(t, g, "mark2")
+	var head *Block
+	for _, blk := range g.Blocks {
+		for _, s := range blk.Succs {
+			if s == body && blk != g.Entry {
+				head = blk
+			}
+		}
+	}
+	if head == nil {
+		t.Fatalf("no range head\n%s", g)
+	}
+	if head.Cond != nil {
+		t.Errorf("range head must not carry a boolean Cond")
+	}
+	if head.Succs[0] != body || head.Succs[1] != after {
+		t.Fatalf("range head Succs=[b%d b%d], want [body b%d, after b%d]",
+			head.Succs[0].Index, head.Succs[1].Index, body.Index, after.Index)
+	}
+	if len(body.Succs) != 1 || body.Succs[0] != head {
+		t.Fatalf("range body must loop to head\n%s", g)
+	}
+}
+
+func TestSwitchDefaultGates(t *testing.T) {
+	// Without a default the head can skip every case.
+	g := build(t, "switch mode {\ncase 0:\nmark1()\ncase 1:\nmark2()\n}\nmark3()")
+	head := g.Entry.Succs[0]
+	after := blockOf(t, g, "mark3")
+	foundDirect := false
+	for _, s := range head.Succs {
+		if s == after {
+			foundDirect = true
+		}
+	}
+	if !foundDirect {
+		t.Fatalf("switch without default needs head->after edge\n%s", g)
+	}
+	// With a default it cannot.
+	g = build(t, "switch mode {\ncase 0:\nmark1()\ndefault:\nmark2()\n}\nmark3()")
+	head, after = g.Entry.Succs[0], blockOf(t, g, "mark3")
+	for _, s := range head.Succs {
+		if s == after {
+			t.Fatalf("switch with default must not edge head->after directly\n%s", g)
+		}
+	}
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	g := build(t, "switch mode {\ncase 0:\nmark1()\nfallthrough\ncase 1:\nmark2()\n}\nmark3()")
+	c0, c1 := blockOf(t, g, "mark1"), blockOf(t, g, "mark2")
+	if len(c0.Succs) != 1 || c0.Succs[0] != c1 {
+		t.Fatalf("fallthrough must chain case 0 into case 1's block\n%s", g)
+	}
+}
+
+func TestTypeSwitch(t *testing.T) {
+	g := build(t, "var v interface{} = mode\nswitch v.(type) {\ncase int:\nmark1()\ncase string:\nmark2()\ndefault:\nmark3()\n}\nmark4()")
+	after := blockOf(t, g, "mark4")
+	for _, m := range []string{"mark1", "mark2", "mark3"} {
+		c := blockOf(t, g, m)
+		if len(c.Succs) != 1 || c.Succs[0] != after {
+			t.Errorf("case %s must join after\n%s", m, g)
+		}
+	}
+}
+
+func TestSelect(t *testing.T) {
+	g := build(t, "select {\ncase v := <-ch:\nmark1()\n_ = v\ncase ch <- mode:\nmark2()\n}\nmark3()")
+	after := blockOf(t, g, "mark3")
+	for _, m := range []string{"mark1", "mark2"} {
+		c := blockOf(t, g, m)
+		if !g.Reachable(g.Entry, c) || !g.Reachable(c, after) {
+			t.Errorf("clause %s must sit on an entry->after path\n%s", m, g)
+		}
+	}
+}
+
+func TestEmptySelectBlocksForever(t *testing.T) {
+	g := build(t, "mark1()\nselect {}\nmark2()")
+	if g.Reachable(g.Entry, g.Exit) {
+		t.Fatalf("select{} must cut every path to exit\n%s", g)
+	}
+	if !g.Reachable(g.Entry, blockOf(t, g, "mark1")) {
+		t.Fatalf("code before select{} must stay reachable\n%s", g)
+	}
+}
+
+func TestGotoOutOfLoop(t *testing.T) {
+	g := build(t, "for i := 0; i < mode; i++ {\nif cond {\ngoto out\n}\nmark1()\n}\nout:\nmark2()")
+	out := blockOf(t, g, "mark2")
+	if !g.Reachable(g.Entry, out) {
+		t.Fatalf("goto target unreachable\n%s", g)
+	}
+	if !g.Reachable(g.Entry, g.Exit) {
+		t.Fatalf("no path to exit\n%s", g)
+	}
+}
+
+func TestGotoIntoLoopBody(t *testing.T) {
+	// A backward goto forming a loop with no other back edge.
+	g := build(t, "again:\nmark1()\nif cond {\ngoto again\n}\nmark2()")
+	target := blockOf(t, g, "mark1")
+	// The goto block must edge back to the labeled block.
+	hasBack := false
+	for _, blk := range g.Blocks {
+		for _, s := range blk.Succs {
+			if s == target && blk.Index > target.Index {
+				hasBack = true
+			}
+		}
+	}
+	if !hasBack {
+		t.Fatalf("goto must create a back edge to the label\n%s", g)
+	}
+	if !g.Reachable(g.Entry, g.Exit) {
+		t.Fatalf("conditional goto must leave a path to exit\n%s", g)
+	}
+}
+
+func TestLabeledBreakContinue(t *testing.T) {
+	g := build(t, `outer:
+for i := 0; i < mode; i++ {
+	for j := 0; j < mode; j++ {
+		if cond {
+			break outer
+		}
+		if mode == 1 {
+			continue outer
+		}
+		mark1()
+	}
+}
+mark2()`)
+	inner, after := blockOf(t, g, "mark1"), blockOf(t, g, "mark2")
+	if !g.Reachable(g.Entry, inner) || !g.Reachable(g.Entry, after) {
+		t.Fatalf("labeled loop bodies unreachable\n%s", g)
+	}
+	if !g.Reachable(g.Entry, g.Exit) {
+		t.Fatalf("no path to exit\n%s", g)
+	}
+	// break outer must skip straight to after without re-entering either
+	// loop head: find the block ending in the labeled break (the one whose
+	// succ is `after` and which is not the outer head).
+	breaks := 0
+	for _, blk := range after.Preds {
+		for _, n := range blk.Nodes {
+			if br, ok := n.(*ast.BranchStmt); ok && br.Tok == token.BREAK && br.Label != nil {
+				breaks++
+			}
+		}
+	}
+	_ = breaks // the break statement itself terminates its block before `after` joins
+}
+
+func TestDeferInLoop(t *testing.T) {
+	g := build(t, "for i := 0; i < mode; i++ {\ndefer mark1()\n}\nmark2()")
+	d := blockOf(t, g, "mark1")
+	found := false
+	for _, n := range d.Nodes {
+		if _, ok := n.(*ast.DeferStmt); ok {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("defer must appear as an ordinary node in its block\n%s", g)
+	}
+	if !g.Reachable(g.Entry, g.Exit) {
+		t.Fatalf("no path to exit\n%s", g)
+	}
+}
+
+func TestPanicOnlyExit(t *testing.T) {
+	g := build(t, "mark1()\npanic(\"boom\")")
+	if g.Reachable(g.Entry, g.Exit) {
+		t.Fatalf("panic-only function must not reach normal exit\n%s", g)
+	}
+	if !g.Reachable(g.Entry, g.Panic) {
+		t.Fatalf("panic exit unreachable\n%s", g)
+	}
+}
+
+func TestPanicOnBranch(t *testing.T) {
+	g := build(t, "if cond {\npanic(\"boom\")\n}\nmark1()")
+	if !g.Reachable(g.Entry, g.Exit) {
+		t.Fatalf("false branch must still reach exit\n%s", g)
+	}
+	if !g.Reachable(g.Entry, g.Panic) {
+		t.Fatalf("true branch must reach panic exit\n%s", g)
+	}
+}
+
+func TestNoReturnOption(t *testing.T) {
+	isExit := func(call *ast.CallExpr) bool {
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		return ok && sel.Sel.Name == "Exit"
+	}
+	body := parseBody(t, "if cond {\nos.Exit(1)\n}\nmark1()")
+	g := New(body, Options{NoReturn: isExit})
+	if !g.Reachable(g.Entry, g.Panic) {
+		t.Fatalf("NoReturn call must route to the panic exit\n%s", g)
+	}
+	// Without the option the same call is an ordinary statement.
+	g = New(parseBody(t, "if cond {\nos.Exit(1)\n}\nmark1()"), Options{})
+	for _, blk := range g.Panic.Preds {
+		t.Fatalf("panic exit must have no preds without NoReturn, got b%d", blk.Index)
+	}
+}
+
+func TestUnreachableAfterReturn(t *testing.T) {
+	g := build(t, "mark1()\nreturn\nmark2()")
+	dead := blockOf(t, g, "mark2")
+	if len(dead.Preds) != 0 {
+		t.Fatalf("code after return must have no preds, got %d\n%s", len(dead.Preds), g)
+	}
+	if g.Reachable(g.Entry, dead) {
+		t.Fatalf("code after return must be unreachable\n%s", g)
+	}
+}
+
+func TestCondIsLastNode(t *testing.T) {
+	g := build(t, "mark1()\nif cond {\nmark2()\n}")
+	for _, blk := range g.Blocks {
+		if blk.Cond == nil {
+			continue
+		}
+		if len(blk.Nodes) == 0 || blk.Nodes[len(blk.Nodes)-1] != ast.Node(blk.Cond) {
+			t.Fatalf("Cond must be the last node of its block\n%s", g)
+		}
+	}
+}
+
+// TestBuildModule builds a CFG for every function declaration and literal
+// in the repository without panicking — the cheap full-corpus smoke test.
+func TestBuildModule(t *testing.T) {
+	root, err := filepath.Abs("../../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Skipf("module root not found: %v", err)
+	}
+	fset := token.NewFileSet()
+	funcs := 0
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if strings.HasPrefix(name, ".") || name == "testdata" || name == "artifacts" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		f, perr := parser.ParseFile(fset, path, nil, 0)
+		if perr != nil {
+			return nil // not our concern here
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			}
+			if body == nil {
+				return true
+			}
+			g := New(body, Options{})
+			funcs++
+			if g.Entry == nil || g.Exit == nil || g.Panic == nil {
+				t.Errorf("%s: graph missing synthetic blocks", path)
+			}
+			for _, blk := range g.Blocks {
+				for _, s := range blk.Succs {
+					if s.Index >= len(g.Blocks) || g.Blocks[s.Index] != s {
+						t.Errorf("%s: dangling successor edge", path)
+					}
+				}
+			}
+			return true
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if funcs < 100 {
+		t.Fatalf("module smoke built only %d functions; corpus walk is broken", funcs)
+	}
+	t.Logf("built %d CFGs", funcs)
+}
+
+// FuzzBuild feeds arbitrary function bodies to the builder; anything that
+// parses must produce a well-formed graph without panicking.
+func FuzzBuild(f *testing.F) {
+	seeds := []string{
+		"x := 1\n_ = x",
+		"if a { return }\nreturn",
+		"for { break }",
+		"L:\nfor i := 0; i < 10; i++ { for { continue L } }",
+		"goto done\ndone:",
+		"switch x := 1; x { case 1: fallthrough\ncase 2: }",
+		"select { case <-c: default: }",
+		"defer f()\npanic(1)",
+		"return\nunreachable()",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		file := "package p\nfunc f() {\n" + src + "\n}\n"
+		fset := token.NewFileSet()
+		parsed, err := parser.ParseFile(fset, "fuzz.go", file, 0)
+		if err != nil {
+			t.Skip()
+		}
+		fd, ok := parsed.Decls[0].(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			t.Skip()
+		}
+		g := New(fd.Body, Options{})
+		if g.Entry.Kind != KindEntry || g.Exit.Kind != KindExit || g.Panic.Kind != KindPanic {
+			t.Fatalf("synthetic block kinds wrong")
+		}
+		for _, blk := range g.Blocks {
+			if g.Blocks[blk.Index] != blk {
+				t.Fatalf("block index out of sync")
+			}
+			for _, s := range blk.Succs {
+				if s == nil {
+					t.Fatalf("nil successor")
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseAllowDetail(t *testing.T) {
+	tests := []struct {
+		text   string
+		names  []string
+		reason string
+		ok     bool
+	}{
+		{"//lint:allow maporder keys are sorted below", []string{"maporder"}, "keys are sorted below", true},
+		{"//lint:allow floateq,maporder shared justification", []string{"floateq", "maporder"}, "shared justification", true},
+		{"//lint:allow cancelleak", []string{"cancelleak"}, "", true},
+		{"//lint:allow", nil, "", false},
+		{"// lint:allow maporder spaced prefix is not a directive", nil, "", false},
+		{"// plain comment", nil, "", false},
+	}
+	for _, tt := range tests {
+		names, reason, ok := parseAllowDetail(tt.text)
+		if ok != tt.ok || reason != tt.reason || len(names) != len(tt.names) {
+			t.Errorf("parseAllowDetail(%q) = (%v, %q, %v), want (%v, %q, %v)",
+				tt.text, names, reason, ok, tt.names, tt.reason, tt.ok)
+			continue
+		}
+		for i := range names {
+			if names[i] != tt.names[i] {
+				t.Errorf("parseAllowDetail(%q) names[%d] = %q, want %q", tt.text, i, names[i], tt.names[i])
+			}
+		}
+	}
+}
+
+func report(byAnalyzer map[string]int, entries ...DebtEntry) *DebtReport {
+	r := &DebtReport{ByAnalyzer: byAnalyzer, Entries: entries}
+	for _, n := range byAnalyzer {
+		r.Total += n
+	}
+	for _, e := range entries {
+		if e.Reason == "" {
+			r.Unjustified++
+		}
+	}
+	return r
+}
+
+func TestDiffDebtGate(t *testing.T) {
+	base := report(map[string]int{"maporder": 2, "floateq": 1})
+
+	t.Run("equal passes", func(t *testing.T) {
+		table, ok := DiffDebt(base, report(map[string]int{"maporder": 2, "floateq": 1}))
+		if !ok {
+			t.Fatalf("equal debt must pass:\n%s", table)
+		}
+	})
+	t.Run("growth fails", func(t *testing.T) {
+		table, ok := DiffDebt(base, report(map[string]int{"maporder": 3, "floateq": 1}))
+		if ok {
+			t.Fatalf("growth must fail")
+		}
+		if !strings.Contains(table, "GREW") {
+			t.Fatalf("table must flag the grown analyzer:\n%s", table)
+		}
+	})
+	t.Run("new analyzer fails", func(t *testing.T) {
+		_, ok := DiffDebt(base, report(map[string]int{"maporder": 2, "floateq": 1, "cancelleak": 1}))
+		if ok {
+			t.Fatalf("a suppression for a previously debt-free analyzer must fail")
+		}
+	})
+	t.Run("shrink passes with refresh note", func(t *testing.T) {
+		table, ok := DiffDebt(base, report(map[string]int{"maporder": 1, "floateq": 1}))
+		if !ok {
+			t.Fatalf("shrinking must pass:\n%s", table)
+		}
+		if !strings.Contains(table, "refresh the baseline") {
+			t.Fatalf("shrink must ask for a baseline refresh:\n%s", table)
+		}
+	})
+	t.Run("unjustified fails even within budget", func(t *testing.T) {
+		cur := report(map[string]int{"maporder": 2, "floateq": 1},
+			DebtEntry{File: "a.go", Line: 3, Analyzers: []string{"maporder"}})
+		table, ok := DiffDebt(base, cur)
+		if ok {
+			t.Fatalf("a reason-less directive must fail regardless of budget")
+		}
+		if !strings.Contains(table, "no reason") {
+			t.Fatalf("table must name the unjustified directive:\n%s", table)
+		}
+	})
+}
+
+func TestDebtJSONRoundTrip(t *testing.T) {
+	r := report(map[string]int{"maporder": 1},
+		DebtEntry{File: "internal/x/x.go", Line: 10, Analyzers: []string{"maporder"}, Reason: "sorted below"})
+	data, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseDebt(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Total != r.Total || got.Unjustified != r.Unjustified ||
+		got.ByAnalyzer["maporder"] != 1 || len(got.Entries) != 1 ||
+		!reflect.DeepEqual(got.Entries[0], r.Entries[0]) {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if data[len(data)-1] != '\n' {
+		t.Fatalf("baseline format must end with a newline")
+	}
+}

@@ -44,6 +44,21 @@
 //     callees carrying the no-alloc/no-I/O fact, guarding the columnar
 //     inner loops' bit-exactness and allocation claims.
 //
+// Since the v3 upgrade, geolint is also path-sensitive: internal/lint/cfg
+// builds an intraprocedural control-flow graph per function, and the
+// obligation engine (obligation.go) checks "acquired here must be
+// released on every path to return" over it. Four analyzers ride the
+// engine:
+//
+//   - cancelleak — every context cancel func is called on all paths (or
+//     escapes to the caller);
+//   - bodyclose — every http.Response body is closed on all paths;
+//   - mustclose — os.Open/Create files and net.Listen/Dial endpoints are
+//     closed on all paths;
+//   - unlockpath — a locked Mutex/RWMutex is unlocked on every exit path
+//     (the control-flow complement to locksafe, sharing its
+//     lock-recognition machinery).
+//
 // A curated set of general passes rides along: shadow, copylocks,
 // loopclosure and unusedresult (stdlib-only reimplementations of the
 // classic vet checks).
@@ -62,7 +77,6 @@ package lint
 
 import (
 	"go/ast"
-	"strings"
 
 	"geostat/internal/lint/analysis"
 	"geostat/internal/lint/load"
@@ -85,6 +99,10 @@ func Analyzers() []*analysis.Analyzer {
 		LockSafe,
 		DetFlow,
 		Purity,
+		CancelLeak,
+		BodyClose,
+		MustClose,
+		UnlockPath,
 		Shadow,
 		CopyLocks,
 		LoopClosure,
@@ -220,15 +238,9 @@ func lineAllows(m map[int][]string, line int, analyzer string) bool {
 }
 
 // parseAllow recognises "//lint:allow name1[,name2] reason..." and returns
-// the allowed analyzer names.
+// the allowed analyzer names. The debt inventory (debt.go) uses the
+// detail variant to also capture the reason text.
 func parseAllow(text string) ([]string, bool) {
-	rest, ok := strings.CutPrefix(text, "//lint:allow")
-	if !ok {
-		return nil, false
-	}
-	fields := strings.Fields(rest)
-	if len(fields) == 0 {
-		return nil, false
-	}
-	return strings.Split(fields[0], ","), true
+	names, _, ok := parseAllowDetail(text)
+	return names, ok
 }

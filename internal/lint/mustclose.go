@@ -1,0 +1,59 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"geostat/internal/lint/analysis"
+)
+
+// MustClose verifies that OS-level resources acquired from a curated set
+// of constructors — open files and network listeners/connections — are
+// closed on every path to function exit, or escape to the caller. A
+// descriptor leaked once per request is an EMFILE crash at serving
+// scale; a leaked listener keeps its port.
+var MustClose = &analysis.Analyzer{
+	Name: "mustclose",
+	Doc: "os.Open/Create files and net.Listen/Dial endpoints are closed " +
+		"on all paths to return (or escape to the caller)",
+	Run: runMustClose,
+}
+
+// mustCloseSources maps acquiring calls to the resource name used in
+// diagnostics. All return (resource, error).
+var mustCloseSources = map[string]string{
+	"os.Open":         "file from os.Open",
+	"os.Create":       "file from os.Create",
+	"os.OpenFile":     "file from os.OpenFile",
+	"os.CreateTemp":   "file from os.CreateTemp",
+	"net.Listen":      "listener from net.Listen",
+	"net.ListenTCP":   "listener from net.ListenTCP",
+	"net.Dial":        "connection from net.Dial",
+	"net.DialTimeout": "connection from net.DialTimeout",
+}
+
+func runMustClose(pass *analysis.Pass) error {
+	rule := &obRule{
+		acquisitions: func(pass *analysis.Pass, node ast.Node) []*oblig {
+			return valueAcquisitions(pass, node,
+				func(fn *types.Func, sig *types.Signature) (int, int, string, bool) {
+					what, ok := mustCloseSources[funcKey(fn)]
+					if !ok {
+						return 0, 0, "", false
+					}
+					return 0, 1, what, true
+				},
+				func(pass *analysis.Pass, call *ast.CallExpr, what string) {
+					pass.Reportf(call.Pos(),
+						"%s is discarded without being closed; bind it and close it", what)
+				})
+		},
+		isRelease: func(pass *analysis.Pass, call *ast.CallExpr, ob *oblig) bool {
+			return methodReleaseCall(pass, call, ob, "", "Close")
+		},
+		leak: func(ob *oblig) string {
+			return ob.what + " is not closed on every path to return; the leaked path holds the descriptor"
+		},
+	}
+	return runObligations(pass, rule)
+}

@@ -1,6 +1,8 @@
 package lint_test
 
 import (
+	"os"
+	"path/filepath"
 	"testing"
 
 	"geostat/internal/lint"
@@ -46,5 +48,42 @@ func TestSelfLint(t *testing.T) {
 	}
 	if code := lint.ExitCode(findings); code != 0 && !t.Failed() {
 		t.Errorf("ExitCode = %d with no gating findings listed (invariant broken)", code)
+	}
+
+	// The v3 obligation analyzers gate (a leak must fail CI, not advise),
+	// and the full suite includes all four — pin both so a registration
+	// slip cannot silently soften the gate.
+	for _, name := range []string{"cancelleak", "bodyclose", "mustclose", "unlockpath"} {
+		a, ok := lint.Lookup(name)
+		if !ok {
+			t.Errorf("analyzer %s missing from the suite", name)
+			continue
+		}
+		if a.Advisory {
+			t.Errorf("analyzer %s is advisory; obligation leaks must gate", name)
+		}
+	}
+
+	// Suppression-debt invariants the committed baseline relies on: every
+	// directive in production code carries a reason, and the inventory
+	// matches lint_debt.json (the CI debt gate, run in-process).
+	debt := lint.CollectDebt(l, pkgs)
+	if debt.Unjustified != 0 {
+		for _, e := range debt.Entries {
+			if e.Reason == "" {
+				t.Errorf("%s:%d: //lint:allow with no reason", e.File, e.Line)
+			}
+		}
+	}
+	raw, err := os.ReadFile(filepath.Join(root, "lint_debt.json"))
+	if err != nil {
+		t.Fatalf("reading committed debt baseline: %v", err)
+	}
+	baseline, err := lint.ParseDebt(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table, ok := lint.DiffDebt(baseline, debt); !ok {
+		t.Errorf("suppression debt exceeds the committed budget; update lint_debt.json deliberately if intended\n%s", table)
 	}
 }

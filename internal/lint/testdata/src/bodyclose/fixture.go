@@ -1,0 +1,97 @@
+// Package bodyclose exercises the path-sensitive response-body analysis:
+// leaks on early returns, error-guard refinement (err != nil paths carry
+// no response), draining without closing, escapes via return and struct
+// field, and //lint:allow suppression.
+package bodyclose
+
+import (
+	"io"
+	"net/http"
+)
+
+type session struct {
+	resp *http.Response
+}
+
+func leakOnEarlyReturn(c *http.Client, url string, cond bool) error {
+	resp, err := c.Get(url) // want `response body from \(net/http\.Client\)\.Get is not closed on every path`
+	if err != nil {
+		return err
+	}
+	if cond {
+		return nil // leaks the connection
+	}
+	return resp.Body.Close()
+}
+
+// drainWithoutClose pins that reading the body (a derived selector as a
+// call argument) does NOT discharge the obligation.
+func drainWithoutClose(c *http.Client, url string) error {
+	resp, err := c.Get(url) // want `response body from \(net/http\.Client\)\.Get is not closed on every path`
+	if err != nil {
+		return err
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+func closedOnAllPaths(c *http.Client, url string, cond bool) error {
+	resp, err := c.Get(url)
+	if err != nil {
+		return err
+	}
+	if cond {
+		resp.Body.Close()
+		return nil
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.Body.Close()
+}
+
+func deferRelease(c *http.Client, url string) ([]byte, error) {
+	resp, err := c.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return io.ReadAll(resp.Body)
+}
+
+func nilGuard(c *http.Client, url string) {
+	resp, _ := c.Get(url)
+	if resp == nil {
+		return // nothing was acquired on this path
+	}
+	resp.Body.Close()
+}
+
+func escapeViaReturn(c *http.Client, url string) (*http.Response, error) {
+	resp, err := c.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil // caller owns the body now
+}
+
+func escapeViaField(s *session, c *http.Client, url string) error {
+	resp, err := c.Get(url)
+	if err != nil {
+		return err
+	}
+	s.resp = resp
+	return nil
+}
+
+func discarded(c *http.Client, url string) {
+	_, _ = c.Get(url) // want `response body from \(net/http\.Client\)\.Get is discarded`
+}
+
+func suppressed(c *http.Client, url string) error {
+	//lint:allow bodyclose fixture demonstrates a justified suppression
+	resp, err := c.Get(url)
+	if err != nil {
+		return err
+	}
+	_ = resp
+	return nil
+}

@@ -1,0 +1,93 @@
+// Package cancelleak exercises the path-sensitive cancel-func analysis:
+// leaks on one branch, releases on all branches, deferred releases,
+// escapes via return and struct field, discarded results, panic-exempt
+// paths, and //lint:allow suppression.
+package cancelleak
+
+import (
+	"context"
+	"time"
+)
+
+type holder struct {
+	cancel context.CancelFunc
+}
+
+func leakOnBranch(parent context.Context, cond bool) {
+	ctx, cancel := context.WithCancel(parent) // want `cancel func from context\.WithCancel is not called on every path`
+	if cond {
+		cancel()
+		return
+	}
+	_ = ctx // the fallthrough path forgets cancel
+}
+
+func leakInLoop(parent context.Context, n int) {
+	for i := 0; i < n; i++ {
+		_, cancel := context.WithCancel(parent) // want `cancel func from context\.WithCancel is not called on every path`
+		if i == 0 {
+			cancel()
+		}
+	}
+}
+
+func allPaths(parent context.Context, cond bool) {
+	_, cancel := context.WithCancel(parent)
+	if cond {
+		cancel()
+		return
+	}
+	cancel()
+}
+
+func deferRelease(parent context.Context) {
+	ctx, cancel := context.WithTimeout(parent, time.Second)
+	defer cancel()
+	_ = ctx
+}
+
+func deferClosureRelease(parent context.Context) {
+	_, cancel := context.WithDeadline(parent, time.Now().Add(time.Second))
+	defer func() { cancel() }()
+}
+
+// escapeAtBirth: the tuple is returned directly; the caller owns the
+// cancel func (this is the detachedContext idiom in internal/serve).
+func escapeAtBirth(parent context.Context) (context.Context, context.CancelFunc) {
+	return context.WithCancel(parent)
+}
+
+func escapeViaReturn(parent context.Context) context.CancelFunc {
+	_, cancel := context.WithCancel(parent)
+	return cancel
+}
+
+func escapeViaField(parent context.Context, h *holder) {
+	_, cancel := context.WithCancel(parent)
+	h.cancel = cancel
+}
+
+func escapeViaArg(parent context.Context, keep func(context.CancelFunc)) {
+	_, cancel := context.WithCancel(parent)
+	keep(cancel)
+}
+
+func discarded(parent context.Context) {
+	_, _ = context.WithCancel(parent) // want `cancel func from context\.WithCancel is discarded`
+}
+
+func panicExempt(parent context.Context, cond bool) {
+	_, cancel := context.WithCancel(parent)
+	if cond {
+		panic("invariant broken") // abnormal exit: no leak report
+	}
+	cancel()
+}
+
+func suppressed(parent context.Context, cond bool) {
+	//lint:allow cancelleak fixture demonstrates a justified suppression
+	_, cancel := context.WithCancel(parent)
+	if cond {
+		cancel()
+	}
+}

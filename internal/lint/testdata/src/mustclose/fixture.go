@@ -1,0 +1,97 @@
+// Package mustclose exercises the path-sensitive file/listener analysis:
+// leaks on branches, the close-on-error idiom, deferred closes, escapes
+// via return and struct field, and //lint:allow suppression.
+package mustclose
+
+import (
+	"net"
+	"os"
+)
+
+type wrap struct {
+	f *os.File
+}
+
+func leakOnBranch(path string, cond bool) error {
+	f, err := os.Open(path) // want `file from os\.Open is not closed on every path`
+	if err != nil {
+		return err
+	}
+	if cond {
+		return nil // leaks the descriptor
+	}
+	return f.Close()
+}
+
+func listenerLeak(addr string, cond bool) error {
+	ln, err := net.Listen("tcp", addr) // want `listener from net\.Listen is not closed on every path`
+	if err != nil {
+		return err
+	}
+	if cond {
+		return nil // leaks the port
+	}
+	return ln.Close()
+}
+
+// closeOnErrorIdiom is the repository's Write*File shape: close
+// explicitly on the error path, return the close error otherwise.
+func closeOnErrorIdiom(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if werr := write(f); werr != nil {
+		f.Close()
+		return werr
+	}
+	return f.Close()
+}
+
+func deferRelease(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	buf := make([]byte, 16)
+	_, rerr := f.Read(buf)
+	return rerr
+}
+
+func escapeAtBirth(path string) (*os.File, error) {
+	return os.Open(path) // caller owns the handle
+}
+
+func escapeViaReturn(path string) (*os.File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func escapeViaField(w *wrap, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w.f = f
+	return nil
+}
+
+func discarded(path string) {
+	os.Create(path) // want `file from os\.Create is discarded`
+}
+
+func suppressed(path string, cond bool) error {
+	//lint:allow mustclose fixture demonstrates a justified suppression
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	if cond {
+		return nil
+	}
+	return f.Close()
+}

@@ -1,0 +1,102 @@
+// Package unlockpath exercises the path-sensitive unlock analysis:
+// locks leaked by early returns, unlocks on all branches, deferred
+// unlocks (direct and via closure), RLock/RUnlock flavour matching,
+// panic-exempt paths, and //lint:allow suppression.
+package unlockpath
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+func (g *guarded) leakOnEarlyReturn(cond bool) int {
+	g.mu.Lock() // want `mutex g\.mu is locked here but not unlocked on every path`
+	if cond {
+		return 0 // leaks the lock: the next contender deadlocks
+	}
+	g.mu.Unlock()
+	return g.n
+}
+
+func (g *guarded) unlockAllPaths(cond bool) int {
+	g.mu.Lock()
+	if cond {
+		g.mu.Unlock()
+		return 0
+	}
+	g.mu.Unlock()
+	return g.n
+}
+
+func (g *guarded) deferUnlock() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+func (g *guarded) deferClosureUnlock() int {
+	g.mu.Lock()
+	defer func() { g.mu.Unlock() }()
+	return g.n
+}
+
+func (g *guarded) readPath(cond bool) int {
+	g.rw.RLock() // want `mutex g\.rw is locked here but not unlocked on every path`
+	if cond {
+		g.rw.RUnlock()
+		return 0
+	}
+	return g.n // leaks the read lock
+}
+
+// wrongFlavour: an RLock is not discharged by Unlock — that is a
+// runtime fault on an RWMutex.
+func (g *guarded) wrongFlavour() { // nolint-style mismatch
+	g.rw.RLock() // want `mutex g\.rw is locked here but not unlocked on every path`
+	g.rw.Unlock()
+}
+
+// relock: two critical sections are two independent obligations.
+func (g *guarded) relock(cond bool) int {
+	g.mu.Lock()
+	g.mu.Unlock()
+	g.mu.Lock() // want `mutex g\.mu is locked here but not unlocked on every path`
+	if cond {
+		g.mu.Unlock()
+		return 0
+	}
+	return g.n
+}
+
+func (g *guarded) panicExempt(cond bool) int {
+	g.mu.Lock()
+	if cond {
+		panic("invariant broken") // abnormal exit: deferred state is gone anyway
+	}
+	g.mu.Unlock()
+	return g.n
+}
+
+func (g *guarded) switchPaths(mode int) int {
+	g.mu.Lock()
+	switch mode {
+	case 0:
+		g.mu.Unlock()
+		return 0
+	case 1:
+		g.mu.Unlock()
+		return 1
+	default:
+		g.mu.Unlock()
+	}
+	return g.n
+}
+
+func (g *guarded) suppressed() int {
+	//lint:allow unlockpath lock intentionally handed to the caller by documented contract
+	g.mu.Lock()
+	return g.n
+}
