@@ -9,7 +9,7 @@ RACE_PKGS = ./...
 # below this. Raise it when coverage improves; never lower it.
 COVER_RATCHET = 80.0
 
-.PHONY: check vet build test race lint lint-debt debt-gate cover fuzz-smoke bench bench-json bench-diff smoke load-smoke load-baseline
+.PHONY: check vet build test race lint lint-debt debt-gate cover fuzz-smoke bench bench-json bench-diff smoke load-smoke load-baseline shard-smoke shard-baseline
 
 check: vet build test race lint debt-gate
 
@@ -120,6 +120,59 @@ load-smoke:
 	/tmp/geogate -artifact LOAD_smoke.json -slo scenarios/smoke_slo.json \
 	  -baseline LOAD_baseline.json -threshold 2.0 -min-ms 200 && \
 	echo "load-smoke OK"
+
+# Sharded-execution smoke: boot TWO real geostatd workers, fan a KDV
+# computation out over them with geoshard, and assert (a) the merged
+# raster is byte-identical to the committed digest — the bit-for-bit
+# determinism claim, end to end over real HTTP — and (b) the workers'
+# /metrics show tile-windowed requests were actually served
+# (shard_tiles_total > 0, i.e. the run really was sharded).
+SHARD_WORKERS = http://127.0.0.1:18094,http://127.0.0.1:18095
+define SHARD_RUN
+	/tmp/geogen.shard -kind clusters -n 2000 -seed 7 -out /tmp/shard_events.csv && \
+	/tmp/geoshard -workers $(SHARD_WORKERS) -in /tmp/shard_events.csv \
+	  -name smoke -tool kdv -kernel quartic -bandwidth 8 -width 64 -height 64 \
+	  -bbox 0,0,100,100 -tile 4x4 -out /tmp/shard_out.json
+endef
+
+shard-smoke:
+	$(GO) build -o /tmp/geostatd.shard ./cmd/geostatd
+	$(GO) build -o /tmp/geoshard ./cmd/geoshard
+	$(GO) build -o /tmp/geogen.shard ./cmd/geogen
+	@/tmp/geostatd.shard -addr 127.0.0.1:18094 & p1=$$!; \
+	/tmp/geostatd.shard -addr 127.0.0.1:18095 & p2=$$!; \
+	trap "kill $$p1 $$p2 2>/dev/null" EXIT; \
+	ok=0; for i in $$(seq 1 50); do \
+	  curl -fs http://127.0.0.1:18094/healthz >/dev/null 2>&1 && \
+	  curl -fs http://127.0.0.1:18095/healthz >/dev/null 2>&1 && { ok=1; break; }; sleep 0.1; \
+	done; \
+	[ $$ok = 1 ] || { echo "workers did not come up"; exit 1; }; \
+	$(SHARD_RUN) || exit 1; \
+	sum=$$(sha256sum /tmp/shard_out.json | awk '{print $$1}'); \
+	want=$$(cat scenarios/shard_smoke.sha256); \
+	[ "$$sum" = "$$want" ] || { echo "merged output digest $$sum != committed $$want"; exit 1; }; \
+	t1=$$(curl -fs http://127.0.0.1:18094/metrics | awk '/^shard_tiles_total/ {print $$2}'); \
+	t2=$$(curl -fs http://127.0.0.1:18095/metrics | awk '/^shard_tiles_total/ {print $$2}'); \
+	[ $$(( $${t1:-0} + $${t2:-0} )) -gt 0 ] || { echo "workers served no tile windows"; exit 1; }; \
+	echo "shard-smoke OK (tiles served: $${t1:-0}+$${t2:-0})"
+
+# Regenerate the committed shard-smoke digest after an intentional change
+# to the merged-output format or the generator.
+shard-baseline:
+	$(GO) build -o /tmp/geostatd.shard ./cmd/geostatd
+	$(GO) build -o /tmp/geoshard ./cmd/geoshard
+	$(GO) build -o /tmp/geogen.shard ./cmd/geogen
+	@/tmp/geostatd.shard -addr 127.0.0.1:18094 & p1=$$!; \
+	/tmp/geostatd.shard -addr 127.0.0.1:18095 & p2=$$!; \
+	trap "kill $$p1 $$p2 2>/dev/null" EXIT; \
+	ok=0; for i in $$(seq 1 50); do \
+	  curl -fs http://127.0.0.1:18094/healthz >/dev/null 2>&1 && \
+	  curl -fs http://127.0.0.1:18095/healthz >/dev/null 2>&1 && { ok=1; break; }; sleep 0.1; \
+	done; \
+	[ $$ok = 1 ] || { echo "workers did not come up"; exit 1; }; \
+	$(SHARD_RUN) || exit 1; \
+	sha256sum /tmp/shard_out.json | awk '{print $$1}' > scenarios/shard_smoke.sha256 && \
+	echo "wrote scenarios/shard_smoke.sha256"
 
 # Regenerate the committed load baseline from a fresh smoke run.
 load-baseline:

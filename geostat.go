@@ -70,6 +70,11 @@ func NewBBox(pts []Point) BBox { return geom.NewBBox(pts) }
 // PixelGrid is the X×Y evaluation raster of Definition 1.
 type PixelGrid = geom.PixelGrid
 
+// GridWindow selects a pixel sub-rectangle of a PixelGrid — the tile unit
+// of sharded (windowed) KDV evaluation. The zero value means the whole
+// grid.
+type GridWindow = geom.GridWindow
+
 // NewPixelGrid returns an nx×ny pixel grid over box.
 func NewPixelGrid(box BBox, nx, ny int) PixelGrid { return geom.NewPixelGrid(box, nx, ny) }
 

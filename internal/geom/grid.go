@@ -102,6 +102,61 @@ func (g PixelGrid) axisRange(v, r, min, cell float64, n int) (lo, hi int) {
 	return lo, hi
 }
 
+// GridWindow selects the pixel sub-rectangle [X0, X0+NX) × [Y0, Y0+NY) of
+// a parent PixelGrid — the unit of work the shard coordinator hands to one
+// worker. Windowed evaluation computes pixel centers from the PARENT grid
+// (Center(X0+ix, Y0+iy)), never from a re-derived sub-box: re-deriving
+// cell sizes from a sub-box rounds differently and breaks the bit-identity
+// between a sharded and a single-node raster. The zero value means "the
+// whole grid".
+type GridWindow struct {
+	X0, Y0 int // origin pixel (inclusive) in the parent grid
+	NX, NY int // window size in pixels
+}
+
+// IsZero reports whether w is the zero window (meaning the whole grid).
+func (w GridWindow) IsZero() bool { return w == GridWindow{} }
+
+// FullWindow returns the window covering all of g.
+func (g PixelGrid) FullWindow() GridWindow {
+	return GridWindow{X0: 0, Y0: 0, NX: g.NX, NY: g.NY}
+}
+
+// CheckWindow validates that w lies inside g: positive size, non-negative
+// origin, and X0+NX ≤ g.NX, Y0+NY ≤ g.NY.
+func (g PixelGrid) CheckWindow(w GridWindow) error {
+	if w.NX <= 0 || w.NY <= 0 {
+		return fmt.Errorf("geom: window %dx%d must be positive", w.NX, w.NY)
+	}
+	if w.X0 < 0 || w.Y0 < 0 || w.X0+w.NX > g.NX || w.Y0+w.NY > g.NY {
+		return fmt.Errorf("geom: window [%d,%d)+%dx%d outside %dx%d grid",
+			w.X0, w.Y0, w.NX, w.NY, g.NX, g.NY)
+	}
+	return nil
+}
+
+// WindowBox returns the pixel-boundary bounding box of window w — the
+// region the window's pixels cover. The corners are derived from the
+// parent's cell size, so adjacent windows tile the parent box (up to
+// floating-point rounding of the shared edges; callers that need exact
+// center coordinates must go through Center on the parent grid).
+func (g PixelGrid) WindowBox(w GridWindow) BBox {
+	return BBox{
+		MinX: g.Box.MinX + float64(w.X0)*g.CellW(),
+		MinY: g.Box.MinY + float64(w.Y0)*g.CellH(),
+		MaxX: g.Box.MinX + float64(w.X0+w.NX)*g.CellW(),
+		MaxY: g.Box.MinY + float64(w.Y0+w.NY)*g.CellH(),
+	}
+}
+
+// SubGrid returns a PixelGrid describing window w of g, for labelling and
+// rendering a windowed raster. Its Box is WindowBox(w); note its Center
+// coordinates differ from the parent's by floating-point rounding — exact
+// evaluation must use the parent grid with the window offsets.
+func (g PixelGrid) SubGrid(w GridWindow) PixelGrid {
+	return PixelGrid{Box: g.WindowBox(w), NX: w.NX, NY: w.NY}
+}
+
 func clamp(v, lo, hi int) int {
 	if v < lo {
 		return lo

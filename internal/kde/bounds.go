@@ -37,6 +37,9 @@ func BoundApprox(pts []geom.Point, opt Options, eps float64) (*raster.Grid, erro
 	if opt.Float32 {
 		return nil, fmt.Errorf("kde: BoundApprox does not support the float32 path; use Naive or GridCutoff")
 	}
+	if err := opt.rejectWindow("BoundApprox"); err != nil {
+		return nil, err
+	}
 	_, span := obs.Trace(opt.context(), "kde.index_build")
 	tree := balltree.New(pts)
 	span.End()

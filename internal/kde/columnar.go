@@ -266,9 +266,12 @@ func naiveCols(cols dataset.Columns, opt Options) (*raster.Grid, error) {
 		return nil, err
 	}
 	if opt.Float32 {
+		if err := opt.rejectWindow("Float32"); err != nil {
+			return nil, err
+		}
 		return run(newFast32Computer(cols, &opt), &opt, cols.N())
 	}
-	c := &columnarComputer{cols: cols, opt: &opt, eval: chunkEvalFor(opt.Kernel)}
+	c := &columnarComputer{cols: cols, opt: &opt, eval: chunkEvalFor(opt.Kernel), x0: opt.Window.X0}
 	if opt.Kernel.FiniteSupport() {
 		c.prune = true
 		c.b = opt.Kernel.Bandwidth()
@@ -284,6 +287,7 @@ type columnarComputer struct {
 	eval  chunkEval
 	prune bool    // finite support: chunk-bbox rejection is exact
 	b, b2 float64 // kernel support radius and its square (prune only)
+	x0    int     // window column offset: row[ix] is parent pixel x0+ix
 }
 
 // computeRow fills one raster row. The per-row active-chunk slice is the
@@ -298,7 +302,7 @@ func (c *columnarComputer) computeRow(iy int, row []float64) {
 	chunks := c.cols.Chunks
 	if !c.prune {
 		for ix := range row {
-			qx := g.CenterX(ix)
+			qx := g.CenterX(c.x0 + ix)
 			sum := 0.0
 			for _, ch := range chunks {
 				sum = evalSeg(c.eval, sum, qx, qy, xs, ys, ws, ch.Lo, ch.Hi)
@@ -316,7 +320,7 @@ func (c *columnarComputer) computeRow(iy int, row []float64) {
 		}
 	}
 	for ix := range row {
-		qx := g.CenterX(ix)
+		qx := g.CenterX(c.x0 + ix)
 		q := geom.Point{X: qx, Y: qy}
 		sum := 0.0
 		for _, ci := range active {

@@ -29,6 +29,9 @@ func GridCutoff(pts []geom.Point, opt Options) (*raster.Grid, error) {
 	if !opt.Kernel.FiniteSupport() {
 		return nil, fmt.Errorf("kde: GridCutoff requires a finite-support kernel, got %v", opt.Kernel.Type())
 	}
+	if err := opt.rejectWindow("GridCutoff"); err != nil {
+		return nil, err
+	}
 	if err := opt.validateWeights(len(pts)); err != nil {
 		return nil, err
 	}

@@ -62,6 +62,14 @@ type Options struct {
 	// chunks and the entry point returns ctx.Err() (with a nil grid) when
 	// it fires. Nil means no cancellation (context.Background()).
 	Ctx context.Context
+	// Window optionally restricts evaluation to a pixel sub-rectangle of
+	// Grid (the shard coordinator's tile unit). Pixel centers still come
+	// from the full Grid — Center(Window.X0+ix, Window.Y0+iy) — so a
+	// windowed raster is bit-identical to the corresponding window of the
+	// full-extent result. The zero value means the whole grid. Supported
+	// by Naive/NaiveCols only (the float64 columnar path); every other
+	// method rejects it rather than silently evaluating the full grid.
+	Window geom.GridWindow
 }
 
 // context returns the effective context of the computation.
@@ -104,6 +112,16 @@ func (o *Options) validate() error {
 	return nil
 }
 
+// rejectWindow fails when a Window is set on a method that cannot evaluate
+// one. Only the naive columnar path computes windows; the other methods
+// must refuse rather than return a full grid the caller would misplace.
+func (o *Options) rejectWindow(method string) error {
+	if !o.Window.IsZero() {
+		return fmt.Errorf("kde: %s does not support windowed evaluation (Options.Window); use Naive", method)
+	}
+	return nil
+}
+
 // validateWeights checks Weights against the point count (n known only at
 // the call site).
 func (o *Options) validateWeights(n int) error {
@@ -132,15 +150,30 @@ type rowComputer interface {
 // normalisation scale, serially or with opt.Workers goroutines
 // (dynamically scheduled through internal/parallel). When opt.Ctx fires
 // mid-run the partial grid is discarded and ctx.Err() returned.
+//
+// With a non-zero opt.Window only the window's rows are evaluated and the
+// output grid is window-sized (Spec = SubGrid of the window): computeRow
+// receives the PARENT row index, so centers match the full-extent raster
+// bit-for-bit. Entry points whose computers ignore the window offset must
+// reject windows via rejectWindow before reaching here.
 func run(rc rowComputer, opt *Options, n int) (*raster.Grid, error) {
-	out := raster.NewGrid(opt.Grid)
+	win := opt.Window
+	spec := opt.Grid
+	if win.IsZero() {
+		win = opt.Grid.FullWindow()
+	} else if err := opt.Grid.CheckWindow(win); err != nil {
+		return nil, err
+	} else {
+		spec = opt.Grid.SubGrid(win)
+	}
+	out := raster.NewGrid(spec)
 	scale := opt.scale(n)
-	nx, ny := opt.Grid.NX, opt.Grid.NY
+	nx := win.NX
 	ctx, span := obs.Trace(opt.context(), "kde.evaluate")
 	defer span.End()
 	span.SetAttrInt("points", int64(n))
-	if err := parallel.ForCtx(ctx, ny, opt.Workers, func(iy int) {
-		rc.computeRow(iy, out.Values[iy*nx:(iy+1)*nx])
+	if err := parallel.ForCtx(ctx, win.NY, opt.Workers, func(iy int) {
+		rc.computeRow(win.Y0+iy, out.Values[iy*nx:(iy+1)*nx])
 	}); err != nil {
 		return nil, err
 	}

@@ -56,6 +56,9 @@ func Sampled(pts []geom.Point, opt Options, seed int64, eps, delta float64) (*ra
 	if opt.Float32 {
 		return nil, fmt.Errorf("kde: Sampled does not support the float32 path; use Naive or GridCutoff")
 	}
+	if err := opt.rejectWindow("Sampled"); err != nil {
+		return nil, err
+	}
 	m, err := SampleBound(opt.Grid.NumPixels(), eps, delta)
 	if err != nil {
 		return nil, err
@@ -110,6 +113,9 @@ func exactAuto(pts []geom.Point, opt Options) (*raster.Grid, error) {
 // facade exposes as the default.
 func Exact(pts []geom.Point, opt Options) (*raster.Grid, error) {
 	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	if err := opt.rejectWindow("Exact"); err != nil {
 		return nil, err
 	}
 	return exactAuto(pts, opt)

@@ -50,6 +50,9 @@ func SweepLine(pts []geom.Point, opt Options) (*raster.Grid, error) {
 	if opt.Float32 {
 		return nil, fmt.Errorf("kde: SweepLine does not support the float32 path; use Naive or GridCutoff")
 	}
+	if err := opt.rejectWindow("SweepLine"); err != nil {
+		return nil, err
+	}
 	if err := opt.validateWeights(len(pts)); err != nil {
 		return nil, err
 	}

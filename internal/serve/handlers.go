@@ -7,6 +7,8 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"strconv"
+	"strings"
 
 	"geostat"
 	"geostat/internal/obs"
@@ -74,6 +76,26 @@ func (s *Server) writeDatasetInfo(w http.ResponseWriter, info DatasetInfo) {
 		return
 	}
 	writeValue(w, v, "none")
+}
+
+// handleDigest serves GET /v1/datasets/{name}/digest: the dataset's
+// content digest (SHA-256 over the exact column bits) plus its version.
+// The shard coordinator calls this before fanning out tiles, to verify a
+// worker's copy of the dataset is bit-identical to the one it planned
+// against; a mismatch (or 404) triggers a re-upload.
+func (s *Server) handleDigest(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	digest, version, ok := s.reg.Digest(name)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, fmt.Sprintf("unknown dataset %q", name))
+		return
+	}
+	d, _, _ := s.reg.Get(name)
+	s.writeDatasetInfo(w, DatasetInfo{
+		Name: name, N: d.N(), Version: version,
+		HasTimes: d.HasTimes(), HasValues: d.HasValues(),
+		Digest: digest,
+	})
 }
 
 // handleGenerate registers a synthetic dataset: kind=csr|clusters|outbreak
@@ -283,6 +305,25 @@ func (s *Server) computeKDV(ctx context.Context, d *geostat.Dataset, p *params) 
 		Delta:     p.floatv("delta", 0.01),
 		Seed:      p.int64v("seed", 1),
 	}
+	// tile=x0,y0,w,h evaluates only that pixel window of the full grid —
+	// the shard coordinator's per-worker request unit. Centers still come
+	// from the full grid, so assembling tiles reproduces the single-node
+	// raster bit-for-bit. Only the exact naive method supports windows.
+	if raw := p.str("tile", ""); raw != "" {
+		var win geostat.GridWindow
+		if _, serr := fmt.Sscanf(raw, "%d,%d,%d,%d", &win.X0, &win.Y0, &win.NX, &win.NY); serr != nil {
+			return Value{}, fmt.Errorf("tile: want x0,y0,w,h (%q)", raw)
+		}
+		if method != geostat.KDVNaive {
+			return Value{}, fmt.Errorf("tile evaluation requires method=naive (got %q)", method)
+		}
+		if werr := opt.Grid.CheckWindow(win); werr != nil {
+			return Value{}, werr
+		}
+		opt.Window = win
+		s.metrics.Counter("shard_tiles_total",
+			"windowed (tile=) KDV computations served to a shard coordinator").Inc()
+	}
 	if perr := p.err(); perr != nil {
 		return Value{}, perr
 	}
@@ -324,9 +365,33 @@ func (s *Server) computeKFunction(ctx context.Context, d *geostat.Dataset, p *pa
 	if !(smax > 0) {
 		return Value{}, fmt.Errorf("smax must be positive")
 	}
-	thresholds := make([]float64, steps)
-	for i := range thresholds {
-		thresholds[i] = smax * float64(i+1) / float64(steps)
+	// thresholds=s1,s2,... evaluates an explicit distance-band subset —
+	// the shard coordinator's K-function fan-out unit. Counts per band are
+	// integers and each Monte-Carlo simulation draws its point pattern
+	// from the seed independently of the band list, so per-band results
+	// from any partition of the thresholds merge bit-identically into the
+	// single-node plot. Absent, the bands derive from smax/steps.
+	var thresholds []float64
+	if raw := p.str("thresholds", ""); raw != "" {
+		parts := strings.Split(raw, ",")
+		if len(parts) > 1000 {
+			return Value{}, fmt.Errorf("thresholds: at most 1000 bands (%d)", len(parts))
+		}
+		thresholds = make([]float64, len(parts))
+		for i, part := range parts {
+			v, perr := strconv.ParseFloat(part, 64)
+			if perr != nil {
+				return Value{}, fmt.Errorf("thresholds: not a number (%q)", part)
+			}
+			thresholds[i] = v
+		}
+		s.metrics.Counter("shard_bands_total",
+			"K-function distance bands served via explicit thresholds= requests").Add(int64(len(parts)))
+	} else {
+		thresholds = make([]float64, steps)
+		for i := range thresholds {
+			thresholds[i] = smax * float64(i+1) / float64(steps)
+		}
 	}
 	parse.End()
 

@@ -8,18 +8,27 @@ import (
 	"geostat"
 )
 
-// DatasetInfo is the registry's public view of one dataset.
+// DatasetInfo is the registry's public view of one dataset. Digest is only
+// populated by the digest endpoint (it costs a full pass over the
+// columns); the listing leaves it empty.
 type DatasetInfo struct {
 	Name      string `json:"name"`
 	N         int    `json:"n"`
 	Version   uint64 `json:"version"`
 	HasTimes  bool   `json:"has_times"`
 	HasValues bool   `json:"has_values"`
+	Digest    string `json:"digest,omitempty"`
 }
 
 type regEntry struct {
 	d       *geostat.Dataset
 	version uint64
+
+	// digest memoises d.Digest() — immutable dataset, computed on first
+	// request. The Once is shared by pointer so copies of the entry value
+	// still memoise once.
+	digestOnce *sync.Once
+	digest     *string
 }
 
 // Registry is the in-memory dataset store behind geostatd. Each name maps
@@ -53,7 +62,10 @@ func (r *Registry) Put(name string, d *geostat.Dataset) (uint64, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.version++
-	r.entries[name] = regEntry{d: d, version: r.version}
+	r.entries[name] = regEntry{
+		d: d, version: r.version,
+		digestOnce: new(sync.Once), digest: new(string),
+	}
 	return r.version, nil
 }
 
@@ -63,6 +75,20 @@ func (r *Registry) Get(name string) (*geostat.Dataset, uint64, bool) {
 	defer r.mu.RUnlock()
 	e, ok := r.entries[name]
 	return e.d, e.version, ok
+}
+
+// Digest returns the dataset's content digest (see Dataset.Digest), its
+// version, and whether name is registered. The digest is computed once per
+// stored snapshot and memoised.
+func (r *Registry) Digest(name string) (digest string, version uint64, ok bool) {
+	r.mu.RLock()
+	e, ok := r.entries[name]
+	r.mu.RUnlock()
+	if !ok {
+		return "", 0, false
+	}
+	e.digestOnce.Do(func() { *e.digest = e.d.Digest() })
+	return *e.digest, e.version, true
 }
 
 // List returns every dataset's info, sorted by name.

@@ -132,6 +132,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /debug/trace/last", s.handleTraceLast)
 	s.mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
+	s.mux.HandleFunc("GET /v1/datasets/{name}/digest", s.handleDigest)
 	s.mux.HandleFunc("POST /v1/datasets/{name}", s.handleUpload)
 	s.mux.HandleFunc("POST /v1/generate", s.handleGenerate)
 	s.mux.HandleFunc("GET /v1/kdv", s.toolHandler("kdv", s.computeKDV))

@@ -1,0 +1,151 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+)
+
+// maxRespBytes caps worker response bodies (largest legal tile: 4096² of
+// ~25-byte JSON floats is well under this).
+const maxRespBytes = 1 << 30
+
+// httpError is a non-2xx worker response. Retryability is decided by
+// status: overload (503), budget overruns (504) and server faults (5xx)
+// are worth another attempt — possibly on a replica — while validation
+// errors (4xx) will fail identically everywhere. 404 is the exception: it
+// means the worker lost the dataset (restart), which re-ensuring fixes.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string {
+	return fmt.Sprintf("worker returned %d: %s", e.status, e.msg)
+}
+
+// retryable reports whether another attempt (after re-ensuring placement,
+// possibly on the next replica) could succeed. Context cancellation is
+// never retryable — the run is over.
+func retryable(err error) bool {
+	if errors.Is(err, context.Canceled) {
+		return false
+	}
+	var he *httpError
+	if errors.As(err, &he) {
+		switch {
+		case he.status >= 500:
+			return true
+		case he.status == http.StatusNotFound, he.status == http.StatusRequestTimeout,
+			he.status == http.StatusTooManyRequests:
+			return true
+		default:
+			return false
+		}
+	}
+	// Transport errors (connection refused/reset, mid-body drops, corrupt
+	// payloads, per-attempt timeouts) are all retryable.
+	return true
+}
+
+// errorBody extracts the {"error": ...} payload of a failed response,
+// falling back to the raw body.
+func errorBody(body []byte) string {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	if len(body) > 200 {
+		body = body[:200]
+	}
+	return string(body)
+}
+
+// getJSON performs a GET against a worker and decodes the JSON response.
+func (c *Coordinator) getJSON(ctx context.Context, worker, path string, query url.Values, out any) error {
+	u := worker + path
+	if len(query) > 0 {
+		u += "?" + query.Encode()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxRespBytes))
+	if err != nil {
+		return fmt.Errorf("shard: read %s: %w", path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return &httpError{status: resp.StatusCode, msg: errorBody(body)}
+	}
+	if err := json.Unmarshal(body, out); err != nil {
+		return fmt.Errorf("shard: corrupt %s payload: %w", path, err)
+	}
+	return nil
+}
+
+// postCSV uploads a CSV-encoded dataset to a worker.
+func (c *Coordinator) postCSV(ctx context.Context, worker, name string, csv []byte) error {
+	u := worker + "/v1/datasets/" + url.PathEscape(name)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(csv))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "text/csv")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxRespBytes))
+	if err != nil {
+		return fmt.Errorf("shard: read upload response: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return &httpError{status: resp.StatusCode, msg: errorBody(body)}
+	}
+	return nil
+}
+
+// digestInfo is the worker's GET /v1/datasets/{name}/digest payload.
+type digestInfo struct {
+	Name    string `json:"name"`
+	N       int    `json:"n"`
+	Version uint64 `json:"version"`
+	Digest  string `json:"digest"`
+}
+
+// heatmapResponse is the worker's KDV JSON payload.
+type heatmapResponse struct {
+	Dataset string    `json:"dataset"`
+	Method  string    `json:"method"`
+	Width   int       `json:"width"`
+	Height  int       `json:"height"`
+	Min     float64   `json:"min"`
+	Max     float64   `json:"max"`
+	Sum     float64   `json:"sum"`
+	Values  []float64 `json:"values"`
+}
+
+// kfuncResponse is the worker's K-function JSON payload.
+type kfuncResponse struct {
+	Dataset string    `json:"dataset"`
+	S       []float64 `json:"s"`
+	K       []float64 `json:"k"`
+	Lo      []float64 `json:"lo"`
+	Hi      []float64 `json:"hi"`
+	Sims    int       `json:"sims"`
+	Regimes []string  `json:"regimes"`
+}

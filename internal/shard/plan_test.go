@@ -1,0 +1,264 @@
+package shard
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"geostat/internal/dataset"
+	"geostat/internal/geom"
+	"geostat/internal/kde"
+	"geostat/internal/kernel"
+)
+
+var planBox = geom.BBox{MinX: -50, MinY: 10, MaxX: 150, MaxY: 170}
+
+func planData(t *testing.T, seed int64, n int) *dataset.Dataset {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	return dataset.GaussianClusters(r, n, planBox, []dataset.Cluster{
+		{Center: geom.Point{X: 0, Y: 60}, Sigma: 15, Weight: 1},
+		{Center: geom.Point{X: 100, Y: 120}, Sigma: 25, Weight: 2},
+	}, 0.3)
+}
+
+var finiteKernels = []kernel.Type{
+	kernel.Uniform, kernel.Triangular, kernel.Epanechnikov,
+	kernel.Quartic, kernel.Triweight, kernel.Cosine,
+}
+
+// TestPlanTilesPartitionGrid: tile windows must cover every pixel of the
+// grid exactly once, for arbitrary (tx, ty) cuts including ones that do
+// not divide the grid evenly.
+func TestPlanTilesPartitionGrid(t *testing.T) {
+	d := planData(t, 3, 100)
+	r := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 50; trial++ {
+		nx, ny := 1+r.Intn(40), 1+r.Intn(40)
+		tx, ty := 1+r.Intn(nx), 1+r.Intn(ny)
+		req := KDVRequest{
+			Kernel: kernel.MustNew(kernel.Quartic, 10),
+			Grid:   geom.NewPixelGrid(planBox, nx, ny),
+			TilesX: tx, TilesY: ty,
+		}
+		plan, err := PlanKDV(d, "p", req)
+		if err != nil {
+			t.Fatalf("trial %d (%dx%d grid, %dx%d tiles): %v", trial, nx, ny, tx, ty, err)
+		}
+		if len(plan.Tiles) != tx*ty {
+			t.Fatalf("trial %d: %d tiles, want %d", trial, len(plan.Tiles), tx*ty)
+		}
+		covered := make([]int, nx*ny)
+		for _, tile := range plan.Tiles {
+			w := tile.Window
+			if err := req.Grid.CheckWindow(w); err != nil {
+				t.Fatalf("trial %d tile %d: invalid window %+v: %v", trial, tile.ID, w, err)
+			}
+			for iy := w.Y0; iy < w.Y0+w.NY; iy++ {
+				for ix := w.X0; ix < w.X0+w.NX; ix++ {
+					covered[iy*nx+ix]++
+				}
+			}
+		}
+		for i, c := range covered {
+			if c != 1 {
+				t.Fatalf("trial %d: pixel %d covered %d times", trial, i, c)
+			}
+		}
+	}
+}
+
+// TestHaloSubsetProperty is the planner's exactness property: for random
+// finite-support kernels, bandwidths and tile cuts, evaluating each tile's
+// window against only its halo-filtered subset must reproduce the
+// full-dataset window Float64bits-for-Float64bits.
+func TestHaloSubsetProperty(t *testing.T) {
+	d := planData(t, 5, 400)
+	r := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 12; trial++ {
+		typ := finiteKernels[r.Intn(len(finiteKernels))]
+		bw := 4 + 28*r.Float64()
+		req := KDVRequest{
+			Kernel: kernel.MustNew(typ, bw),
+			Grid:   geom.NewPixelGrid(planBox, 20+r.Intn(21), 16+r.Intn(17)),
+			TilesX: 1 + r.Intn(4), TilesY: 1 + r.Intn(4),
+		}
+		plan, err := PlanKDV(d, "p", req)
+		if err != nil {
+			t.Fatalf("trial %d (%v bw=%g): %v", trial, typ, bw, err)
+		}
+		opt := kde.Options{Kernel: req.Kernel, Grid: req.Grid}
+		for _, tile := range plan.Tiles {
+			wopt := opt
+			wopt.Window = tile.Window
+			full, err := kde.NaiveCols(d.Columns(), wopt)
+			if err != nil {
+				t.Fatalf("trial %d tile %d full: %v", trial, tile.ID, err)
+			}
+			if tile.Empty() {
+				for i, v := range full.Values {
+					if v != 0 {
+						t.Fatalf("trial %d tile %d: planner marked empty but full window pixel %d = %g",
+							trial, tile.ID, i, v)
+					}
+				}
+				continue
+			}
+			sub := d.FilterBox(tile.HaloBox)
+			got, err := kde.NaiveCols(sub.Columns(), wopt)
+			if err != nil {
+				t.Fatalf("trial %d tile %d subset: %v", trial, tile.ID, err)
+			}
+			for i := range full.Values {
+				if math.Float64bits(full.Values[i]) != math.Float64bits(got.Values[i]) {
+					t.Fatalf("trial %d (%v bw=%g) tile %d pixel %d: subset %x != full %x",
+						trial, typ, bw, tile.ID, i,
+						math.Float64bits(got.Values[i]), math.Float64bits(full.Values[i]))
+				}
+			}
+		}
+	}
+}
+
+// TestHaloOversizedStillExact: any halo at or above the support radius is
+// valid and exact (extra points contribute exactly zero to the window).
+func TestHaloOversizedStillExact(t *testing.T) {
+	d := planData(t, 9, 300)
+	k := kernel.MustNew(kernel.Epanechnikov, 12)
+	req := KDVRequest{
+		Kernel: k,
+		Grid:   geom.NewPixelGrid(planBox, 24, 20),
+		TilesX: 3, TilesY: 2,
+		Halo: k.SupportRadius() * 2.5,
+	}
+	plan, err := PlanKDV(d, "p", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := kde.Options{Kernel: k, Grid: req.Grid}
+	for _, tile := range plan.Tiles {
+		if tile.Empty() {
+			continue
+		}
+		wopt := opt
+		wopt.Window = tile.Window
+		full, err := kde.NaiveCols(d.Columns(), wopt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := kde.NaiveCols(d.FilterBox(tile.HaloBox).Columns(), wopt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range full.Values {
+			if math.Float64bits(full.Values[i]) != math.Float64bits(got.Values[i]) {
+				t.Fatalf("tile %d pixel %d differs with oversized halo", tile.ID, i)
+			}
+		}
+	}
+}
+
+func TestPlanKDVValidation(t *testing.T) {
+	d := planData(t, 3, 50)
+	grid := geom.NewPixelGrid(planBox, 16, 12)
+	good := KDVRequest{Kernel: kernel.MustNew(kernel.Quartic, 10), Grid: grid, TilesX: 2, TilesY: 2}
+
+	cases := []struct {
+		name string
+		d    *dataset.Dataset
+		ds   string
+		mut  func(*KDVRequest)
+	}{
+		{name: "nil dataset", d: nil, ds: "p"},
+		{name: "bad name", d: d, ds: "a/b"},
+		{name: "empty name", d: d, ds: ""},
+		{name: "gaussian kernel", d: d, ds: "p", mut: func(r *KDVRequest) {
+			r.Kernel = kernel.MustNew(kernel.Gaussian, 10)
+		}},
+		{name: "exponential kernel", d: d, ds: "p", mut: func(r *KDVRequest) {
+			r.Kernel = kernel.MustNew(kernel.Exponential, 10)
+		}},
+		{name: "zero-value kernel", d: d, ds: "p", mut: func(r *KDVRequest) {
+			r.Kernel = kernel.Kernel{}
+		}},
+		{name: "zero grid", d: d, ds: "p", mut: func(r *KDVRequest) {
+			r.Grid = geom.PixelGrid{}
+		}},
+		{name: "too many tiles", d: d, ds: "p", mut: func(r *KDVRequest) {
+			r.TilesX = grid.NX + 1
+		}},
+		{name: "negative tiles", d: d, ds: "p", mut: func(r *KDVRequest) {
+			r.TilesY = -1
+		}},
+		{name: "undersized halo", d: d, ds: "p", mut: func(r *KDVRequest) {
+			r.Halo = r.Kernel.SupportRadius() * 0.99
+		}},
+	}
+	for _, tc := range cases {
+		req := good
+		if tc.mut != nil {
+			tc.mut(&req)
+		}
+		if _, err := PlanKDV(tc.d, tc.ds, req); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+
+	// Weighted datasets cannot ride the CSV transport.
+	wd := planData(t, 3, 50)
+	weights := make([]float64, wd.N())
+	for i := range weights {
+		weights[i] = 2
+	}
+	if err := wd.SetWeights(weights); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PlanKDV(wd, "p", good); err == nil {
+		t.Error("weighted dataset accepted")
+	}
+
+	if _, err := PlanKDV(d, "p", good); err != nil {
+		t.Fatalf("valid request rejected: %v", err)
+	}
+}
+
+func TestPlanKFuncValidationAndBatches(t *testing.T) {
+	d := planData(t, 3, 50)
+	good := KFuncRequest{Thresholds: []float64{5, 10, 15, 20, 25}, Sims: 4, Seed: 1, Bands: 2}
+
+	bad := []struct {
+		name string
+		mut  func(*KFuncRequest)
+	}{
+		{"no thresholds", func(r *KFuncRequest) { r.Thresholds = nil }},
+		{"non-increasing", func(r *KFuncRequest) { r.Thresholds = []float64{5, 5, 10} }},
+		{"non-positive", func(r *KFuncRequest) { r.Thresholds = []float64{0, 5} }},
+		{"zero sims", func(r *KFuncRequest) { r.Sims = 0 }},
+	}
+	for _, tc := range bad {
+		req := good
+		tc.mut(&req)
+		if _, err := PlanKFunc(d, "p", req); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+
+	plan, err := PlanKFunc(d, "p", good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Batches must be contiguous, ordered, and cover [0, len) exactly.
+	next := 0
+	for i, b := range plan.Batches {
+		if b.ID != i || b.Lo != next || b.Hi <= b.Lo {
+			t.Fatalf("batch %d malformed: %+v (expected Lo=%d)", i, b, next)
+		}
+		next = b.Hi
+	}
+	if next != len(good.Thresholds) {
+		t.Fatalf("batches cover [0,%d), want [0,%d)", next, len(good.Thresholds))
+	}
+	if len(plan.Batches) != 3 { // 2+2+1
+		t.Fatalf("%d batches, want 3", len(plan.Batches))
+	}
+}

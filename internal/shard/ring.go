@@ -1,0 +1,107 @@
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// Ring is a consistent-hash ring over worker base URLs. Each worker owns
+// vnodes points on a uint64 circle (FNV-64a of "worker#vnode"); a dataset
+// key maps to the first point clockwise of its own hash, and replicas are
+// the next distinct workers clockwise. Placement therefore depends only on
+// the worker set and the key — every coordinator run (and every retry)
+// derives the same owners, which is what lets re-runs reuse datasets
+// already uploaded to workers.
+type Ring struct {
+	points  []ringPoint // sorted by hash
+	workers int
+}
+
+type ringPoint struct {
+	hash   uint64
+	worker string
+}
+
+// NewRing builds a ring over the worker base URLs with vnodes virtual
+// nodes per worker (vnodes <= 0 selects the default of 64).
+func NewRing(workers []string, vnodes int) (*Ring, error) {
+	if len(workers) == 0 {
+		return nil, fmt.Errorf("shard: no workers")
+	}
+	seen := make(map[string]bool, len(workers))
+	for _, w := range workers {
+		if w == "" {
+			return nil, fmt.Errorf("shard: empty worker address")
+		}
+		if seen[w] {
+			return nil, fmt.Errorf("shard: duplicate worker %q", w)
+		}
+		seen[w] = true
+	}
+	if vnodes <= 0 {
+		vnodes = 64
+	}
+	r := &Ring{
+		points:  make([]ringPoint, 0, len(workers)*vnodes),
+		workers: len(workers),
+	}
+	for _, w := range workers {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:   hashKey(w + "#" + strconv.Itoa(v)),
+				worker: w,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Tie-break on worker so the order is deterministic even in the
+		// (astronomically unlikely) event of a 64-bit hash collision.
+		return r.points[i].worker < r.points[j].worker
+	})
+	return r, nil
+}
+
+// Owners returns the n distinct workers responsible for key, primary
+// first, walking clockwise from the key's hash. n is clamped to the
+// worker count; the result is never empty.
+func (r *Ring) Owners(key string, n int) []string {
+	if n < 1 {
+		n = 1
+	}
+	if n > r.workers {
+		n = r.workers
+	}
+	h := hashKey(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	owners := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i := 0; len(owners) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.worker] {
+			seen[p.worker] = true
+			owners = append(owners, p.worker)
+		}
+	}
+	return owners
+}
+
+func hashKey(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	// Raw FNV-1a of short, similar strings (sequential vnode suffixes,
+	// dataset.tN tile names) clusters on the circle badly enough that one
+	// worker can own almost every key; a splitmix64 finalizer restores
+	// uniform spread while staying fully deterministic.
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,103 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testWorkers(n int) []string {
+	ws := make([]string, n)
+	for i := range ws {
+		ws[i] = fmt.Sprintf("http://worker-%d:8090", i)
+	}
+	return ws
+}
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 64); err == nil {
+		t.Error("empty worker list accepted")
+	}
+	if _, err := NewRing([]string{"http://a", ""}, 64); err == nil {
+		t.Error("empty worker address accepted")
+	}
+	if _, err := NewRing([]string{"http://a", "http://a"}, 64); err == nil {
+		t.Error("duplicate worker accepted")
+	}
+}
+
+// TestRingDeterministic is the placement contract: owners depend only on
+// the worker set and the key — not on insertion order, not on the run.
+func TestRingDeterministic(t *testing.T) {
+	ws := testWorkers(5)
+	a, err := NewRing(ws, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same set, reversed insertion order.
+	rev := make([]string, len(ws))
+	for i, w := range ws {
+		rev[len(ws)-1-i] = w
+	}
+	b, err := NewRing(rev, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("dataset.%d.t%d", i, i%7)
+		oa := a.Owners(key, 3)
+		ob := b.Owners(key, 3)
+		if len(oa) != 3 || len(ob) != 3 {
+			t.Fatalf("key %q: %d/%d owners, want 3", key, len(oa), len(ob))
+		}
+		for j := range oa {
+			if oa[j] != ob[j] {
+				t.Fatalf("key %q: owner %d differs across insertion orders: %s vs %s",
+					key, j, oa[j], ob[j])
+			}
+		}
+	}
+}
+
+func TestRingOwnersDistinctAndClamped(t *testing.T) {
+	r, err := NewRing(testWorkers(3), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("k%d", i)
+		owners := r.Owners(key, 10) // more replicas than workers
+		if len(owners) != 3 {
+			t.Fatalf("key %q: %d owners, want clamp to 3", key, len(owners))
+		}
+		seen := map[string]bool{}
+		for _, o := range owners {
+			if seen[o] {
+				t.Fatalf("key %q: duplicate owner %s", key, o)
+			}
+			seen[o] = true
+		}
+		// n<1 clamps up to 1 and the primary matches the n=10 walk.
+		if one := r.Owners(key, 0); len(one) != 1 || one[0] != owners[0] {
+			t.Fatalf("key %q: primary unstable: %v vs %v", key, one, owners)
+		}
+	}
+}
+
+// TestRingSpreads checks the vnode count actually distributes load: over
+// enough keys every worker must be primary for some of them.
+func TestRingSpreads(t *testing.T) {
+	ws := testWorkers(4)
+	r, err := NewRing(ws, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	primaries := map[string]int{}
+	for i := 0; i < 1000; i++ {
+		primaries[r.Owners(fmt.Sprintf("d%d", i), 1)[0]]++
+	}
+	for _, w := range ws {
+		if primaries[w] == 0 {
+			t.Errorf("worker %s is primary for no keys", w)
+		}
+	}
+}

@@ -1,0 +1,455 @@
+// Package shard implements the scale-out coordinator for geostat's
+// distributed tile execution (ROADMAP item 1): it splits a KDV raster
+// into pixel-window tiles with halo-replicated point subsets (and a
+// K-function plot into distance-band batches), places the per-tile
+// datasets on geostatd workers with a consistent-hash ring, fans the work
+// out over the workers' HTTP API with per-tile timeouts, bounded retries
+// and replica failover, and merges the partial results into output that
+// is bit-identical to a single-node run.
+//
+// The exactness argument (see DESIGN.md "Sharded execution"):
+//
+//   - KDV tiles request windowed (tile=) naive evaluation over the FULL
+//     grid spec, so workers compute the same pixel-center coordinates the
+//     single-node run does.
+//   - Each tile's point subset is the halo filter — every point within
+//     the kernel's support radius of the tile's pixel box. Finite-support
+//     kernels map all other points to exactly 0, and the naive evaluator
+//     skips zero terms rather than adding them, so the subset sum equals
+//     the full sum, bit for bit. Order is preserved by the filter, fixing
+//     the IEEE accumulation order.
+//   - K-function band counts are integers and the Monte-Carlo envelope
+//     draws each simulation's pattern from (seed, sim index) independent
+//     of the band list, so any band partition merges exactly.
+//
+// Concurrency and cleanup obey the repo's obligation gates: fan-out runs
+// through internal/parallel (no raw goroutines), every per-attempt
+// context is cancelled on all paths, and every response body is closed
+// including retry and failure paths.
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"geostat/internal/dataset"
+	"geostat/internal/geom"
+	"geostat/internal/obs"
+	"geostat/internal/parallel"
+	"geostat/internal/raster"
+)
+
+// Config configures a Coordinator.
+type Config struct {
+	// Workers is the worker base URL list ("http://host:port"). Required.
+	Workers []string
+	// Replication is how many distinct workers own each dataset (and can
+	// serve its tiles); failover walks this replica set. Clamped to the
+	// worker count; <= 0 means 2.
+	Replication int
+	// Retries is how many additional attempts a failed tile gets beyond
+	// the first; < 0 means 0. Attempts rotate through the replica set.
+	Retries int
+	// Backoff is the base retry delay, doubling per attempt; <= 0 means
+	// 50ms. The wait honours the run context.
+	Backoff time.Duration
+	// Timeout bounds each worker attempt (ensure + compute); <= 0 means
+	// 30s.
+	Timeout time.Duration
+	// Concurrency caps in-flight tiles; <= 0 means 2 per worker.
+	Concurrency int
+	// Vnodes is the ring's virtual node count per worker; <= 0 means 64.
+	Vnodes int
+	// Client is the HTTP client; nil means http.DefaultClient. Tests
+	// inject httptest clients here.
+	Client *http.Client
+	// Metrics receives the shard_* metrics; nil creates a private
+	// registry (exposed via Coordinator.Metrics).
+	Metrics *obs.Registry
+}
+
+// Coordinator fans sharded computations out over a fixed worker set. It
+// is safe for concurrent use; the ensured-placement cache carries over
+// between runs, so repeated computations over the same dataset skip
+// re-uploading tiles.
+type Coordinator struct {
+	cfg     Config
+	ring    *Ring
+	client  *http.Client
+	metrics *obs.Registry
+
+	mTiles     *obs.Counter
+	mBands     *obs.Counter
+	mRetries   *obs.Counter
+	mFailovers *obs.Counter
+	mUploads   *obs.Counter
+	gInflight  *obs.Gauge
+
+	mu      sync.Mutex
+	ensured map[string]bool // "worker|dataset" the worker is known to hold
+}
+
+// New validates cfg and returns a Coordinator.
+func New(cfg Config) (*Coordinator, error) {
+	ring, err := NewRing(cfg.Workers, cfg.Vnodes)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Replication <= 0 {
+		cfg.Replication = 2
+	}
+	if cfg.Retries < 0 {
+		cfg.Retries = 0
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 50 * time.Millisecond
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 2 * len(cfg.Workers)
+	}
+	c := &Coordinator{
+		cfg:     cfg,
+		ring:    ring,
+		client:  cfg.Client,
+		metrics: cfg.Metrics,
+		ensured: make(map[string]bool),
+	}
+	if c.client == nil {
+		c.client = http.DefaultClient
+	}
+	if c.metrics == nil {
+		c.metrics = obs.NewRegistry()
+	}
+	c.mTiles = c.metrics.Counter("shard_tiles_total", "KDV tiles merged into sharded results")
+	c.mBands = c.metrics.Counter("shard_bands_total", "K-function bands merged into sharded results")
+	c.mRetries = c.metrics.Counter("shard_retries_total", "tile attempts beyond the first")
+	c.mFailovers = c.metrics.Counter("shard_failovers_total", "tile attempts moved to a different replica")
+	c.mUploads = c.metrics.Counter("shard_uploads_total", "dataset uploads pushed to workers")
+	c.gInflight = c.metrics.Gauge("shard_tiles_inflight", "tile requests executing now")
+	return c, nil
+}
+
+// Metrics returns the coordinator's metric registry.
+func (c *Coordinator) Metrics() *obs.Registry { return c.metrics }
+
+// KDV runs one sharded KDV computation and returns the merged full-extent
+// raster, bit-identical to the equivalent single-node naive evaluation.
+func (c *Coordinator) KDV(ctx context.Context, d *dataset.Dataset, name string, req KDVRequest) (*raster.Grid, error) {
+	ctx, span := obs.Trace(ctx, "shard.kdv")
+	defer span.End()
+	_, plspan := obs.Trace(ctx, "shard.plan")
+	plan, err := PlanKDV(d, name, req)
+	plspan.End()
+	if err != nil {
+		return nil, err
+	}
+	span.SetAttrInt("tiles", int64(len(plan.Tiles)))
+
+	parts := make([][]float64, len(plan.Tiles))
+	err = c.dispatch(ctx, len(plan.Tiles), func(tctx context.Context, i int) error {
+		t := &plan.Tiles[i]
+		if t.Empty() {
+			return nil // zero-filled in the merge; workers reject empty datasets
+		}
+		vals, terr := c.computeTile(tctx, plan, t)
+		if terr != nil {
+			return fmt.Errorf("tile %d (%s): %w", t.ID, t.Dataset, terr)
+		}
+		parts[i] = vals
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	_, mspan := obs.Trace(ctx, "shard.merge")
+	defer mspan.End()
+	out := raster.NewGrid(req.Grid)
+	for i := range plan.Tiles {
+		t := &plan.Tiles[i]
+		if !t.Empty() {
+			mergeWindow(out, t.Window, parts[i])
+		}
+	}
+	if req.Normalize {
+		// Same scale expression and elementwise multiply as the
+		// single-node run: NormConst/n over the FULL point count.
+		scale := req.Kernel.NormConst() / float64(plan.N)
+		for i := range out.Values {
+			out.Values[i] *= scale
+		}
+	}
+	return out, nil
+}
+
+// mergeWindow copies a tile raster into its window of the full raster,
+// row by row. Copies are placement only — no arithmetic — so completion
+// order cannot affect the merged bits.
+func mergeWindow(out *raster.Grid, w geom.GridWindow, vals []float64) {
+	nx := out.Spec.NX
+	for iy := 0; iy < w.NY; iy++ {
+		dst := (w.Y0+iy)*nx + w.X0
+		copy(out.Values[dst:dst+w.NX], vals[iy*w.NX:(iy+1)*w.NX])
+	}
+}
+
+// computeTile runs one tile to completion: ensure placement on the
+// attempt's worker, fetch the windowed raster, validate its shape.
+func (c *Coordinator) computeTile(ctx context.Context, plan *KDVPlan, t *Tile) ([]float64, error) {
+	ctx, span := obs.Trace(ctx, "shard.tile")
+	defer span.End()
+	span.SetAttrInt("tile", int64(t.ID))
+	span.SetAttrInt("points", int64(t.n))
+	c.gInflight.Add(1)
+	defer c.gInflight.Add(-1)
+
+	var vals []float64
+	err := c.withRetry(ctx, t.Dataset, func(actx context.Context, worker string) error {
+		if err := c.ensure(actx, worker, t.Dataset, t.Digest, t.csv); err != nil {
+			return err
+		}
+		var resp heatmapResponse
+		if err := c.getJSON(actx, worker, "/v1/kdv", plan.tileQuery(t), &resp); err != nil {
+			c.forgetIfLost(err, worker, t.Dataset)
+			return err
+		}
+		if resp.Width != t.Window.NX || resp.Height != t.Window.NY ||
+			len(resp.Values) != t.Window.NX*t.Window.NY {
+			return fmt.Errorf("shard: corrupt tile payload: %dx%d with %d values, want %dx%d",
+				resp.Width, resp.Height, len(resp.Values), t.Window.NX, t.Window.NY)
+		}
+		vals = resp.Values
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.mTiles.Inc()
+	return vals, nil
+}
+
+// KFuncResult is a merged sharded K-function plot, field-for-field the
+// single-node serve payload.
+type KFuncResult struct {
+	S, K, Lo, Hi []float64
+	Sims         int
+	Regimes      []string
+}
+
+// KFunction runs one sharded K-function computation and returns the
+// merged plot, bit-identical to the single-node evaluation of the full
+// threshold list.
+func (c *Coordinator) KFunction(ctx context.Context, d *dataset.Dataset, name string, req KFuncRequest) (*KFuncResult, error) {
+	ctx, span := obs.Trace(ctx, "shard.kfunction")
+	defer span.End()
+	plan, err := PlanKFunc(d, name, req)
+	if err != nil {
+		return nil, err
+	}
+	span.SetAttrInt("batches", int64(len(plan.Batches)))
+
+	n := len(req.Thresholds)
+	res := &KFuncResult{
+		S: make([]float64, n), K: make([]float64, n),
+		Lo: make([]float64, n), Hi: make([]float64, n),
+		Sims: req.Sims, Regimes: make([]string, n),
+	}
+	err = c.dispatch(ctx, len(plan.Batches), func(bctx context.Context, i int) error {
+		b := &plan.Batches[i]
+		if berr := c.computeBands(bctx, plan, b, res); berr != nil {
+			return fmt.Errorf("bands [%d,%d): %w", b.Lo, b.Hi, berr)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// computeBands runs one threshold batch and writes its slice of the
+// result in place (batches never overlap).
+func (c *Coordinator) computeBands(ctx context.Context, plan *KFuncPlan, b *Batch, res *KFuncResult) error {
+	ctx, span := obs.Trace(ctx, "shard.bands")
+	defer span.End()
+	span.SetAttrInt("batch", int64(b.ID))
+	c.gInflight.Add(1)
+	defer c.gInflight.Add(-1)
+
+	err := c.withRetry(ctx, plan.Dataset, func(actx context.Context, worker string) error {
+		if err := c.ensure(actx, worker, plan.Dataset, plan.Digest, plan.csv); err != nil {
+			return err
+		}
+		var resp kfuncResponse
+		if err := c.getJSON(actx, worker, "/v1/kfunction", plan.batchQuery(b), &resp); err != nil {
+			c.forgetIfLost(err, worker, plan.Dataset)
+			return err
+		}
+		want := b.Hi - b.Lo
+		if len(resp.S) != want || len(resp.K) != want || len(resp.Lo) != want ||
+			len(resp.Hi) != want || len(resp.Regimes) != want {
+			return fmt.Errorf("shard: corrupt band payload: %d/%d/%d/%d/%d entries, want %d",
+				len(resp.S), len(resp.K), len(resp.Lo), len(resp.Hi), len(resp.Regimes), want)
+		}
+		copy(res.S[b.Lo:b.Hi], resp.S)
+		copy(res.K[b.Lo:b.Hi], resp.K)
+		copy(res.Lo[b.Lo:b.Hi], resp.Lo)
+		copy(res.Hi[b.Lo:b.Hi], resp.Hi)
+		copy(res.Regimes[b.Lo:b.Hi], resp.Regimes)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	c.mBands.Add(int64(b.Hi - b.Lo))
+	return nil
+}
+
+// dispatch fans n jobs out with the configured concurrency. The first
+// job error cancels the run context shared by every other job (leader
+// cancel), and that first error is returned. A nil error means every job
+// completed.
+func (c *Coordinator) dispatch(ctx context.Context, n int, job func(ctx context.Context, i int) error) error {
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		once     sync.Once
+		firstErr error
+	)
+	// When the leader cancel fires, ForCtx returns runCtx's error; the
+	// job error captured below is the meaningful one to surface.
+	ferr := parallel.ForCtx(runCtx, n, c.cfg.Concurrency, func(i int) {
+		if runCtx.Err() != nil {
+			return // leader already cancelled; don't start new work
+		}
+		if err := job(runCtx, i); err != nil {
+			once.Do(func() {
+				firstErr = err
+				cancel()
+			})
+		}
+	})
+	if firstErr != nil {
+		return firstErr
+	}
+	return ferr
+}
+
+// withRetry runs fn against the dataset's replica set with per-attempt
+// timeouts, exponential backoff and failover: attempt k goes to replica
+// k mod len(owners). Non-retryable errors (validation 4xx, context
+// cancellation) abort immediately.
+func (c *Coordinator) withRetry(ctx context.Context, key string, fn func(ctx context.Context, worker string) error) error {
+	owners := c.ring.Owners(key, c.cfg.Replication)
+	attempts := c.cfg.Retries + 1
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			c.mRetries.Inc()
+			if err := sleepCtx(ctx, c.cfg.Backoff<<(a-1)); err != nil {
+				return lastErr
+			}
+		}
+		worker := owners[a%len(owners)]
+		if a > 0 && worker != owners[(a-1)%len(owners)] {
+			c.mFailovers.Inc()
+		}
+		err := func() error {
+			// The attempt context is cancelled on every path: normal
+			// return, error return, and panic unwind.
+			actx, acancel := context.WithTimeout(ctx, c.cfg.Timeout)
+			defer acancel()
+			return fn(actx, worker)
+		}()
+		if err == nil {
+			return nil
+		}
+		if ctx.Err() != nil {
+			// The run was cancelled (leader cancel or caller): report the
+			// cancellation, not the attempt's collateral failure.
+			return ctx.Err()
+		}
+		if !retryable(err) {
+			return fmt.Errorf("%s: %w", worker, err)
+		}
+		lastErr = fmt.Errorf("%s: %w", worker, err)
+	}
+	return fmt.Errorf("failed after %d attempts: %w", attempts, lastErr)
+}
+
+// ensure makes worker hold the named dataset with the expected digest:
+// a cache hit is trusted; otherwise the worker's digest endpoint decides
+// whether to upload. A digest mismatch after upload is corrupt transport.
+func (c *Coordinator) ensure(ctx context.Context, worker, name, digest string, csv []byte) error {
+	ckey := worker + "|" + name
+	c.mu.Lock()
+	ok := c.ensured[ckey]
+	c.mu.Unlock()
+	if ok {
+		return nil
+	}
+	ctx, span := obs.Trace(ctx, "shard.ensure")
+	defer span.End()
+
+	var info digestInfo
+	err := c.getJSON(ctx, worker, "/v1/datasets/"+name+"/digest", nil, &info)
+	if err == nil && info.Digest == digest {
+		c.markEnsured(ckey)
+		return nil
+	}
+	var he *httpError
+	if err != nil && !(errors.As(err, &he) && he.status == http.StatusNotFound) {
+		return err
+	}
+	// Unknown name or stale content: upload and verify.
+	if uerr := c.postCSV(ctx, worker, name, csv); uerr != nil {
+		return uerr
+	}
+	c.mUploads.Inc()
+	if gerr := c.getJSON(ctx, worker, "/v1/datasets/"+name+"/digest", nil, &info); gerr != nil {
+		return gerr
+	}
+	if info.Digest != digest {
+		return fmt.Errorf("shard: dataset %s on %s has digest %.12s after upload, want %.12s",
+			name, worker, info.Digest, digest)
+	}
+	c.markEnsured(ckey)
+	return nil
+}
+
+func (c *Coordinator) markEnsured(key string) {
+	c.mu.Lock()
+	c.ensured[key] = true
+	c.mu.Unlock()
+}
+
+// forgetIfLost drops the placement cache entry when a compute 404s — the
+// worker lost its datasets (restart) and the next attempt must re-ensure.
+func (c *Coordinator) forgetIfLost(err error, worker, name string) {
+	var he *httpError
+	if errors.As(err, &he) && he.status == http.StatusNotFound {
+		c.mu.Lock()
+		delete(c.ensured, worker+"|"+name)
+		c.mu.Unlock()
+	}
+}
+
+// sleepCtx waits d, returning early with ctx.Err() when the run is
+// cancelled.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -1,0 +1,301 @@
+package shard_test
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"geostat/internal/dataset"
+	"geostat/internal/geom"
+	"geostat/internal/kde"
+	"geostat/internal/kernel"
+	"geostat/internal/kfunc"
+	"geostat/internal/parallel"
+	"geostat/internal/serve"
+	"geostat/internal/shard"
+	"geostat/internal/shard/shardtest"
+)
+
+var box = geom.BBox{MinX: 0, MinY: 0, MaxX: 100, MaxY: 80}
+
+func testData(seed int64, n int) *dataset.Dataset {
+	r := rand.New(rand.NewSource(seed))
+	return dataset.GaussianClusters(r, n, box, []dataset.Cluster{
+		{Center: geom.Point{X: 30, Y: 40}, Sigma: 8, Weight: 2},
+		{Center: geom.Point{X: 75, Y: 20}, Sigma: 5, Weight: 1},
+	}, 0.2)
+}
+
+// cluster boots n fault-injectable workers and a coordinator over them.
+func cluster(t *testing.T, n int, cfg shard.Config) (*shard.Coordinator, []*shardtest.Worker, *http.Client) {
+	t.Helper()
+	workers := make([]*shardtest.Worker, n)
+	for i := range workers {
+		workers[i] = shardtest.NewWorker(t, serve.Config{Workers: 2})
+		cfg.Workers = append(cfg.Workers, workers[i].URL())
+	}
+	client := &http.Client{}
+	t.Cleanup(client.CloseIdleConnections)
+	cfg.Client = client
+	c, err := shard.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, workers, client
+}
+
+func kdvReq(k kernel.Kernel, tx, ty int) shard.KDVRequest {
+	return shard.KDVRequest{
+		Kernel: k,
+		Grid:   geom.NewPixelGrid(box, 16, 12),
+		TilesX: tx, TilesY: ty,
+	}
+}
+
+// singleNode computes the reference raster the sharded run must reproduce.
+func singleNode(t *testing.T, d *dataset.Dataset, req shard.KDVRequest) []float64 {
+	t.Helper()
+	g, err := kde.NaiveCols(d.Columns(), kde.Options{
+		Kernel: req.Kernel, Grid: req.Grid, Normalize: req.Normalize,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g.Values
+}
+
+func assertBitIdentical(t *testing.T, want, got []float64, label string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d values, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+			t.Fatalf("%s: pixel %d: %x != %x (%g vs %g)",
+				label, i, math.Float64bits(got[i]), math.Float64bits(want[i]), got[i], want[i])
+		}
+	}
+}
+
+func TestShardedKDVBitIdenticalAcrossWorkers(t *testing.T) {
+	d := testData(5, 300)
+	req := kdvReq(kernel.MustNew(kernel.Quartic, 9), 3, 2)
+	want := singleNode(t, d, req)
+
+	c, _, _ := cluster(t, 2, shard.Config{Replication: 2})
+	got, err := c.KDV(context.Background(), d, "ev", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitIdentical(t, want, got.Values, "sharded 3x2")
+
+	// Normalized surfaces must match too (post-merge scaling).
+	nreq := req
+	nreq.Normalize = true
+	want = singleNode(t, d, nreq)
+	gotN, err := c.KDV(context.Background(), d, "ev", nreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitIdentical(t, want, gotN.Values, "sharded normalized")
+}
+
+func TestShardedKFunctionBitIdentical(t *testing.T) {
+	d := testData(7, 200)
+	thresholds := []float64{5, 10, 15, 20, 25, 30}
+	req := shard.KFuncRequest{Thresholds: thresholds, Sims: 5, Seed: 11, Bands: 2}
+
+	// The single-node reference is exactly what one geostatd computes.
+	plot, err := kfunc.MakePlot(d.Points(), kfunc.PlotOptions{
+		Thresholds: thresholds, Simulations: 5,
+	}, parallel.NewRand(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c, _, _ := cluster(t, 2, shard.Config{Replication: 2})
+	got, err := c.KFunction(context.Background(), d, "ev", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitIdentical(t, plot.S, got.S, "s")
+	assertBitIdentical(t, plot.K, got.K, "k")
+	assertBitIdentical(t, plot.Lo, got.Lo, "lo")
+	assertBitIdentical(t, plot.Hi, got.Hi, "hi")
+}
+
+func TestRetryOn503(t *testing.T) {
+	d := testData(5, 200)
+	req := kdvReq(kernel.MustNew(kernel.Quartic, 9), 2, 2)
+	want := singleNode(t, d, req)
+
+	c, workers, _ := cluster(t, 2, shard.Config{
+		Replication: 2, Retries: 3, Backoff: time.Millisecond,
+	})
+	for _, w := range workers {
+		w.Script(shardtest.Rule{Tool: "kdv", Times: 1, Status: http.StatusServiceUnavailable})
+	}
+	got, err := c.KDV(context.Background(), d, "ev", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitIdentical(t, want, got.Values, "after 503 retries")
+	if workers[0].Hits("status")+workers[1].Hits("status") == 0 {
+		t.Fatal("no injected 503 actually fired")
+	}
+}
+
+func TestRetryOnDroppedConnectionAndCorruptPayload(t *testing.T) {
+	d := testData(5, 200)
+	req := kdvReq(kernel.MustNew(kernel.Epanechnikov, 11), 2, 2)
+	want := singleNode(t, d, req)
+
+	c, workers, _ := cluster(t, 2, shard.Config{
+		Replication: 2, Retries: 3, Backoff: time.Millisecond,
+	})
+	workers[0].Script(shardtest.Rule{Tool: "kdv", Times: 1, DropMidBody: true})
+	workers[1].Script(shardtest.Rule{Tool: "kdv", Times: 1, Corrupt: true})
+	got, err := c.KDV(context.Background(), d, "ev", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitIdentical(t, want, got.Values, "after drop+corrupt retries")
+	if workers[0].Hits("drop") == 0 && workers[1].Hits("corrupt") == 0 {
+		t.Fatal("no fault actually fired")
+	}
+}
+
+func TestDeadWorkerDegradesNotWedges(t *testing.T) {
+	d := testData(5, 200)
+	req := kdvReq(kernel.MustNew(kernel.Quartic, 9), 3, 3)
+	want := singleNode(t, d, req)
+
+	c, workers, _ := cluster(t, 2, shard.Config{
+		Replication: 2, Retries: 2, Backoff: time.Millisecond,
+		Timeout: 5 * time.Second,
+	})
+	// Kill one worker outright: every tile it owned must fail over to the
+	// surviving replica and the run must still complete exactly.
+	workers[0].HTTP.Close()
+	start := time.Now()
+	got, err := c.KDV(context.Background(), d, "ev", req)
+	if err != nil {
+		t.Fatalf("run did not survive a dead worker: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("run wedged for %v", elapsed)
+	}
+	assertBitIdentical(t, want, got.Values, "with one dead worker")
+}
+
+func TestFatalErrorCancelsInFlightTiles(t *testing.T) {
+	d := testData(5, 200)
+	req := kdvReq(kernel.MustNew(kernel.Quartic, 9), 2, 2)
+
+	c, workers, client := cluster(t, 1, shard.Config{
+		Replication: 1, Retries: 0, Concurrency: 4,
+		Timeout: 30 * time.Second,
+	})
+	// First tile request dies with a non-retryable 400; the rest hang
+	// until their contexts cancel. If leader cancel fails to propagate,
+	// this test times out.
+	workers[0].Script(shardtest.Rule{Tool: "kdv", Times: 1, Status: http.StatusBadRequest})
+	workers[0].Script(shardtest.Rule{Tool: "kdv", Hang: true})
+
+	baseline := runtime.NumGoroutine()
+	start := time.Now()
+	_, err := c.KDV(context.Background(), d, "ev", req)
+	if err == nil {
+		t.Fatal("injected 400 did not fail the run")
+	}
+	if !strings.Contains(err.Error(), "injected fault") {
+		t.Fatalf("error does not carry the worker message: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 15*time.Second {
+		t.Fatalf("leader cancel took %v", elapsed)
+	}
+	client.CloseIdleConnections()
+	settleGoroutines(t, baseline)
+}
+
+func TestCallerCancelPropagates(t *testing.T) {
+	d := testData(5, 200)
+	req := kdvReq(kernel.MustNew(kernel.Quartic, 9), 2, 2)
+
+	c, workers, client := cluster(t, 1, shard.Config{
+		Replication: 1, Retries: 0, Concurrency: 4,
+		Timeout: 30 * time.Second,
+	})
+	workers[0].Script(shardtest.Rule{Tool: "kdv", Hang: true})
+
+	baseline := runtime.NumGoroutine()
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	_, err := c.KDV(ctx, d, "ev", req)
+	if err == nil {
+		t.Fatal("cancelled run returned success")
+	}
+	client.CloseIdleConnections()
+	settleGoroutines(t, baseline)
+}
+
+func TestPlacementCacheSkipsReupload(t *testing.T) {
+	d := testData(5, 200)
+	req := kdvReq(kernel.MustNew(kernel.Quartic, 9), 2, 2)
+
+	c, _, _ := cluster(t, 2, shard.Config{Replication: 1})
+	if _, err := c.KDV(context.Background(), d, "ev", req); err != nil {
+		t.Fatal(err)
+	}
+	uploads := counterValue(t, c, "shard_uploads_total")
+	if uploads == 0 {
+		t.Fatal("first run uploaded nothing")
+	}
+	if _, err := c.KDV(context.Background(), d, "ev", req); err != nil {
+		t.Fatal(err)
+	}
+	if again := counterValue(t, c, "shard_uploads_total"); again != uploads {
+		t.Fatalf("second run re-uploaded: %d -> %d", uploads, again)
+	}
+}
+
+// counterValue reads one counter out of the coordinator's /metrics text.
+func counterValue(t *testing.T, c *shard.Coordinator, name string) int64 {
+	t.Helper()
+	var sb strings.Builder
+	if err := c.Metrics().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if strings.HasPrefix(line, name+" ") {
+			v, err := strconv.ParseInt(strings.TrimSpace(line[len(name)+1:]), 10, 64)
+			if err != nil {
+				t.Fatalf("parse %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %s not found", name)
+	return 0
+}
+
+func settleGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= baseline+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines did not settle: %d > baseline %d", n, baseline)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -84,6 +84,12 @@ type KDVOptions struct {
 	// returns ctx.Err() with a nil surface when it fires. Nil means no
 	// cancellation. KDVCtx is a convenience wrapper that sets this field.
 	Ctx context.Context
+	// Window optionally restricts evaluation to a pixel sub-rectangle of
+	// Grid (the shard coordinator's tile unit). Pixel centers come from the
+	// full Grid, so the windowed raster is bit-identical to the matching
+	// window of the full-extent result. Supported by KDVNaive (float64
+	// path) only; other methods reject it. Zero value = whole grid.
+	Window GridWindow
 }
 
 // KDVCtx computes a kernel density surface that honors ctx: the
@@ -104,6 +110,7 @@ func KDV(pts []Point, opt KDVOptions) (*Heatmap, error) {
 		Weights:   opt.Weights,
 		Float32:   opt.Float32,
 		Ctx:       opt.Ctx,
+		Window:    opt.Window,
 	}
 	switch opt.Method {
 	case KDVAuto:
@@ -138,6 +145,7 @@ func KDVDataset(d *Dataset, opt KDVOptions) (*Heatmap, error) {
 			Workers:   opt.Workers,
 			Float32:   opt.Float32,
 			Ctx:       opt.Ctx,
+			Window:    opt.Window,
 		}
 		return kde.NaiveCols(d.Columns(), kopt)
 	}
